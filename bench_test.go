@@ -1,0 +1,135 @@
+// Package repro's benchmarks regenerate each of the paper's tables and
+// figures (one benchmark per artifact, at the tiny preset so a full
+// -bench=. sweep stays tractable) and measure per-step cost of every
+// workload in both modes. The EXPERIMENTS.md numbers come from the
+// fathom CLI at the reference preset; these benches are the CI-sized
+// equivalents.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/runtime"
+
+	_ "repro/internal/models/all"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Preset: core.PresetTiny, Steps: 2, Warmup: 1, Seed: 1}
+}
+
+// ---- one benchmark per table/figure ----
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table1(); r.Text == "" {
+			b.Fatal("empty table1")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table2(); r.Text == "" {
+			b.Fatal("empty table2")
+		}
+	}
+}
+
+func BenchmarkFig1_Stationarity(b *testing.B) {
+	o := benchOpts()
+	o.Steps = 16
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2_CumulativeOps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_ClassHeatmap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_SimilarityDendrogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5_TrainVsInference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6_deepq(b *testing.B)   { benchFig6(b, "deepq") }
+func BenchmarkFig6_seq2seq(b *testing.B) { benchFig6(b, "seq2seq") }
+func BenchmarkFig6_memnet(b *testing.B)  { benchFig6(b, "memnet") }
+
+func benchFig6(b *testing.B, model string) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(benchOpts(), model); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Overhead(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- per-workload step benchmarks (small preset) ----
+
+func benchStep(b *testing.B, name string, mode core.Mode) {
+	m, err := core.New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Setup(core.Config{Preset: core.PresetSmall, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	s := runtime.NewSession(m.Graph(), runtime.WithSeed(1))
+	if err := m.Step(s, mode); err != nil { // warm the plan cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(s, mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStepTraining(b *testing.B) {
+	for _, name := range experiments.Workloads() {
+		b.Run(name, func(b *testing.B) { benchStep(b, name, core.ModeTraining) })
+	}
+}
+
+func BenchmarkStepInference(b *testing.B) {
+	for _, name := range experiments.Workloads() {
+		b.Run(name, func(b *testing.B) { benchStep(b, name, core.ModeInference) })
+	}
+}

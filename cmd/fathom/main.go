@@ -1,0 +1,182 @@
+// Command fathom runs the Fathom workload suite and regenerates the
+// paper's tables and figures.
+//
+// Usage:
+//
+//	fathom list                         # registered workloads (Table II)
+//	fathom run   -model alexnet ...     # profile one workload
+//	fathom table1 | table2              # the paper's tables
+//	fathom fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | overhead
+//	fathom all                          # everything, optionally to -out
+//
+// Common flags: -preset ref|small|tiny, -steps N, -warmup N, -seed N,
+// -workers N, -device cpu|gpu, -mode training|inference, -out DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	_ "repro/internal/models/all"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	presetName := fs.String("preset", "ref", "workload scale: ref, small or tiny")
+	steps := fs.Int("steps", 0, "measured steps per run (0 = experiment default)")
+	warmup := fs.Int("warmup", 0, "warmup steps per run (0 = experiment default)")
+	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 1, "modeled intra-op workers")
+	device := fs.String("device", "cpu", "cpu or gpu (modeled)")
+	mode := fs.String("mode", "training", "training or inference")
+	model := fs.String("model", "", "workload name (run, fig6)")
+	outDir := fs.String("out", "", "directory for CSV outputs (optional)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	preset, err := core.ParsePreset(*presetName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := experiments.Options{Preset: preset, Steps: *steps, Warmup: *warmup, Seed: *seed}
+
+	emit := func(r experiments.Result) {
+		fmt.Printf("== %s ==\n%s\n", r.Title, r.Text)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outDir, r.ID+".csv")
+			if err := os.WriteFile(path, []byte(r.CSV), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(csv written to %s)\n\n", path)
+		}
+	}
+
+	switch cmd {
+	case "list":
+		for _, name := range core.Names() {
+			m, err := core.New(name)
+			if err != nil {
+				fatal(err)
+			}
+			meta := m.Meta()
+			fmt.Printf("%-10s %d  %-22s %-14s %s\n", name, meta.Year, meta.Style, meta.Task, meta.Dataset)
+		}
+	case "run":
+		if *model == "" {
+			fatal(fmt.Errorf("run requires -model"))
+		}
+		md, err := core.ParseMode(*mode)
+		if err != nil {
+			fatal(err)
+		}
+		st := *steps
+		if st == 0 {
+			st = 4
+		}
+		res, err := core.SetupAndRun(*model, core.Config{Preset: preset, Seed: *seed}, core.RunOptions{
+			Mode: md, Steps: st, Warmup: *warmup, Workers: *workers, Device: *device, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s %s on %s, %d steps (%d workers): %v/step simulated, %v/step wall\n\n",
+			*model, md, *device, st, *workers,
+			res.SimTime/time.Duration(st), res.WallTime/time.Duration(st))
+		fmt.Println(res.Profile)
+	case "table1":
+		emit(experiments.Table1())
+	case "table2":
+		emit(experiments.Table2())
+	case "fig1":
+		must(experiments.Fig1(opts))(emit)
+	case "fig2":
+		must(experiments.Fig2(opts))(emit)
+	case "fig3":
+		must(experiments.Fig3(opts))(emit)
+	case "fig4":
+		must(experiments.Fig4(opts))(emit)
+	case "fig5":
+		must(experiments.Fig5(opts))(emit)
+	case "fig6":
+		models := experiments.Fig6Models()
+		if *model != "" {
+			models = strings.Split(*model, ",")
+		}
+		for _, m := range models {
+			must(experiments.Fig6(opts, m))(emit)
+		}
+	case "overhead":
+		must(experiments.Overhead(opts))(emit)
+	case "ablation":
+		must(experiments.Ablation(opts))(emit)
+	case "all":
+		emit(experiments.Table1())
+		emit(experiments.Table2())
+		must(experiments.Fig1(opts))(emit)
+		// Profile the suite once and reuse it for Figures 2–4.
+		suite, err := experiments.ProfileSuite(opts, core.ModeTraining)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.Fig2From(suite))
+		emit(experiments.Fig3From(suite))
+		emit(experiments.Fig4From(suite))
+		must(experiments.Fig5(opts))(emit)
+		for _, m := range experiments.Fig6Models() {
+			must(experiments.Fig6(opts, m))(emit)
+		}
+		must(experiments.Overhead(opts))(emit)
+		must(experiments.Ablation(opts))(emit)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func must(r experiments.Result, err error) func(func(experiments.Result)) {
+	if err != nil {
+		fatal(err)
+	}
+	return func(emit func(experiments.Result)) { emit(r) }
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fathom:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fathom <command> [flags]
+
+commands:
+  list       registered workloads
+  run        profile one workload        (-model, -mode, -device, -workers)
+  table1     architecture-survey table
+  table2     workload inventory
+  fig1       op-time stationarity
+  fig2       cumulative heavy-op curves
+  fig3       class heat map
+  fig4       similarity dendrogram
+  fig5       train/inference × CPU/GPU
+  fig6       op-type scaling vs workers  (-model deepq,seq2seq,memnet)
+  overhead   inter-op overhead (§V-A)
+  ablation   optimizer-pass and kernel-fusion ablations
+  all        everything
+
+flags: -preset ref|small|tiny  -steps N  -warmup N  -seed N  -out DIR`)
+}

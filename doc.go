@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Fathom: Reference
+// Workloads for Modern Deep Learning Methods" (Adolf et al., IISWC 2016).
+//
+// The repository contains a complete dataflow deep-learning framework
+// (tensors, symbolic autodiff, an operation library, and a traced
+// execution runtime), the eight Fathom workloads built on top of it, and
+// the characterization toolkit that regenerates every table and figure
+// of the paper's evaluation. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

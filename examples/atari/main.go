@@ -1,0 +1,70 @@
+// Atari: run the deepq workload's full reinforcement-learning loop —
+// ε-greedy play in the bundled arcade-learning-environment simulator,
+// experience replay, target-network Q-learning — and render the game
+// screen as ASCII art while the agent trains.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ale"
+	"repro/internal/core"
+	"repro/internal/models/deepq"
+	"repro/internal/runtime"
+)
+
+// asciiFrame downsamples the 84×84 screen to terminal art.
+func asciiFrame(screen []float32) string {
+	const step = 3 // 84/3 = 28 columns
+	shades := []byte(" .:*#@")
+	var b strings.Builder
+	for y := 0; y < ale.Height; y += step + 1 {
+		for x := 0; x < ale.Width; x += step {
+			var sum float32
+			for dy := 0; dy < step && y+dy < ale.Height; dy++ {
+				for dx := 0; dx < step && x+dx < ale.Width; dx++ {
+					sum += screen[(y+dy)*ale.Width+(x+dx)]
+				}
+			}
+			v := int(sum / (step * step) * float32(len(shades)-1) * 1.5)
+			if v >= len(shades) {
+				v = len(shades) - 1
+			}
+			b.WriteByte(shades[v])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func main() {
+	m := deepq.New()
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 7}); err != nil {
+		panic(err)
+	}
+	sess := runtime.NewSession(m.Graph(), runtime.WithSeed(7))
+	env := m.Env()
+	game := env.Game()
+
+	fmt.Printf("deepq learning %s (replay + target network + RMSProp)\n\n", game.Name())
+	screen := make([]float32, ale.Width*ale.Height)
+	for step := 0; step <= 120; step++ {
+		if err := m.Step(sess, core.ModeTraining); err != nil {
+			panic(err)
+		}
+		if step%40 == 0 {
+			game.Render(screen)
+			fmt.Printf("step %d  ε=%.2f  score=%.0f  lives=%d  episode=%d\n",
+				step, m.Epsilon(), game.Score(), game.Lives(), env.Episode())
+			fmt.Println(asciiFrame(screen))
+		}
+	}
+	fmt.Println("switching to greedy policy evaluation (inference):")
+	for i := 0; i < 10; i++ {
+		if err := m.Step(sess, core.ModeInference); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("final score %.0f after %d episodes\n", game.Score(), env.Episode())
+}

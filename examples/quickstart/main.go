@@ -1,0 +1,70 @@
+// Quickstart: build a small classifier directly on the dataflow
+// framework — graph construction, symbolic gradients, optimizer ops,
+// a traced session — and print the training curve plus the resulting
+// operation profile. This is the five-minute tour of the substrate
+// underneath the Fathom workloads.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/models/nn"
+	"repro/internal/ops"
+	"repro/internal/profiling"
+	"repro/internal/runtime"
+)
+
+func main() {
+	const (
+		batch   = 32
+		classes = 10
+		hidden  = 128
+		steps   = 60
+	)
+	rng := rand.New(rand.NewSource(1))
+	data := dataset.NewMNIST(2)
+
+	// 1. Declare the graph: a two-layer classifier.
+	g := graph.New()
+	x := g.Placeholder("images", batch, dataset.MNISTSide*dataset.MNISTSide)
+	y := g.Placeholder("labels", batch)
+	h, p1 := nn.Dense(g, rng, "fc1", x, dataset.MNISTSide*dataset.MNISTSide, hidden, ops.Relu)
+	logits, p2 := nn.Dense(g, rng, "fc2", h, hidden, classes, nil)
+	loss := ops.CrossEntropy(logits, y)
+	acc := ops.Mean(ops.Equal(ops.ArgMax(logits), y))
+
+	// 2. Symbolic gradients + SGD updates, grouped in one fetch.
+	params := append(p1, p2...)
+	trainOp, err := nn.ApplyUpdates(g, loss, params, nn.SGD, 0.1)
+	if err != nil {
+		panic(err)
+	}
+
+	// 3. Train under a traced session.
+	sess := runtime.NewSession(g, runtime.WithSeed(1), runtime.WithTrace())
+	sess.SetTraining(true)
+	fmt.Println("training a 784-128-10 classifier on synthetic MNIST digits:")
+	for i := 0; i < steps; i++ {
+		images, labels := data.Batch(batch)
+		out := sess.MustRun([]*graph.Node{loss, acc, trainOp},
+			runtime.Feeds{x: images, y: labels})
+		if i%10 == 0 || i == steps-1 {
+			fmt.Printf("  step %3d  loss %.4f  batch accuracy %.2f\n",
+				i, out[0].Data()[0], out[1].Data()[0])
+		}
+	}
+
+	// 4. Where did the time go? The same operation-level profile the
+	// Fathom characterization uses.
+	prof := profiling.Collect("quickstart", "training", steps, sess.Trace())
+	fmt.Println("\noperation profile:")
+	for _, s := range prof.Shares() {
+		if s.Fraction < 0.02 {
+			continue
+		}
+		fmt.Printf("  %-22s %-24s %5.1f%%\n", s.Op, s.Class, 100*s.Fraction)
+	}
+}

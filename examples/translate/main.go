@@ -1,0 +1,50 @@
+// Translate: train the seq2seq workload on the synthetic WMT-style
+// language pair (reversed + permuted token sequences) and watch the
+// attention encoder–decoder learn it. Demonstrates driving a Fathom
+// workload through the standard model interface.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+
+	_ "repro/internal/models/all"
+)
+
+func main() {
+	m, err := core.New("seq2seq")
+	if err != nil {
+		panic(err)
+	}
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 42}); err != nil {
+		panic(err)
+	}
+	meta := m.Meta()
+	fmt.Printf("%s (%d): %s\n", meta.Name, meta.Year, meta.Purpose)
+	fmt.Printf("graph: %d nodes\n\n", m.Graph().NumNodes())
+
+	sess := runtime.NewSession(m.Graph(), runtime.WithSeed(42))
+	rep := m.(core.LossReporter)
+	fmt.Println("training on the synthetic language pair (reversal + token permutation):")
+	fmt.Printf("  uniform baseline: per-token cross-entropy = ln(V) ≈ 3.69\n")
+	var avg float64
+	for i := 1; i <= 400; i++ {
+		if err := m.Step(sess, core.ModeTraining); err != nil {
+			panic(err)
+		}
+		avg += rep.LastLoss()
+		if i%50 == 0 {
+			fmt.Printf("  steps %4d–%4d  mean per-token cross-entropy %.4f\n", i-49, i, avg/50)
+			avg = 0
+		}
+	}
+	fmt.Println("\nswitching to inference (forward translation pass):")
+	for i := 0; i < 3; i++ {
+		if err := m.Step(sess, core.ModeInference); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("done — loss should have fallen well below the uniform baseline.")
+}

@@ -1,0 +1,169 @@
+// End-to-end integration tests: the full stack — synthetic data,
+// graph construction, autodiff, optimizer ops, traced execution —
+// must actually learn, and the suite-level invariants the paper's
+// methodology rests on must hold across workloads.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/models/nn"
+	"repro/internal/ops"
+	"repro/internal/profiling"
+	"repro/internal/runtime"
+
+	_ "repro/internal/models/all"
+)
+
+// TestEndToEndClassifierReachesHighAccuracy trains a small MLP on the
+// synthetic digit task to well above chance — the "does the whole
+// stack actually work" test.
+func TestEndToEndClassifierReachesHighAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	const batch = 32
+	rng := rand.New(rand.NewSource(1))
+	data := dataset.NewMNIST(2)
+
+	g := graph.New()
+	x := g.Placeholder("x", batch, 784)
+	y := g.Placeholder("y", batch)
+	h, p1 := nn.Dense(g, rng, "fc1", x, 784, 64, ops.Relu)
+	logits, p2 := nn.Dense(g, rng, "fc2", h, 64, 10, nil)
+	loss := ops.CrossEntropy(logits, y)
+	acc := ops.Mean(ops.Equal(ops.ArgMax(logits), y))
+	trainOp, err := nn.ApplyUpdates(g, loss, append(p1, p2...), nn.SGD, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := runtime.NewSession(g, runtime.WithSeed(1))
+	sess.SetTraining(true)
+	var lastAcc float64
+	for i := 0; i < 300; i++ {
+		images, labels := data.Batch(batch)
+		out := sess.MustRun([]*graph.Node{loss, acc, trainOp}, runtime.Feeds{x: images, y: labels})
+		lastAcc = float64(out[1].Data()[0])
+	}
+	if lastAcc < 0.7 {
+		t.Fatalf("classifier should reach >70%% batch accuracy, got %.2f", lastAcc)
+	}
+}
+
+// TestSuiteProfileDeterminism: identical seeds must produce identical
+// op counts and types (timing varies; structure must not).
+func TestSuiteProfileDeterminism(t *testing.T) {
+	run := func() map[string]int {
+		res, err := core.SetupAndRun("memnet", core.Config{Preset: core.PresetTiny, Seed: 9},
+			core.RunOptions{Mode: core.ModeTraining, Steps: 2, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for _, e := range res.Events {
+			counts[e.Op]++
+		}
+		return counts
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("op type sets differ: %d vs %d", len(a), len(b))
+	}
+	for op, n := range a {
+		if b[op] != n {
+			t.Fatalf("op %s count %d vs %d", op, n, b[op])
+		}
+	}
+}
+
+// TestHeavyTypesWithinPaperRange pins Figure 2's quantitative claim
+// on the real workloads: a handful (the paper says 5–15) of op types
+// reach 90% of execution time.
+func TestHeavyTypesWithinPaperRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles all workloads")
+	}
+	for _, name := range core.Names() {
+		res, err := core.SetupAndRun(name, core.Config{Preset: core.PresetTiny, Seed: 3},
+			core.RunOptions{Mode: core.ModeTraining, Steps: 2, Warmup: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := res.Profile.HeavyTypes(0.9)
+		if h < 1 || h > 15 {
+			t.Errorf("%s: %d op types to reach 90%% (paper: 5–15, small presets may dip lower)", name, h)
+		}
+	}
+}
+
+// TestStationarityOnRealWorkload pins Figure 1's claim: per-step op
+// time is stationary with low variance.
+func TestStationarityOnRealWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step profile")
+	}
+	// The small preset's millisecond-scale steps keep timer noise and
+	// GC pauses from dominating the statistic (tiny steps are µs-scale
+	// and their CoV reflects the host, not the workload).
+	res, err := core.SetupAndRun("autoenc", core.Config{Preset: core.PresetSmall, Seed: 4},
+		core.RunOptions{Mode: core.ModeTraining, Steps: 20, Warmup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := profiling.Stationary(profiling.StepTotals(res.Events))
+	if st.Samples != 20 {
+		t.Fatalf("expected 20 samples, got %d", st.Samples)
+	}
+	if st.CoV > 0.5 {
+		t.Errorf("per-step time too variable: CoV %.3f", st.CoV)
+	}
+	if st.Drift > 0.6 || st.Drift < -0.6 {
+		t.Errorf("per-step time drifts: %.3f", st.Drift)
+	}
+}
+
+// TestGPUModelSpeedsUpComputeDenseWorkloads pins Figure 5's headline:
+// the modeled GPU helps the skewed, compute-dense profiles most.
+func TestGPUModelSpeedsUpComputeDenseWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two profile runs")
+	}
+	cpu, err := core.SetupAndRun("vgg", core.Config{Preset: core.PresetSmall, Seed: 5},
+		core.RunOptions{Mode: core.ModeTraining, Steps: 2, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := core.SetupAndRun("vgg", core.Config{Preset: core.PresetSmall, Seed: 5},
+		core.RunOptions{Mode: core.ModeTraining, Steps: 2, Warmup: 1, Device: "gpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.SimTime*2 >= cpu.SimTime {
+		t.Fatalf("modeled GPU should speed vgg up >2x: cpu %v gpu %v", cpu.SimTime, gpu.SimTime)
+	}
+}
+
+// TestWorkerScalingFlattensProfile pins Figure 6's qualitative claim:
+// with more modeled workers, the dominant op's share shrinks (Amdahl).
+func TestWorkerScalingFlattensProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two profile runs")
+	}
+	prof := func(workers int) float64 {
+		res, err := core.SetupAndRun("deepq", core.Config{Preset: core.PresetSmall, Seed: 6},
+			core.RunOptions{Mode: core.ModeTraining, Steps: 3, Warmup: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Profile.Shares()[0].Fraction
+	}
+	top1 := prof(1)
+	top8 := prof(8)
+	if top8 >= top1 {
+		t.Errorf("dominant op share should shrink with parallelism: %.3f -> %.3f", top1, top8)
+	}
+}

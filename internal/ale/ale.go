@@ -1,0 +1,341 @@
+// Package ale is a compact Arcade Learning Environment standing in for
+// Bellemare et al.'s Atari 2600 emulator, which needs game ROMs that
+// are unavailable offline. It implements two playable paddle-and-ball
+// games — Pong-like and Breakout-like — with real physics, scoring,
+// lives and 84×84 grayscale screens, so the deep-Q workload exercises
+// its complete reinforcement-learning loop (ε-greedy action selection,
+// score feedback, experience replay, target networks) against a
+// genuine environment rather than a mock.
+package ale
+
+import "math/rand"
+
+// Screen dimensions match the DQN preprocessing pipeline.
+const (
+	Width  = 84
+	Height = 84
+)
+
+// Action is a discrete game input.
+type Action int
+
+// The minimal joystick set shared by both games.
+const (
+	ActNoop Action = iota
+	ActLeft
+	ActRight
+	// NumActions is the size of the action set.
+	NumActions = 3
+)
+
+// Game is one emulated title.
+type Game interface {
+	// Name returns the title ("pong", "breakout").
+	Name() string
+	// NumActions returns the size of the legal action set.
+	NumActions() int
+	// Reset restarts the episode with the given seed.
+	Reset(seed int64)
+	// Step advances one frame under action a, returning the reward
+	// earned this frame and whether the episode ended.
+	Step(a Action) (reward float64, done bool)
+	// Render writes the 84×84 grayscale screen (row-major, values in
+	// [0,1]) into dst, which must have length Width*Height.
+	Render(dst []float32)
+	// Lives returns the remaining lives.
+	Lives() int
+	// Score returns the accumulated episode score.
+	Score() float64
+}
+
+// common holds the paddle/ball state shared by both games.
+type common struct {
+	rng     *rand.Rand
+	paddleX float64 // center of the paddle
+	ballX   float64
+	ballY   float64
+	velX    float64
+	velY    float64
+	lives   int
+	score   float64
+	frame   int
+}
+
+const (
+	paddleW     = 14.0
+	paddleH     = 3.0
+	paddleY     = float64(Height) - 5
+	ballSize    = 2.0
+	paddleSpeed = 3.0
+)
+
+func (c *common) reset(seed int64, lives int) {
+	c.rng = rand.New(rand.NewSource(seed))
+	c.paddleX = Width / 2
+	c.lives = lives
+	c.score = 0
+	c.frame = 0
+	c.serve()
+}
+
+// serve launches the ball downward at a random angle.
+func (c *common) serve() {
+	c.ballX = 10 + c.rng.Float64()*(Width-20)
+	c.ballY = Height / 3
+	c.velX = 1.2 + 0.8*c.rng.Float64()
+	if c.rng.Intn(2) == 0 {
+		c.velX = -c.velX
+	}
+	c.velY = 1.5 + 0.5*c.rng.Float64()
+}
+
+func (c *common) movePaddle(a Action) {
+	switch a {
+	case ActLeft:
+		c.paddleX -= paddleSpeed
+	case ActRight:
+		c.paddleX += paddleSpeed
+	}
+	if c.paddleX < paddleW/2 {
+		c.paddleX = paddleW / 2
+	}
+	if c.paddleX > Width-paddleW/2 {
+		c.paddleX = Width - paddleW/2
+	}
+}
+
+// stepBall advances the ball one frame, bouncing off walls and the
+// paddle. Returns (hitPaddle, lostBall).
+func (c *common) stepBall() (hit, lost bool) {
+	c.ballX += c.velX
+	c.ballY += c.velY
+	// Side walls.
+	if c.ballX < 1 {
+		c.ballX = 1
+		c.velX = -c.velX
+	}
+	if c.ballX > Width-1-ballSize {
+		c.ballX = Width - 1 - ballSize
+		c.velX = -c.velX
+	}
+	// Ceiling.
+	if c.ballY < 1 {
+		c.ballY = 1
+		c.velY = -c.velY
+	}
+	// Paddle.
+	if c.velY > 0 && c.ballY+ballSize >= paddleY && c.ballY <= paddleY+paddleH {
+		if c.ballX+ballSize >= c.paddleX-paddleW/2 && c.ballX <= c.paddleX+paddleW/2 {
+			c.ballY = paddleY - ballSize
+			c.velY = -c.velY
+			// English: hitting off-center skews the ball.
+			c.velX += (c.ballX + ballSize/2 - c.paddleX) * 0.15
+			if c.velX > 2.5 {
+				c.velX = 2.5
+			}
+			if c.velX < -2.5 {
+				c.velX = -2.5
+			}
+			return true, false
+		}
+	}
+	// Floor: ball lost.
+	if c.ballY > Height {
+		return false, true
+	}
+	return false, false
+}
+
+// fillRect paints a rectangle into the screen buffer.
+func fillRect(dst []float32, x0, y0, x1, y1 int, v float32) {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > Width {
+		x1 = Width
+	}
+	if y1 > Height {
+		y1 = Height
+	}
+	for y := y0; y < y1; y++ {
+		row := dst[y*Width : (y+1)*Width]
+		for x := x0; x < x1; x++ {
+			row[x] = v
+		}
+	}
+}
+
+func (c *common) renderCommon(dst []float32) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	// Walls.
+	fillRect(dst, 0, 0, Width, 1, 0.4)
+	fillRect(dst, 0, 0, 1, Height, 0.4)
+	fillRect(dst, Width-1, 0, Width, Height, 0.4)
+	// Paddle.
+	fillRect(dst, int(c.paddleX-paddleW/2), int(paddleY), int(c.paddleX+paddleW/2), int(paddleY+paddleH), 1)
+	// Ball.
+	fillRect(dst, int(c.ballX), int(c.ballY), int(c.ballX+ballSize), int(c.ballY+ballSize), 1)
+}
+
+// Pong is a single-player Pong-like game: keep the rally going. Each
+// paddle hit scores a point; each miss costs a life.
+type Pong struct {
+	common
+}
+
+// NewPong returns a Pong game, unreset.
+func NewPong() *Pong { return &Pong{} }
+
+// Name implements Game.
+func (p *Pong) Name() string { return "pong" }
+
+// NumActions implements Game.
+func (p *Pong) NumActions() int { return NumActions }
+
+// Reset implements Game.
+func (p *Pong) Reset(seed int64) { p.reset(seed, 5) }
+
+// Lives implements Game.
+func (p *Pong) Lives() int { return p.lives }
+
+// Score implements Game.
+func (p *Pong) Score() float64 { return p.score }
+
+// Step implements Game.
+func (p *Pong) Step(a Action) (float64, bool) {
+	p.frame++
+	p.movePaddle(a)
+	hit, lost := p.stepBall()
+	var r float64
+	if hit {
+		r = 1
+		p.score++
+	}
+	if lost {
+		r = -1
+		p.lives--
+		if p.lives <= 0 {
+			return r, true
+		}
+		p.serve()
+	}
+	return r, false
+}
+
+// Render implements Game.
+func (p *Pong) Render(dst []float32) { p.renderCommon(dst) }
+
+// Breakout adds a wall of bricks; breaking a brick scores a point and
+// clearing the wall rebuilds it.
+type Breakout struct {
+	common
+	bricks [][]bool // rows × cols
+}
+
+const (
+	brickRows = 4
+	brickCols = 7
+	brickW    = float64(Width) / brickCols
+	brickH    = 4.0
+	brickTop  = 12.0
+)
+
+// NewBreakout returns a Breakout game, unreset.
+func NewBreakout() *Breakout { return &Breakout{} }
+
+// Name implements Game.
+func (b *Breakout) Name() string { return "breakout" }
+
+// NumActions implements Game.
+func (b *Breakout) NumActions() int { return NumActions }
+
+// Reset implements Game.
+func (b *Breakout) Reset(seed int64) {
+	b.reset(seed, 5)
+	b.rebuildWall()
+}
+
+func (b *Breakout) rebuildWall() {
+	b.bricks = make([][]bool, brickRows)
+	for r := range b.bricks {
+		b.bricks[r] = make([]bool, brickCols)
+		for c := range b.bricks[r] {
+			b.bricks[r][c] = true
+		}
+	}
+}
+
+// Lives implements Game.
+func (b *Breakout) Lives() int { return b.lives }
+
+// Score implements Game.
+func (b *Breakout) Score() float64 { return b.score }
+
+// Step implements Game.
+func (b *Breakout) Step(a Action) (float64, bool) {
+	b.frame++
+	b.movePaddle(a)
+	_, lost := b.stepBall()
+	var r float64
+	// Brick collisions.
+	row := int((b.ballY - brickTop) / brickH)
+	col := int(b.ballX / brickW)
+	if row >= 0 && row < brickRows && col >= 0 && col < brickCols && b.bricks[row][col] {
+		b.bricks[row][col] = false
+		b.velY = -b.velY
+		r += 1
+		b.score++
+		// Cleared the wall: rebuild it (and keep playing).
+		cleared := true
+		for _, br := range b.bricks {
+			for _, v := range br {
+				if v {
+					cleared = false
+				}
+			}
+		}
+		if cleared {
+			b.rebuildWall()
+		}
+	}
+	if lost {
+		r = -1
+		b.lives--
+		if b.lives <= 0 {
+			return r, true
+		}
+		b.serve()
+	}
+	return r, false
+}
+
+// Render implements Game.
+func (b *Breakout) Render(dst []float32) {
+	b.renderCommon(dst)
+	for r := range b.bricks {
+		for c := range b.bricks[r] {
+			if !b.bricks[r][c] {
+				continue
+			}
+			x0 := int(float64(c) * brickW)
+			y0 := int(brickTop + float64(r)*brickH)
+			fillRect(dst, x0+1, y0+1, x0+int(brickW)-1, y0+int(brickH)-1, 0.7)
+		}
+	}
+}
+
+// New constructs a game by name; it panics on unknown titles.
+func New(name string) Game {
+	switch name {
+	case "pong":
+		return NewPong()
+	case "breakout":
+		return NewBreakout()
+	}
+	panic("ale: unknown game " + name)
+}

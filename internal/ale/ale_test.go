@@ -1,0 +1,220 @@
+package ale
+
+import (
+	"testing"
+)
+
+func TestPongBasics(t *testing.T) {
+	p := NewPong()
+	p.Reset(1)
+	if p.Lives() != 5 || p.Score() != 0 {
+		t.Fatalf("initial lives=%d score=%v", p.Lives(), p.Score())
+	}
+	if p.Name() != "pong" || p.NumActions() != NumActions {
+		t.Fatal("metadata")
+	}
+	screen := make([]float32, Width*Height)
+	p.Render(screen)
+	var lit int
+	for _, v := range screen {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v out of range", v)
+		}
+		if v > 0 {
+			lit++
+		}
+	}
+	if lit == 0 {
+		t.Fatal("screen should show paddle/ball/walls")
+	}
+}
+
+func TestPongDeterministicUnderSeed(t *testing.T) {
+	run := func() (float64, int) {
+		p := NewPong()
+		p.Reset(42)
+		for i := 0; i < 500; i++ {
+			if _, done := p.Step(Action(i % 3)); done {
+				break
+			}
+		}
+		return p.Score(), p.Lives()
+	}
+	s1, l1 := run()
+	s2, l2 := run()
+	if s1 != s2 || l1 != l2 {
+		t.Fatalf("pong must be deterministic: (%v,%d) vs (%v,%d)", s1, l1, s2, l2)
+	}
+}
+
+func TestPongEpisodeEndsAfterLostLives(t *testing.T) {
+	p := NewPong()
+	p.Reset(3)
+	done := false
+	var steps int
+	for !done && steps < 100000 {
+		_, done = p.Step(ActNoop) // never move: eventually loses all lives
+		steps++
+	}
+	if !done {
+		t.Fatal("episode should eventually end")
+	}
+	if p.Lives() != 0 {
+		t.Fatalf("lives at end = %d", p.Lives())
+	}
+}
+
+func TestPongBallStaysInBounds(t *testing.T) {
+	p := NewPong()
+	p.Reset(7)
+	for i := 0; i < 2000; i++ {
+		_, done := p.Step(Action(i % 3))
+		if p.ballX < 0 || p.ballX > Width {
+			t.Fatalf("ball x out of bounds: %v", p.ballX)
+		}
+		if p.ballY < 0 {
+			t.Fatalf("ball above ceiling: %v", p.ballY)
+		}
+		if done {
+			p.Reset(int64(i))
+		}
+	}
+}
+
+func TestPongPaddleClamped(t *testing.T) {
+	p := NewPong()
+	p.Reset(1)
+	for i := 0; i < 100; i++ {
+		p.Step(ActLeft)
+	}
+	if p.paddleX < paddleW/2-0.01 {
+		t.Fatalf("paddle escaped left: %v", p.paddleX)
+	}
+	for i := 0; i < 200; i++ {
+		p.Step(ActRight)
+	}
+	if p.paddleX > Width-paddleW/2+0.01 {
+		t.Fatalf("paddle escaped right: %v", p.paddleX)
+	}
+}
+
+func TestBreakoutBricksAndScore(t *testing.T) {
+	b := NewBreakout()
+	b.Reset(5)
+	if b.Name() != "breakout" {
+		t.Fatal("name")
+	}
+	// Run an active policy until some bricks break.
+	var gotReward bool
+	for i := 0; i < 20000 && !gotReward; i++ {
+		// Track the ball crudely to keep rallies alive.
+		var a Action
+		switch {
+		case b.ballX < b.paddleX-2:
+			a = ActLeft
+		case b.ballX > b.paddleX+2:
+			a = ActRight
+		}
+		r, done := b.Step(a)
+		if r > 0 {
+			gotReward = true
+		}
+		if done {
+			b.Reset(int64(i))
+		}
+	}
+	if !gotReward {
+		t.Fatal("tracking policy should eventually break a brick")
+	}
+	if b.Score() <= 0 {
+		t.Fatalf("score should be positive, got %v", b.Score())
+	}
+}
+
+func TestBreakoutRendersBricks(t *testing.T) {
+	b := NewBreakout()
+	b.Reset(1)
+	screen := make([]float32, Width*Height)
+	b.Render(screen)
+	// Brick band should contain many 0.7 pixels.
+	var brickPix int
+	for _, v := range screen {
+		if v == 0.7 {
+			brickPix++
+		}
+	}
+	if brickPix < 50 {
+		t.Fatalf("expected rendered bricks, got %d pixels", brickPix)
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	if New("pong").Name() != "pong" || New("breakout").Name() != "breakout" {
+		t.Fatal("factory")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown game should panic")
+		}
+	}()
+	New("chess")
+}
+
+func TestEnvFrameSkipAndHistory(t *testing.T) {
+	e := NewEnv(NewPong(), 4, 4, 9)
+	if e.NumActions() != NumActions || e.HistoryLen() != 4 {
+		t.Fatal("env metadata")
+	}
+	st := e.State()
+	if st.Dim(0) != Height || st.Dim(1) != Width || st.Dim(2) != 4 {
+		t.Fatalf("state shape %v", st.Shape())
+	}
+	// After a step, the newest frame differs from the oldest.
+	e.Step(ActLeft)
+	e.Step(ActLeft)
+	st2 := e.State()
+	diff := false
+	for p := 0; p < Width*Height; p++ {
+		if st2.Data()[p*4+0] != st2.Data()[p*4+3] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("history frames should differ after movement")
+	}
+}
+
+func TestEnvEpisodeLifecycle(t *testing.T) {
+	e := NewEnv(NewPong(), 8, 2, 11)
+	steps := 0
+	for !e.Done() && steps < 100000 {
+		e.Step(ActNoop)
+		steps++
+	}
+	if !e.Done() {
+		t.Fatal("episode should end")
+	}
+	// Done env ignores steps.
+	r, done := e.Step(ActLeft)
+	if r != 0 || !done {
+		t.Fatal("done env should be inert")
+	}
+	ep := e.Episode()
+	e.Reset()
+	if e.Done() || e.Episode() != ep+1 {
+		t.Fatal("reset should start a fresh episode")
+	}
+}
+
+func TestEnvStateInto(t *testing.T) {
+	e := NewEnv(NewBreakout(), 2, 3, 13)
+	buf := make([]float32, Width*Height*3)
+	e.StateInto(buf)
+	st := e.State()
+	for i := range buf {
+		if buf[i] != st.Data()[i] {
+			t.Fatal("StateInto must match State")
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package ale
+
+import "repro/internal/tensor"
+
+// Env wraps a Game with the DQN preprocessing pipeline: frame skip
+// (each agent action repeats for several emulator frames, rewards
+// summed) and frame stacking (the state is the last HistoryLen
+// screens, giving the network motion information).
+type Env struct {
+	game    Game
+	skip    int
+	history int
+	frames  [][]float32 // ring of the last `history` screens
+	done    bool
+	episode int
+	seed    int64
+}
+
+// DefaultFrameSkip matches the DQN paper's action repeat.
+const DefaultFrameSkip = 4
+
+// DefaultHistory matches the DQN paper's stacked-frame count.
+const DefaultHistory = 4
+
+// NewEnv wraps game with frame skip and history (0 selects defaults)
+// and resets it.
+func NewEnv(game Game, skip, history int, seed int64) *Env {
+	if skip <= 0 {
+		skip = DefaultFrameSkip
+	}
+	if history <= 0 {
+		history = DefaultHistory
+	}
+	e := &Env{game: game, skip: skip, history: history, seed: seed}
+	e.Reset()
+	return e
+}
+
+// Game exposes the wrapped game.
+func (e *Env) Game() Game { return e.game }
+
+// HistoryLen returns the number of stacked frames per state.
+func (e *Env) HistoryLen() int { return e.history }
+
+// NumActions returns the wrapped game's action count.
+func (e *Env) NumActions() int { return e.game.NumActions() }
+
+// Reset starts a new episode (advancing the seed so episodes differ
+// deterministically).
+func (e *Env) Reset() {
+	e.game.Reset(e.seed + int64(e.episode))
+	e.episode++
+	e.done = false
+	e.frames = make([][]float32, e.history)
+	screen := make([]float32, Width*Height)
+	e.game.Render(screen)
+	for i := range e.frames {
+		f := make([]float32, len(screen))
+		copy(f, screen)
+		e.frames[i] = f
+	}
+}
+
+// Done reports whether the current episode has ended.
+func (e *Env) Done() bool { return e.done }
+
+// Episode returns the number of episodes started.
+func (e *Env) Episode() int { return e.episode }
+
+// Step applies action a for `skip` frames, summing rewards, then
+// pushes the resulting screen into the history. If the episode ends
+// the environment stays done until Reset.
+func (e *Env) Step(a Action) (reward float64, done bool) {
+	if e.done {
+		return 0, true
+	}
+	for i := 0; i < e.skip && !e.done; i++ {
+		r, d := e.game.Step(a)
+		reward += r
+		e.done = d
+	}
+	screen := make([]float32, Width*Height)
+	e.game.Render(screen)
+	e.frames = append(e.frames[1:], screen)
+	return reward, e.done
+}
+
+// State writes the stacked frames as an (H, W, history) tensor.
+func (e *Env) State() *tensor.Tensor {
+	out := tensor.New(Height, Width, e.history)
+	d := out.Data()
+	for f, frame := range e.frames {
+		for p, v := range frame {
+			d[p*e.history+f] = v
+		}
+	}
+	return out
+}
+
+// StateInto writes the stacked frames into dst (length H*W*history) in
+// NHWC channel order.
+func (e *Env) StateInto(dst []float32) {
+	for f, frame := range e.frames {
+		for p, v := range frame {
+			dst[p*e.history+f] = v
+		}
+	}
+}

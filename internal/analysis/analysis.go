@@ -1,0 +1,275 @@
+// Package analysis implements the workload-similarity machinery of the
+// paper's Figure 4: cosine distance between op-type profiles and
+// agglomerative clustering with centroidal linkage, rendered as an
+// ASCII dendrogram.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CosineDistance returns 1 − (a·b)/(|a||b|): the paper's profile
+// distance metric. Zero vectors are at distance 1 from everything.
+func CosineDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("analysis: CosineDistance dimension mismatch")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	d := 1 - dot/(math.Sqrt(na)*math.Sqrt(nb))
+	if d < 0 {
+		d = 0 // numerical noise
+	}
+	return d
+}
+
+// Merge records one step of agglomerative clustering. Cluster ids 0..n-1
+// are the input vectors; merge i creates cluster n+i from A and B.
+type Merge struct {
+	A, B int
+	Dist float64
+}
+
+// Agglomerate clusters vectors bottom-up with centroidal linkage:
+// repeatedly merge the two closest clusters (by cosine distance
+// between centroids) and replace them with their centroid.
+func Agglomerate(vectors [][]float64) []Merge {
+	n := len(vectors)
+	if n == 0 {
+		return nil
+	}
+	type cluster struct {
+		id       int
+		centroid []float64
+		size     int
+	}
+	active := make([]cluster, 0, n)
+	for i, v := range vectors {
+		c := make([]float64, len(v))
+		copy(c, v)
+		active = append(active, cluster{id: i, centroid: c, size: 1})
+	}
+	var merges []Merge
+	next := n
+	for len(active) > 1 {
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for i := 0; i < len(active); i++ {
+			for j := i + 1; j < len(active); j++ {
+				d := CosineDistance(active[i].centroid, active[j].centroid)
+				if d < best {
+					best, bi, bj = d, i, j
+				}
+			}
+		}
+		a, b := active[bi], active[bj]
+		// Weighted centroid of the merged cluster.
+		cen := make([]float64, len(a.centroid))
+		for k := range cen {
+			cen[k] = (a.centroid[k]*float64(a.size) + b.centroid[k]*float64(b.size)) / float64(a.size+b.size)
+		}
+		merges = append(merges, Merge{A: a.id, B: b.id, Dist: best})
+		// Remove j first (higher index), then i.
+		active = append(active[:bj], active[bj+1:]...)
+		active = append(active[:bi], active[bi+1:]...)
+		active = append(active, cluster{id: next, centroid: cen, size: a.size + b.size})
+		next++
+	}
+	return merges
+}
+
+// DistanceMatrix returns the pairwise cosine distances.
+func DistanceMatrix(vectors [][]float64) [][]float64 {
+	n := len(vectors)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = CosineDistance(vectors[i], vectors[j])
+			}
+		}
+	}
+	return m
+}
+
+// dendroNode is a cluster in the rendered tree.
+type dendroNode struct {
+	label  string
+	dist   float64 // merge height (0 for leaves)
+	leaves []int   // original indices, in display order
+	left   *dendroNode
+	right  *dendroNode
+}
+
+// buildTree reconstructs the merge tree.
+func buildTree(labels []string, merges []Merge) *dendroNode {
+	nodes := map[int]*dendroNode{}
+	for i, l := range labels {
+		nodes[i] = &dendroNode{label: l, leaves: []int{i}}
+	}
+	next := len(labels)
+	var root *dendroNode
+	for _, m := range merges {
+		a, b := nodes[m.A], nodes[m.B]
+		nd := &dendroNode{dist: m.Dist, left: a, right: b,
+			leaves: append(append([]int{}, a.leaves...), b.leaves...)}
+		nodes[next] = nd
+		root = nd
+		next++
+	}
+	return root
+}
+
+// RenderDendrogram draws the clustering as ASCII art, one leaf per
+// line, with merge brackets placed proportionally to cosine distance —
+// a textual Figure 4. maxWidth is the drawing width in columns
+// (minimum 20).
+func RenderDendrogram(labels []string, merges []Merge, maxWidth int) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if maxWidth < 20 {
+		maxWidth = 20
+	}
+	if len(labels) == 1 {
+		return labels[0] + "\n"
+	}
+	root := buildTree(labels, merges)
+	maxDist := 0.0
+	for _, m := range merges {
+		if m.Dist > maxDist {
+			maxDist = m.Dist
+		}
+	}
+	if maxDist == 0 {
+		maxDist = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	plotW := maxWidth - labelW - 2
+	if plotW < 10 {
+		plotW = 10
+	}
+	col := func(d float64) int {
+		c := int(d / maxDist * float64(plotW-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= plotW {
+			c = plotW - 1
+		}
+		return c
+	}
+	// Leaf order from the tree (keeps merged items adjacent).
+	order := root.leaves
+	rowOf := map[int]int{}
+	for r, leaf := range order {
+		rowOf[leaf] = r
+	}
+	rows := len(order)
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", plotW))
+	}
+	// Recursive drawing: each node occupies the rows of its leaves;
+	// returns the row where its horizontal connector lives.
+	var draw func(n *dendroNode) (row int, x int)
+	draw = func(n *dendroNode) (int, int) {
+		if n.left == nil {
+			return rowOf[n.leaves[0]], 0
+		}
+		lr, lx := draw(n.left)
+		rr, rx := draw(n.right)
+		x := col(n.dist)
+		if x <= lx {
+			x = lx + 1
+		}
+		if x <= rx {
+			x = rx + 1
+		}
+		if x >= plotW {
+			x = plotW - 1
+		}
+		// Horizontal lines from child connectors to this merge column,
+		// never overwriting existing brackets.
+		for c := lx + 1; c < x; c++ {
+			if grid[lr][c] == ' ' {
+				grid[lr][c] = '-'
+			}
+		}
+		for c := rx + 1; c < x; c++ {
+			if grid[rr][c] == ' ' {
+				grid[rr][c] = '-'
+			}
+		}
+		// Vertical line joining the two children at column x.
+		top, bot := lr, rr
+		if top > bot {
+			top, bot = bot, top
+		}
+		for r := top; r <= bot; r++ {
+			if grid[r][x] == ' ' {
+				grid[r][x] = '|'
+			}
+		}
+		grid[lr][x] = '+'
+		grid[rr][x] = '+'
+		// The connector row of this cluster is the midpoint of its
+		// leaf span, which keeps verticals visible in deeper trees.
+		row := (rowOf[n.leaves[0]] + rowOf[n.leaves[len(n.leaves)-1]]) / 2
+		return row, x
+	}
+	draw(root)
+	var b strings.Builder
+	for r, leaf := range order {
+		fmt.Fprintf(&b, "%-*s %s\n", labelW, labels[leaf], string(grid[r]))
+	}
+	// Distance scale.
+	fmt.Fprintf(&b, "%-*s %s\n", labelW, "", scaleLine(plotW, maxDist))
+	return b.String()
+}
+
+func scaleLine(w int, maxDist float64) string {
+	line := []byte(strings.Repeat(" ", w))
+	line[0] = '0'
+	end := fmt.Sprintf("%.2f", maxDist)
+	if len(end) < w {
+		copy(line[w-len(end):], end)
+	}
+	return string(line)
+}
+
+// SortedPairs lists all pairs by ascending distance (diagnostics).
+func SortedPairs(labels []string, vectors [][]float64) []string {
+	type pair struct {
+		a, b string
+		d    float64
+	}
+	var ps []pair
+	for i := 0; i < len(vectors); i++ {
+		for j := i + 1; j < len(vectors); j++ {
+			ps = append(ps, pair{labels[i], labels[j], CosineDistance(vectors[i], vectors[j])})
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].d < ps[j].d })
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = fmt.Sprintf("%.4f %s ↔ %s", p.d, p.a, p.b)
+	}
+	return out
+}

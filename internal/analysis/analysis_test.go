@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCosineDistanceBasics(t *testing.T) {
+	a := []float64{1, 0, 0}
+	b := []float64{0, 1, 0}
+	if d := CosineDistance(a, a); d > 1e-12 {
+		t.Fatalf("self distance = %v", d)
+	}
+	if d := CosineDistance(a, b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("orthogonal distance = %v, want 1", d)
+	}
+	c := []float64{2, 0, 0}
+	if d := CosineDistance(a, c); d > 1e-12 {
+		t.Fatalf("scale invariance violated: %v", d)
+	}
+	z := []float64{0, 0, 0}
+	if d := CosineDistance(a, z); d != 1 {
+		t.Fatalf("zero vector distance = %v, want 1", d)
+	}
+}
+
+func TestCosineDistanceDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CosineDistance([]float64{1}, []float64{1, 2})
+}
+
+// Properties: symmetry, range [0, 2] (non-negative inputs ⇒ [0, 1]).
+func TestCosineDistancePropertiesQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(n0 uint8) bool {
+		n := int(n0%8) + 1
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64()
+			b[i] = rng.Float64()
+		}
+		d1 := CosineDistance(a, b)
+		d2 := CosineDistance(b, a)
+		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgglomerateMergesClosestFirst(t *testing.T) {
+	// Three vectors: v0 and v1 nearly parallel, v2 orthogonal.
+	vectors := [][]float64{
+		{1, 0.02},
+		{1, 0.01},
+		{0, 1},
+	}
+	merges := Agglomerate(vectors)
+	if len(merges) != 2 {
+		t.Fatalf("3 clusters need 2 merges, got %d", len(merges))
+	}
+	first := merges[0]
+	if !((first.A == 0 && first.B == 1) || (first.A == 1 && first.B == 0)) {
+		t.Fatalf("first merge should join 0 and 1, got %+v", first)
+	}
+	if merges[0].Dist > merges[1].Dist {
+		t.Fatal("merge distances should be non-decreasing here")
+	}
+}
+
+func TestAgglomerateEdgeCases(t *testing.T) {
+	if m := Agglomerate(nil); m != nil {
+		t.Fatal("empty input should produce no merges")
+	}
+	if m := Agglomerate([][]float64{{1, 2}}); len(m) != 0 {
+		t.Fatal("single vector should produce no merges")
+	}
+}
+
+func TestDistanceMatrixSymmetric(t *testing.T) {
+	vectors := [][]float64{{1, 0}, {0.5, 0.5}, {0, 1}}
+	m := DistanceMatrix(vectors)
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Fatal("diagonal must be zero")
+		}
+		for j := range m {
+			if math.Abs(m[i][j]-m[j][i]) > 1e-12 {
+				t.Fatal("matrix must be symmetric")
+			}
+		}
+	}
+}
+
+func TestRenderDendrogramContainsAllLabels(t *testing.T) {
+	labels := []string{"alexnet", "vgg", "residual", "speech"}
+	vectors := [][]float64{
+		{0.9, 0.1, 0, 0},
+		{0.85, 0.15, 0, 0},
+		{0.8, 0.2, 0, 0},
+		{0, 0, 1, 0},
+	}
+	merges := Agglomerate(vectors)
+	out := RenderDendrogram(labels, merges, 60)
+	for _, l := range labels {
+		if !strings.Contains(out, l) {
+			t.Fatalf("dendrogram missing label %q:\n%s", l, out)
+		}
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "|") {
+		t.Fatalf("dendrogram should contain merge brackets:\n%s", out)
+	}
+	// The three similar conv-net profiles should be adjacent lines
+	// (speech first or last).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	dataLines := lines[:4]
+	speechRow := -1
+	for i, l := range dataLines {
+		if strings.Contains(l, "speech") {
+			speechRow = i
+		}
+	}
+	if speechRow != 0 && speechRow != 3 {
+		t.Fatalf("outlier should sit at an edge of the dendrogram:\n%s", out)
+	}
+}
+
+func TestRenderDendrogramSingleLabel(t *testing.T) {
+	out := RenderDendrogram([]string{"only"}, nil, 40)
+	if !strings.Contains(out, "only") {
+		t.Fatal("single-label dendrogram")
+	}
+}
+
+func TestSortedPairs(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	vectors := [][]float64{{1, 0}, {1, 0.1}, {0, 1}}
+	ps := SortedPairs(labels, vectors)
+	if len(ps) != 3 {
+		t.Fatalf("3 pairs expected, got %d", len(ps))
+	}
+	if !strings.Contains(ps[0], "a") || !strings.Contains(ps[0], "b") {
+		t.Fatalf("closest pair should be a↔b: %v", ps)
+	}
+}

@@ -1,0 +1,247 @@
+// Package core defines the Fathom suite itself: the standard model
+// interface every workload implements (the paper's answer to the
+// "model zoos have no standard interface" problem), the registry of
+// the eight workloads, and the instrumented runner that produces
+// operation-level profiles.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/profiling"
+	"repro/internal/runtime"
+)
+
+// Mode selects the phase a step executes.
+type Mode int
+
+const (
+	// ModeInference runs only the forward phase.
+	ModeInference Mode = iota
+	// ModeTraining runs forward, backward and parameter updates.
+	ModeTraining
+)
+
+func (m Mode) String() string {
+	if m == ModeTraining {
+		return "training"
+	}
+	return "inference"
+}
+
+// Preset selects a configuration scale.
+type Preset int
+
+const (
+	// PresetRef is the reference configuration: structurally faithful
+	// to the original paper with dimensions scaled for a pure-Go,
+	// single-core substrate (see DESIGN.md §4.4).
+	PresetRef Preset = iota
+	// PresetSmall further shrinks dimensions for benchmarks.
+	PresetSmall
+	// PresetTiny is minimal, for unit tests.
+	PresetTiny
+)
+
+func (p Preset) String() string {
+	switch p {
+	case PresetSmall:
+		return "small"
+	case PresetTiny:
+		return "tiny"
+	default:
+		return "ref"
+	}
+}
+
+// ParseMode converts a mode name.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "training", "train", "":
+		return ModeTraining, nil
+	case "inference", "infer":
+		return ModeInference, nil
+	}
+	return ModeTraining, fmt.Errorf("core: unknown mode %q", s)
+}
+
+// ParsePreset converts a preset name.
+func ParsePreset(s string) (Preset, error) {
+	switch s {
+	case "ref", "":
+		return PresetRef, nil
+	case "small":
+		return PresetSmall, nil
+	case "tiny":
+		return PresetTiny, nil
+	}
+	return PresetRef, fmt.Errorf("core: unknown preset %q", s)
+}
+
+// Config configures a workload build.
+type Config struct {
+	Preset Preset
+	Seed   int64
+}
+
+// Meta is a workload's Table-II row.
+type Meta struct {
+	Name    string
+	Year    int
+	Ref     string // original publication
+	Style   string // neuronal style
+	Layers  int    // layer depth as reported by the paper
+	Task    string // Supervised / Unsupervised / Reinforcement
+	Dataset string // original dataset (we substitute synthetically)
+	Purpose string // purpose and legacy
+}
+
+// Model is the standard interface every Fathom workload implements.
+type Model interface {
+	// Name returns the canonical workload name (e.g. "seq2seq").
+	Name() string
+	// Meta returns the workload's Table-II metadata.
+	Meta() Meta
+	// Setup builds the dataflow graph and data pipeline.
+	Setup(cfg Config) error
+	// Graph returns the built graph (after Setup).
+	Graph() *graph.Graph
+	// Step executes one update step (training) or one batched
+	// inference (inference) against the session, feeding itself from
+	// its synthetic dataset.
+	Step(s *runtime.Session, mode Mode) error
+}
+
+// LossReporter is implemented by workloads that can report the loss
+// of their most recent training step (used by convergence tests).
+type LossReporter interface {
+	LastLoss() float64
+}
+
+// registry of workload factories.
+var registry = map[string]func() Model{}
+
+// Register installs a workload factory; it panics on duplicates
+// (registration happens in package init functions).
+func Register(name string, factory func() Model) {
+	if _, dup := registry[name]; dup {
+		panic("core: duplicate workload " + name)
+	}
+	registry[name] = factory
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New instantiates a registered workload.
+func New(name string) (Model, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// RunOptions configures an instrumented run.
+type RunOptions struct {
+	Mode    Mode
+	Steps   int // measured steps
+	Warmup  int // untraced warmup steps
+	Workers int // modeled intra-op workers (default 1)
+	Device  string
+	Seed    int64
+}
+
+// RunResult is the outcome of an instrumented run.
+type RunResult struct {
+	Model   string
+	Mode    Mode
+	Profile *profiling.Profile
+	Events  []runtime.Event
+	// SimTime is the simulated op time of the measured steps.
+	SimTime time.Duration
+	// WallTime is the host wall time of the measured steps.
+	WallTime time.Duration
+}
+
+// NewDevice builds a device by name ("cpu" or "gpu").
+func NewDevice(name string) (runtime.Device, error) {
+	switch name {
+	case "cpu", "":
+		return runtime.CPUDevice{}, nil
+	case "gpu":
+		return runtime.NewGTX960(), nil
+	}
+	return nil, fmt.Errorf("core: unknown device %q", name)
+}
+
+// Run sets up the model (if not already set up by the caller) and
+// executes warmup + measured steps under tracing, returning the
+// profile. The model must have been Setup by the caller.
+func Run(m Model, opt RunOptions) (*RunResult, error) {
+	if opt.Steps <= 0 {
+		opt.Steps = 1
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	dev, err := NewDevice(opt.Device)
+	if err != nil {
+		return nil, err
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	sess := runtime.NewSession(m.Graph(),
+		runtime.WithDevice(dev),
+		runtime.WithWorkers(opt.Workers),
+		runtime.WithSeed(seed),
+		runtime.WithTrace(),
+	)
+	for i := 0; i < opt.Warmup; i++ {
+		if err := m.Step(sess, opt.Mode); err != nil {
+			return nil, fmt.Errorf("core: %s warmup step: %w", m.Name(), err)
+		}
+	}
+	sess.ResetTrace()
+	t0 := time.Now()
+	for i := 0; i < opt.Steps; i++ {
+		if err := m.Step(sess, opt.Mode); err != nil {
+			return nil, fmt.Errorf("core: %s step %d: %w", m.Name(), i, err)
+		}
+	}
+	wall := time.Since(t0)
+	events := sess.Trace()
+	prof := profiling.Collect(m.Name(), opt.Mode.String(), opt.Steps, events)
+	return &RunResult{
+		Model:    m.Name(),
+		Mode:     opt.Mode,
+		Profile:  prof,
+		Events:   events,
+		SimTime:  sess.SimTime(),
+		WallTime: wall,
+	}, nil
+}
+
+// SetupAndRun is the convenience path: instantiate, set up, run.
+func SetupAndRun(name string, cfg Config, opt RunOptions) (*RunResult, error) {
+	m, err := New(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Setup(cfg); err != nil {
+		return nil, fmt.Errorf("core: setup %s: %w", name, err)
+	}
+	return Run(m, opt)
+}

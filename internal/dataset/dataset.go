@@ -1,0 +1,13 @@
+// Package dataset provides deterministic synthetic substitutes for the
+// corpora used by the Fathom paper (WMT-15, bAbI, TIMIT, MNIST,
+// ImageNet), which are unavailable offline. Each generator reproduces
+// the tensor shapes, vocabulary structure and statistical role of the
+// original data: the paper's characterization depends on operation
+// shapes and sequence lengths, not on semantic content (DESIGN.md
+// §4.3). All generators are seeded and reproducible.
+package dataset
+
+import "math/rand"
+
+// newRNG builds the package's seeded source.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

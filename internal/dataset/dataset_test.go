@@ -1,0 +1,311 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestTranslationPairStructure(t *testing.T) {
+	tr := NewTranslation(100, 8, 1)
+	src, dst := tr.Pair()
+	if len(src) != 9 || len(dst) != 10 {
+		t.Fatalf("lengths src=%d dst=%d", len(src), len(dst))
+	}
+	if src[8] != EOS || dst[0] != BOS || dst[9] != EOS {
+		t.Fatalf("special tokens wrong: src=%v dst=%v", src, dst)
+	}
+	// Target body is permuted reversal of the source body.
+	for i := 0; i < 8; i++ {
+		w := src[7-i]
+		want := FirstWord + tr.perm[w-FirstWord]
+		if dst[i+1] != want {
+			t.Fatalf("dst[%d]=%d want %d", i+1, dst[i+1], want)
+		}
+	}
+	for _, w := range src[:8] {
+		if w < FirstWord || w >= tr.Vocab {
+			t.Fatalf("source word %d out of range", w)
+		}
+	}
+}
+
+func TestTranslationDeterministicBySeed(t *testing.T) {
+	a1, b1 := NewTranslation(50, 5, 7).Pair()
+	a2, b2 := NewTranslation(50, 5, 7).Pair()
+	for i := range a1 {
+		if a1[i] != a2[i] || b1[i] != b2[i] {
+			t.Fatal("same seed must reproduce pairs")
+		}
+	}
+}
+
+func TestTranslationBatchShapes(t *testing.T) {
+	tr := NewTranslation(64, 6, 2)
+	src, dst := tr.Batch(4)
+	if !tensor.SameShape(src.Shape(), []int{7, 4}) || !tensor.SameShape(dst.Shape(), []int{8, 4}) {
+		t.Fatalf("batch shapes %v %v", src.Shape(), dst.Shape())
+	}
+}
+
+func TestTranslationZipfSkew(t *testing.T) {
+	tr := NewTranslation(1000, 20, 3)
+	counts := make([]int, tr.Vocab)
+	for i := 0; i < 500; i++ {
+		src, _ := tr.Pair()
+		for _, w := range src[:20] {
+			counts[w]++
+		}
+	}
+	lowRank, highRank := 0, 0
+	for w := FirstWord; w < tr.Vocab; w++ {
+		if w < FirstWord+(tr.Vocab-FirstWord)/5 {
+			lowRank += counts[w]
+		} else {
+			highRank += counts[w]
+		}
+	}
+	if lowRank <= highRank {
+		t.Fatalf("token distribution should be skewed: low=%d high=%d", lowRank, highRank)
+	}
+}
+
+func TestBABISampleConsistency(t *testing.T) {
+	b := NewBABI(10, 6, 1)
+	for trial := 0; trial < 50; trial++ {
+		st := b.Sample()
+		if len(st.Sentences) != 10 {
+			t.Fatalf("story length %d", len(st.Sentences))
+		}
+		// Recompute the answer by scanning the story.
+		qe := st.Query[2]
+		last := -1
+		for _, s := range st.Sentences {
+			if s[0] == qe {
+				last = s[4]
+			}
+		}
+		if last == -1 {
+			t.Fatal("queried entity never moved")
+		}
+		wantLoc := BABIWord(last)
+		gotLoc := babiLocations[st.Answer]
+		if wantLoc != gotLoc {
+			t.Fatalf("answer %q but last location is %q", gotLoc, wantLoc)
+		}
+	}
+}
+
+func TestBABIBatchShapesAndRanges(t *testing.T) {
+	b := NewBABI(8, 6, 2)
+	stories, queries, answers := b.Batch(5)
+	if !tensor.SameShape(stories.Shape(), []int{5, 8, 6}) {
+		t.Fatalf("stories shape %v", stories.Shape())
+	}
+	if !tensor.SameShape(queries.Shape(), []int{5, 6}) {
+		t.Fatalf("queries shape %v", queries.Shape())
+	}
+	if !tensor.SameShape(answers.Shape(), []int{5}) {
+		t.Fatalf("answers shape %v", answers.Shape())
+	}
+	for _, v := range stories.Data() {
+		if int(v) < 0 || int(v) >= BABIVocabSize() {
+			t.Fatalf("token %v out of vocab", v)
+		}
+	}
+	for _, v := range answers.Data() {
+		if int(v) < 0 || int(v) >= BABIAnswerClasses() {
+			t.Fatalf("answer %v out of range", v)
+		}
+	}
+}
+
+func TestBABIVocab(t *testing.T) {
+	if BABIVocabSize() != 1+8+6+4+4 {
+		t.Fatalf("vocab size %d", BABIVocabSize())
+	}
+	if BABIWord(0) != "<pad>" {
+		t.Fatal("pad token")
+	}
+	if BABIWord(999) != "<999>" {
+		t.Fatal("out-of-range word")
+	}
+}
+
+func TestTIMITSampleStructure(t *testing.T) {
+	d := NewTIMIT(10, 20, 30, 6, 1)
+	u := d.Sample()
+	if len(u.Frames) != 30 {
+		t.Fatalf("frames %d", len(u.Frames))
+	}
+	if len(u.Labels) < 1 || len(u.Labels) > 6 {
+		t.Fatalf("labels %v", u.Labels)
+	}
+	if 2*len(u.Labels)+1 > 30 {
+		t.Fatal("CTC alignment must exist: T >= 2U+1")
+	}
+	for i := 1; i < len(u.Labels); i++ {
+		if u.Labels[i] == u.Labels[i-1] {
+			t.Fatal("adjacent phonemes should differ")
+		}
+	}
+	for _, f := range u.Frames {
+		if len(f) != 20 {
+			t.Fatalf("frame width %d", len(f))
+		}
+	}
+}
+
+func TestTIMITFormantsDistinguishPhonemes(t *testing.T) {
+	d := NewTIMIT(5, 24, 40, 4, 2)
+	// The energy profile of frames of phoneme p should correlate with
+	// its formant pattern: check that spectra are not flat noise.
+	u := d.Sample()
+	var peak, mean float32
+	n := 0
+	for _, f := range u.Frames {
+		for _, v := range f {
+			if v > peak {
+				peak = v
+			}
+			mean += v
+			n++
+		}
+	}
+	mean /= float32(n)
+	if peak < 5*mean {
+		t.Fatalf("spectrogram should have formant peaks: peak=%v mean=%v", peak, mean)
+	}
+}
+
+func TestTIMITBatchShapes(t *testing.T) {
+	d := NewTIMIT(8, 16, 25, 5, 3)
+	spec, labels := d.Batch(3)
+	if !tensor.SameShape(spec.Shape(), []int{25, 3, 16}) {
+		t.Fatalf("spec shape %v", spec.Shape())
+	}
+	if !tensor.SameShape(labels.Shape(), []int{3, 5}) {
+		t.Fatalf("labels shape %v", labels.Shape())
+	}
+	// Padding must be -1.
+	foundPad := false
+	for _, v := range labels.Data() {
+		if v == -1 {
+			foundPad = true
+		}
+		if v < -1 || v >= 8 {
+			t.Fatalf("label %v out of range", v)
+		}
+	}
+	if !foundPad {
+		t.Fatal("expected some -1 padding in labels")
+	}
+}
+
+func TestMNISTSampleRangeAndVariation(t *testing.T) {
+	d := NewMNIST(1)
+	img1, y1 := d.Sample()
+	if len(img1) != 784 {
+		t.Fatalf("image length %d", len(img1))
+	}
+	if y1 < 0 || y1 > 9 {
+		t.Fatalf("label %d", y1)
+	}
+	var lit int
+	for _, v := range img1 {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v out of range", v)
+		}
+		if v > 0.5 {
+			lit++
+		}
+	}
+	if lit < 10 || lit > 400 {
+		t.Fatalf("glyph should light a moderate pixel count, got %d", lit)
+	}
+	// Two samples of the same class should differ (translation jitter).
+	d2 := NewMNIST(2)
+	var imgs [][]float32
+	for len(imgs) < 2 {
+		img, y := d2.Sample()
+		if y == y1 {
+			cp := make([]float32, len(img))
+			copy(cp, img)
+			imgs = append(imgs, cp)
+		}
+	}
+	same := true
+	for i := range imgs[0] {
+		if imgs[0][i] != imgs[1][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("same-class samples should vary")
+	}
+}
+
+func TestMNISTBatchShapes(t *testing.T) {
+	d := NewMNIST(3)
+	images, labels := d.Batch(6)
+	if !tensor.SameShape(images.Shape(), []int{6, 784}) {
+		t.Fatalf("images shape %v", images.Shape())
+	}
+	if !tensor.SameShape(labels.Shape(), []int{6}) {
+		t.Fatalf("labels shape %v", labels.Shape())
+	}
+}
+
+func TestImageNetSampleAndBatch(t *testing.T) {
+	d := NewImageNet(10, 32, 1)
+	img := make([]float32, 32*32*3)
+	c := d.Sample(img)
+	if c < 0 || c >= 10 {
+		t.Fatalf("class %d", c)
+	}
+	for _, v := range img {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v out of range", v)
+		}
+	}
+	images, labels := d.Batch(4)
+	if !tensor.SameShape(images.Shape(), []int{4, 32, 32, 3}) {
+		t.Fatalf("images shape %v", images.Shape())
+	}
+	if !tensor.SameShape(labels.Shape(), []int{4}) {
+		t.Fatalf("labels shape %v", labels.Shape())
+	}
+}
+
+func TestImageNetClassTexturesDiffer(t *testing.T) {
+	d := NewImageNet(4, 16, 2)
+	// Mean image per class should differ across classes.
+	sums := make([][]float64, 4)
+	counts := make([]int, 4)
+	img := make([]float32, 16*16*3)
+	for i := range sums {
+		sums[i] = make([]float64, len(img))
+	}
+	for n := 0; n < 200; n++ {
+		c := d.Sample(img)
+		for i, v := range img {
+			sums[c][i] += float64(v)
+		}
+		counts[c]++
+	}
+	// Compare class 0 and class 1 mean images.
+	var diff float64
+	for i := range img {
+		a := sums[0][i] / float64(counts[0])
+		b := sums[1][i] / float64(counts[1])
+		if a > b {
+			diff += a - b
+		} else {
+			diff += b - a
+		}
+	}
+	if diff/float64(len(img)) < 0.01 {
+		t.Fatalf("class textures too similar: mean abs diff %v", diff/float64(len(img)))
+	}
+}

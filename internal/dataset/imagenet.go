@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// ImageNet generates procedural RGB images standing in for the
+// ImageNet classification corpus. Each class is a family of oriented
+// sinusoidal textures with class-specific frequency, orientation and
+// color balance, perturbed per sample by phase shifts and noise. The
+// classes are linearly non-trivial but learnable by a convolutional
+// network, and the tensors have the NHWC shape of real preprocessed
+// ImageNet input.
+type ImageNet struct {
+	Classes int
+	Side    int // square image edge H = W
+	rng     *rand.Rand
+	params  []texParams
+}
+
+type texParams struct {
+	freq   float64 // cycles across the image
+	angle  float64 // orientation of the texture
+	rgb    [3]float64
+	stripe float64 // square-wave hardness
+}
+
+// NewImageNet creates the generator with stable per-class textures.
+func NewImageNet(classes, side int, seed int64) *ImageNet {
+	rng := newRNG(seed)
+	params := make([]texParams, classes)
+	for c := range params {
+		params[c] = texParams{
+			freq:   2 + rng.Float64()*6,
+			angle:  rng.Float64() * math.Pi,
+			rgb:    [3]float64{0.4 + 0.6*rng.Float64(), 0.4 + 0.6*rng.Float64(), 0.4 + 0.6*rng.Float64()},
+			stripe: rng.Float64(),
+		}
+	}
+	return &ImageNet{Classes: classes, Side: side, rng: rng, params: params}
+}
+
+// Sample renders one image (H, W, 3) into dst and returns its label.
+// dst must have length Side*Side*3.
+func (d *ImageNet) Sample(dst []float32) int {
+	c := d.rng.Intn(d.Classes)
+	p := d.params[c]
+	phase := d.rng.Float64() * 2 * math.Pi
+	jitter := d.rng.NormFloat64() * 0.1
+	sin, cos := math.Sin(p.angle+jitter), math.Cos(p.angle+jitter)
+	s := float64(d.Side)
+	i := 0
+	for y := 0; y < d.Side; y++ {
+		for x := 0; x < d.Side; x++ {
+			u := (cos*float64(x) + sin*float64(y)) / s
+			v := math.Sin(2*math.Pi*p.freq*u + phase)
+			// Blend sine and square wave by the class's stripe factor.
+			if v > 0 {
+				v = (1-p.stripe)*v + p.stripe
+			} else {
+				v = (1-p.stripe)*v - p.stripe
+			}
+			base := 0.5 + 0.4*v
+			for ch := 0; ch < 3; ch++ {
+				val := base*p.rgb[ch] + 0.05*d.rng.Float64()
+				if val > 1 {
+					val = 1
+				}
+				dst[i] = float32(val)
+				i++
+			}
+		}
+	}
+	return c
+}
+
+// Batch materializes images (B, H, W, 3) and labels (B).
+func (d *ImageNet) Batch(b int) (images, labels *tensor.Tensor) {
+	images = tensor.New(b, d.Side, d.Side, 3)
+	labels = tensor.New(b)
+	stride := d.Side * d.Side * 3
+	for j := 0; j < b; j++ {
+		y := d.Sample(images.Data()[j*stride : (j+1)*stride])
+		labels.Set(float32(y), j)
+	}
+	return images, labels
+}

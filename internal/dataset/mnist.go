@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// MNIST generates synthetic 28×28 grayscale digit images standing in
+// for LeCun's handwritten-digit corpus. Digits are rendered as
+// seven-segment glyphs with random translation, per-stroke intensity
+// jitter, and pixel noise — a ten-class image family with enough
+// intra-class variation to make reconstruction (autoencoding) and
+// classification non-trivial.
+type MNIST struct {
+	rng *rand.Rand
+}
+
+// MNISTSide is the image edge length.
+const MNISTSide = 28
+
+// NewMNIST creates the generator.
+func NewMNIST(seed int64) *MNIST { return &MNIST{rng: newRNG(seed)} }
+
+// Seven-segment encodings of digits 0–9. Segments:
+//
+//	 _0_
+//	5|   |1
+//	 -6-
+//	4|   |2
+//	 _3_
+var segOf = [10][7]bool{
+	{true, true, true, true, true, true, false},     // 0
+	{false, true, true, false, false, false, false}, // 1
+	{true, true, false, true, true, false, true},    // 2
+	{true, true, true, true, false, false, true},    // 3
+	{false, true, true, false, false, true, true},   // 4
+	{true, false, true, true, false, true, true},    // 5
+	{true, false, true, true, true, true, true},     // 6
+	{true, true, true, false, false, false, false},  // 7
+	{true, true, true, true, true, true, true},      // 8
+	{true, true, true, true, false, true, true},     // 9
+}
+
+// drawSeg paints one segment into a 28×28 image with the glyph's
+// top-left at (ox, oy); the glyph box is 12 wide × 20 tall.
+func drawSeg(img []float32, seg, ox, oy int, intensity float32) {
+	hline := func(x, y, w int) {
+		for i := 0; i < w; i++ {
+			px, py := x+i, y
+			if px >= 0 && px < MNISTSide && py >= 0 && py < MNISTSide {
+				img[py*MNISTSide+px] += intensity
+			}
+		}
+	}
+	vline := func(x, y, h int) {
+		for i := 0; i < h; i++ {
+			px, py := x, y+i
+			if px >= 0 && px < MNISTSide && py >= 0 && py < MNISTSide {
+				img[py*MNISTSide+px] += intensity
+			}
+		}
+	}
+	const w, h = 12, 10 // half-height segments
+	switch seg {
+	case 0:
+		hline(ox, oy, w)
+	case 1:
+		vline(ox+w-1, oy, h)
+	case 2:
+		vline(ox+w-1, oy+h, h)
+	case 3:
+		hline(ox, oy+2*h-1, w)
+	case 4:
+		vline(ox, oy+h, h)
+	case 5:
+		vline(ox, oy, h)
+	case 6:
+		hline(ox, oy+h-1, w)
+	}
+}
+
+// Sample renders one digit image; returns the flattened 784 pixels in
+// [0,1] and the class label.
+func (d *MNIST) Sample() ([]float32, int) {
+	img := make([]float32, MNISTSide*MNISTSide)
+	digit := d.rng.Intn(10)
+	ox := 4 + d.rng.Intn(9) // random translation
+	oy := 2 + d.rng.Intn(5)
+	for s := 0; s < 7; s++ {
+		if segOf[digit][s] {
+			in := 0.7 + 0.3*d.rng.Float32()
+			drawSeg(img, s, ox, oy, in)
+		}
+	}
+	for i := range img {
+		img[i] += 0.08 * d.rng.Float32() // sensor noise
+		if img[i] > 1 {
+			img[i] = 1
+		}
+	}
+	return img, digit
+}
+
+// Batch materializes images (B, 784) and labels (B).
+func (d *MNIST) Batch(b int) (images, labels *tensor.Tensor) {
+	images = tensor.New(b, MNISTSide*MNISTSide)
+	labels = tensor.New(b)
+	for j := 0; j < b; j++ {
+		img, y := d.Sample()
+		copy(images.Data()[j*len(img):(j+1)*len(img)], img)
+		labels.Set(float32(y), j)
+	}
+	return images, labels
+}

@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// TIMIT generates synthetic speech utterances standing in for the
+// TIMIT corpus: each phoneme class has a characteristic set of formant
+// frequencies; an utterance is a phoneme sequence where each phoneme
+// emits several spectrogram frames of Gaussian bumps at its formants
+// plus noise. This gives CTC-trainable (spectrogram, transcript)
+// pairs with the same (time × frequency-bins) shape as real
+// preprocessed speech.
+type TIMIT struct {
+	Phonemes  int // number of phoneme classes (excluding CTC blank)
+	FreqBins  int // spectrogram height F
+	Frames    int // frames per utterance T
+	MaxLabels int // max transcript length L
+	rng       *rand.Rand
+	formants  [][]float64 // per phoneme, formant center bins
+}
+
+// NewTIMIT creates the generator. Frames should comfortably exceed
+// 2·MaxLabels+1 so CTC alignments exist.
+func NewTIMIT(phonemes, freqBins, frames, maxLabels int, seed int64) *TIMIT {
+	rng := newRNG(seed)
+	formants := make([][]float64, phonemes)
+	for p := range formants {
+		// Two or three formants per phoneme, stable across samples.
+		nf := 2 + rng.Intn(2)
+		f := make([]float64, nf)
+		for i := range f {
+			f[i] = rng.Float64() * float64(freqBins-1)
+		}
+		formants[p] = f
+	}
+	return &TIMIT{
+		Phonemes: phonemes, FreqBins: freqBins, Frames: frames,
+		MaxLabels: maxLabels, rng: rng, formants: formants,
+	}
+}
+
+// Utterance is one synthetic speech example.
+type Utterance struct {
+	Frames [][]float32 // T × F spectrogram
+	Labels []int       // phoneme transcript (length ≤ MaxLabels)
+}
+
+// Sample generates one utterance.
+func (d *TIMIT) Sample() Utterance {
+	nLabels := 1 + d.rng.Intn(d.MaxLabels)
+	// Ensure a CTC path exists: T ≥ 2·U+1.
+	for 2*nLabels+1 > d.Frames {
+		nLabels--
+	}
+	if nLabels < 1 {
+		nLabels = 1
+	}
+	labels := make([]int, nLabels)
+	prev := -1
+	for i := range labels {
+		p := d.rng.Intn(d.Phonemes)
+		for p == prev { // avoid repeats so transcripts stay CTC-friendly
+			p = d.rng.Intn(d.Phonemes)
+		}
+		labels[i] = p
+		prev = p
+	}
+	// Distribute frames over phonemes (with silence at the edges).
+	frames := make([][]float32, d.Frames)
+	perPhoneme := d.Frames / (nLabels + 1)
+	if perPhoneme < 1 {
+		perPhoneme = 1
+	}
+	for t := 0; t < d.Frames; t++ {
+		f := make([]float32, d.FreqBins)
+		// Background noise floor.
+		for i := range f {
+			f[i] = float32(d.rng.Float64() * 0.05)
+		}
+		ph := t / perPhoneme
+		if ph < nLabels { // trailing frames stay silence
+			for _, center := range d.formants[labels[ph]] {
+				// Gaussian bump with slight jitter.
+				c := center + d.rng.NormFloat64()*0.5
+				for i := range f {
+					x := (float64(i) - c) / 1.5
+					f[i] += float32(math.Exp(-x * x))
+				}
+			}
+		}
+		frames[t] = f
+	}
+	return Utterance{Frames: frames, Labels: labels}
+}
+
+// Batch materializes CTC training tensors: spectrograms (T, B, F) and
+// padded labels (B, L) with -1 padding.
+func (d *TIMIT) Batch(b int) (spec, labels *tensor.Tensor) {
+	spec = tensor.New(d.Frames, b, d.FreqBins)
+	labels = tensor.Full(-1, b, d.MaxLabels)
+	for j := 0; j < b; j++ {
+		u := d.Sample()
+		for t, frame := range u.Frames {
+			for i, v := range frame {
+				spec.Set(v, t, j, i)
+			}
+		}
+		for i, l := range u.Labels {
+			labels.Set(float32(l), j, i)
+		}
+	}
+	return spec, labels
+}

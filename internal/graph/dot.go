@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// DOT renders the subgraph feeding fetches in Graphviz format — the
+// TensorBoard-style graph visualization the paper's Related Work
+// discusses. Nodes are colored by kind and operation class.
+func DOT(name string, fetches []*Node) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=BT;\n  node [fontname=\"Helvetica\" fontsize=10];\n")
+	for _, n := range Topo(fetches) {
+		label := fmt.Sprintf("%s\\n%s", n.OpName(), tensor.ShapeString(n.Shape()))
+		attr := ""
+		switch n.Kind() {
+		case KindPlaceholder:
+			attr = "shape=invhouse style=filled fillcolor=lightblue"
+		case KindVariable:
+			attr = "shape=box3d style=filled fillcolor=khaki"
+			label = fmt.Sprintf("%s\\n%s", n.Name(), tensor.ShapeString(n.Shape()))
+		case KindConst:
+			attr = "shape=note style=filled fillcolor=gray90"
+		case KindOp:
+			attr = fmt.Sprintf("shape=box style=filled fillcolor=%q", classColor(n.Op().Class()))
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q %s];\n", n.ID(), label, attr)
+		for _, in := range n.Inputs() {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.ID(), n.ID())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func classColor(c OpClass) string {
+	switch c {
+	case ClassMatrix:
+		return "#ffcccc"
+	case ClassConv:
+		return "#ffe4b3"
+	case ClassElementwise:
+		return "#ccffcc"
+	case ClassReduction:
+		return "#cce5ff"
+	case ClassRandom:
+		return "#f0ccff"
+	case ClassOptimization:
+		return "#ffffcc"
+	default:
+		return "#e8e8e8"
+	}
+}

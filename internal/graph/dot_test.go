@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDOTContainsNodesAndEdges(t *testing.T) {
+	g := New()
+	x := g.Placeholder("x", 2)
+	w := g.Variable("weights", tensor.Ones(2))
+	y := g.MustApply(testMul{}, x, w)
+	out := DOT("toy", []*Node{y})
+	for _, want := range []string{"digraph \"toy\"", "Mul", "weights", "invhouse", "box3d", "->"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Two edges: x->mul, w->mul.
+	if strings.Count(out, "->") != 2 {
+		t.Fatalf("expected 2 edges:\n%s", out)
+	}
+}
+
+func TestDOTOnlyReachableNodes(t *testing.T) {
+	g := New()
+	a := g.Const("used", tensor.Ones(1))
+	g.Const("unused", tensor.Ones(1))
+	y := g.MustApply(testSquare{}, a)
+	out := DOT("g", []*Node{y})
+	if strings.Contains(out, "unused") {
+		t.Fatal("DOT should only render the fetched subgraph")
+	}
+}
+
+func TestClassColorsDistinct(t *testing.T) {
+	seen := map[string]OpClass{}
+	for c := OpClass(0); int(c) < NumClasses; c++ {
+		col := classColor(c)
+		if prev, dup := seen[col]; dup && prev != c {
+			t.Fatalf("classes %v and %v share color %s", prev, c, col)
+		}
+		seen[col] = c
+	}
+}

@@ -1,0 +1,116 @@
+// Package graph implements the coarse-grained dataflow graph at the
+// heart of the Fathom reproduction: nodes are primitive operations (the
+// smallest schedulable units, mirroring TensorFlow), edges carry
+// tensors, and gradients are built symbolically as additional graph
+// nodes so that backward-pass operations (Conv2DBackFilter, MatMul with
+// transposes, ApplyRMSProp, ...) show up in performance profiles as
+// first-class operation types — exactly the property the paper's
+// characterization methodology relies on.
+package graph
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// OpClass is the coarse taxonomy of operation types used by the
+// paper's Figure 3 (groups A through G).
+type OpClass int
+
+const (
+	// ClassMatrix is group A: dense matrix operations (MatMul).
+	ClassMatrix OpClass = iota
+	// ClassConv is group B: convolutions and their gradients.
+	ClassConv
+	// ClassElementwise is group C: elementwise arithmetic.
+	ClassElementwise
+	// ClassReduction is group D: reductions and expansions
+	// (Sum, Mean, Max, Softmax, Tile, losses with reduced outputs).
+	ClassReduction
+	// ClassRandom is group E: random sampling.
+	ClassRandom
+	// ClassOptimization is group F: optimizer update rules.
+	ClassOptimization
+	// ClassDataMovement is group G: reshapes, transposes, gathers,
+	// concatenation, slicing and other layout changes.
+	ClassDataMovement
+
+	// NumClasses is the number of operation classes.
+	NumClasses = int(ClassDataMovement) + 1
+)
+
+var classNames = [...]string{
+	"Matrix Operations",
+	"Convolution",
+	"Elementwise Arithmetic",
+	"Reduction and Expansion",
+	"Random Sampling",
+	"Optimization",
+	"Data Movement",
+}
+
+var classLetters = [...]string{"A", "B", "C", "D", "E", "F", "G"}
+
+// String returns the descriptive name of the class.
+func (c OpClass) String() string {
+	if int(c) < 0 || int(c) >= NumClasses {
+		return "Unknown"
+	}
+	return classNames[c]
+}
+
+// Letter returns the paper's single-letter group label (A–G).
+func (c OpClass) Letter() string {
+	if int(c) < 0 || int(c) >= NumClasses {
+		return "?"
+	}
+	return classLetters[c]
+}
+
+// ExecContext carries per-execution state into operation kernels.
+type ExecContext struct {
+	// Pool provides intra-operation parallelism (and its simulated
+	// timing; see tensor.Pool).
+	Pool *tensor.Pool
+	// RNG drives every stochastic operation, seeded per session for
+	// reproducibility.
+	RNG *rand.Rand
+	// Training selects training behaviour in mode-dependent ops
+	// (Dropout, BatchNorm).
+	Training bool
+	// Step is the session's run counter, available to ops that decay
+	// schedules.
+	Step int
+}
+
+// Op is a primitive operation: the smallest schedulable unit of the
+// runtime, and the unit at which all profiling in this repository is
+// performed.
+type Op interface {
+	// Name returns the operation type name as it appears in profiles
+	// (e.g. "MatMul", "Conv2DBackFilter").
+	Name() string
+	// Class returns the Figure-3 operation class.
+	Class() OpClass
+	// InferShape computes the static output shape from input shapes.
+	InferShape(in [][]int) ([]int, error)
+	// Forward executes the operation.
+	Forward(ctx *ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// GradOp is implemented by differentiable operations. Grad emits new
+// graph nodes computing the gradient with respect to each input given
+// the upstream gradient node; a nil entry means "no gradient flows to
+// this input" (e.g. the label input of a loss).
+type GradOp interface {
+	Op
+	Grad(g *Graph, n *Node, grad *Node) ([]*Node, error)
+}
+
+// Coster is implemented by operations that can estimate their
+// computational cost; the modeled GPU device uses it for roofline
+// timing. Operations without a Coster get a bytes-dominated default.
+type Coster interface {
+	Cost(in [][]int, out []int) (flops, bytes int64)
+}

@@ -1,0 +1,127 @@
+// Package metrics provides task-level evaluation utilities for the
+// workloads: greedy CTC decoding and edit distance for speech
+// (phoneme/label error rate, the metric Deep Speech reports),
+// classification accuracy, and sequence token accuracy.
+package metrics
+
+import "repro/internal/tensor"
+
+// CTCGreedyDecode collapses the framewise argmax path of logits
+// (T, B, K) into label sequences: repeated symbols merge and blanks
+// (index K-1) drop, the standard best-path decoding.
+func CTCGreedyDecode(logits *tensor.Tensor) [][]int {
+	T, B, K := logits.Dim(0), logits.Dim(1), logits.Dim(2)
+	blank := K - 1
+	out := make([][]int, B)
+	for b := 0; b < B; b++ {
+		prev := -1
+		var seq []int
+		for t := 0; t < T; t++ {
+			best, bestV := 0, logits.At(t, b, 0)
+			for k := 1; k < K; k++ {
+				if v := logits.At(t, b, k); v > bestV {
+					best, bestV = k, v
+				}
+			}
+			if best != prev && best != blank {
+				seq = append(seq, best)
+			}
+			prev = best
+		}
+		out[b] = seq
+	}
+	return out
+}
+
+// EditDistance returns the Levenshtein distance between two label
+// sequences.
+func EditDistance(a, b []int) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LabelErrorRate is the total edit distance over total reference
+// length across a batch — the phoneme-error-rate style metric.
+func LabelErrorRate(refs, hyps [][]int) float64 {
+	var dist, total int
+	for i := range refs {
+		var hyp []int
+		if i < len(hyps) {
+			hyp = hyps[i]
+		}
+		dist += EditDistance(refs[i], hyp)
+		total += len(refs[i])
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(dist) / float64(total)
+}
+
+// Accuracy compares argmax rows of logits (B, C) against integer
+// labels (B), returning the fraction correct.
+func Accuracy(logits, labels *tensor.Tensor) float64 {
+	b := logits.Dim(0)
+	c := logits.Dim(1)
+	correct := 0
+	for i := 0; i < b; i++ {
+		best, bestV := 0, logits.At(i, 0)
+		for k := 1; k < c; k++ {
+			if v := logits.At(i, k); v > bestV {
+				best, bestV = k, v
+			}
+		}
+		if best == int(labels.At(i)) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(b)
+}
+
+// PaddedLabels converts a (B, L) tensor with -1 padding into label
+// sequences.
+func PaddedLabels(t *tensor.Tensor) [][]int {
+	b, l := t.Dim(0), t.Dim(1)
+	out := make([][]int, b)
+	for i := 0; i < b; i++ {
+		for j := 0; j < l; j++ {
+			v := t.At(i, j)
+			if v < 0 {
+				break
+			}
+			out[i] = append(out[i], int(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// logitsFor builds a (T,1,K) tensor whose argmax path is the given
+// symbol sequence.
+func logitsFor(path []int, k int) *tensor.Tensor {
+	t := tensor.New(len(path), 1, k)
+	for i, s := range path {
+		t.Set(10, i, 0, s)
+	}
+	return t
+}
+
+func TestCTCGreedyDecodeCollapses(t *testing.T) {
+	// Path: a a ∅ a b b ∅ (blank = 2 with K=3)... use K=3, blank=2.
+	path := []int{0, 0, 2, 0, 1, 1, 2}
+	got := CTCGreedyDecode(logitsFor(path, 3))
+	want := []int{0, 0, 1} // aa∅ab b∅ → a, a, b
+	if len(got) != 1 || len(got[0]) != 3 {
+		t.Fatalf("decode = %v", got)
+	}
+	for i := range want {
+		if got[0][i] != want[i] {
+			t.Fatalf("decode = %v want %v", got[0], want)
+		}
+	}
+}
+
+func TestCTCGreedyDecodeAllBlanks(t *testing.T) {
+	path := []int{2, 2, 2}
+	got := CTCGreedyDecode(logitsFor(path, 3))
+	if len(got[0]) != 0 {
+		t.Fatalf("all-blank path should decode empty, got %v", got[0])
+	}
+}
+
+func TestCTCGreedyDecodeBatch(t *testing.T) {
+	lg := tensor.New(2, 2, 3)
+	lg.Set(5, 0, 0, 0) // batch 0: symbol 0 then blank
+	lg.Set(5, 1, 0, 2)
+	lg.Set(5, 0, 1, 1) // batch 1: symbol 1 twice (merges)
+	lg.Set(5, 1, 1, 1)
+	got := CTCGreedyDecode(lg)
+	if len(got[0]) != 1 || got[0][0] != 0 {
+		t.Fatalf("batch 0 decode %v", got[0])
+	}
+	if len(got[1]) != 1 || got[1][0] != 1 {
+		t.Fatalf("batch 1 decode %v", got[1])
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 0},
+		{[]int{1, 2, 3}, []int{1, 3}, 1},    // deletion
+		{[]int{1, 3}, []int{1, 2, 3}, 1},    // insertion
+		{[]int{1, 2, 3}, []int{1, 9, 3}, 1}, // substitution
+		{[]int{1, 2, 3}, nil, 3},            // all deleted
+		{nil, []int{7}, 1},                  // all inserted
+		{[]int{5, 6, 7, 8}, []int{8, 7, 6, 5}, 4},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Fatalf("EditDistance(%v,%v) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+	// Symmetry.
+	if EditDistance([]int{1, 2}, []int{2}) != EditDistance([]int{2}, []int{1, 2}) {
+		t.Fatal("edit distance must be symmetric")
+	}
+}
+
+func TestLabelErrorRate(t *testing.T) {
+	refs := [][]int{{1, 2, 3}, {4, 5}}
+	hyps := [][]int{{1, 2, 3}, {4, 9}}
+	if ler := LabelErrorRate(refs, hyps); ler != 0.2 { // 1 error / 5 labels
+		t.Fatalf("LER = %v want 0.2", ler)
+	}
+	if LabelErrorRate(nil, nil) != 0 {
+		t.Fatal("empty LER should be 0")
+	}
+	// Missing hypotheses count as full deletions.
+	if ler := LabelErrorRate([][]int{{1, 2}}, nil); ler != 1 {
+		t.Fatalf("missing hyp LER = %v want 1", ler)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		0.1, 0.9, // predicts 1
+		0.8, 0.2, // predicts 0
+		0.3, 0.7, // predicts 1
+	}, 3, 2)
+	labels := tensor.FromSlice([]float32{1, 0, 0}, 3)
+	if acc := Accuracy(logits, labels); acc < 0.66 || acc > 0.67 {
+		t.Fatalf("accuracy = %v want 2/3", acc)
+	}
+}
+
+func TestPaddedLabels(t *testing.T) {
+	lt := tensor.FromSlice([]float32{
+		1, 2, -1,
+		3, -1, -1,
+	}, 2, 3)
+	got := PaddedLabels(lt)
+	if len(got[0]) != 2 || got[0][1] != 2 || len(got[1]) != 1 || got[1][0] != 3 {
+		t.Fatalf("padded labels = %v", got)
+	}
+}

@@ -1,0 +1,147 @@
+// Package alexnet implements the Fathom alexnet workload: Krizhevsky,
+// Sutskever & Hinton's 2012 ImageNet classifier — five convolutional
+// layers with local response normalization and max pooling, three
+// fully-connected layers with dropout, trained with softmax
+// cross-entropy and SGD.
+//
+// The reference preset keeps the original topology (kernel sizes,
+// strides, LRN, dropout) with input resolution 112² and proportionally
+// reduced channel and FC widths (DESIGN.md §4.4).
+package alexnet
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/models/nn"
+	"repro/internal/ops"
+	"repro/internal/runtime"
+)
+
+func init() {
+	core.Register("alexnet", func() core.Model { return New() })
+}
+
+// Model is the alexnet workload.
+type Model struct {
+	cfg                  core.Config
+	dims                 dims
+	g                    *graph.Graph
+	x, y                 *graph.Node
+	loss, trainOp, probs *graph.Node
+	data                 *dataset.ImageNet
+	lastLoss             float64
+}
+
+type dims struct {
+	side, batch, classes   int
+	c1, c2, c3, c4, c5, fc int
+	lr                     float32
+}
+
+func dimsFor(p core.Preset) dims {
+	switch p {
+	case core.PresetTiny:
+		return dims{side: 64, batch: 1, classes: 10, c1: 8, c2: 16, c3: 24, c4: 24, c5: 16, fc: 32, lr: 0.01}
+	case core.PresetSmall:
+		return dims{side: 64, batch: 2, classes: 20, c1: 24, c2: 64, c3: 96, c4: 96, c5: 64, fc: 512, lr: 0.01}
+	default:
+		return dims{side: 112, batch: 4, classes: 100, c1: 48, c2: 128, c3: 192, c4: 192, c5: 128, fc: 2560, lr: 0.01}
+	}
+}
+
+// New returns an unbuilt alexnet.
+func New() *Model { return &Model{} }
+
+// Name implements core.Model.
+func (m *Model) Name() string { return "alexnet" }
+
+// Meta implements core.Model.
+func (m *Model) Meta() core.Meta {
+	return core.Meta{
+		Name: "alexnet", Year: 2012, Ref: "Krizhevsky et al., NIPS 2012",
+		Style: "Convolutional, Full", Layers: 5, Task: "Supervised",
+		Dataset: "ImageNet",
+		Purpose: "Image classifier. Watershed for deep learning by beating hand-tuned image systems at ILSVRC 2012.",
+	}
+}
+
+// Graph implements core.Model.
+func (m *Model) Graph() *graph.Graph { return m.g }
+
+// LastLoss implements core.LossReporter.
+func (m *Model) LastLoss() float64 { return m.lastLoss }
+
+// Setup implements core.Model.
+func (m *Model) Setup(cfg core.Config) error {
+	m.cfg = cfg
+	m.dims = dimsFor(cfg.Preset)
+	d := m.dims
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m.data = dataset.NewImageNet(d.classes, d.side, seed+1)
+
+	g := graph.New()
+	m.g = g
+	m.x = g.Placeholder("images", d.batch, d.side, d.side, 3)
+	m.y = g.Placeholder("labels", d.batch)
+
+	var params []*graph.Node
+	// Conv stack with AlexNet's kernel plan: 11×11/4, 5×5, 3×3 ×3.
+	h, p := nn.Conv(g, rng, "conv1", m.x, 11, 11, d.c1, 4, 2, ops.Relu)
+	params = append(params, p...)
+	h = ops.LRN(h, 5, 2, 1e-4, 0.75)
+	h = ops.MaxPool(h, 3, 2, 0)
+
+	h, p = nn.Conv(g, rng, "conv2", h, 5, 5, d.c2, 1, 2, ops.Relu)
+	params = append(params, p...)
+	h = ops.LRN(h, 5, 2, 1e-4, 0.75)
+	h = ops.MaxPool(h, 3, 2, 0)
+
+	h, p = nn.Conv(g, rng, "conv3", h, 3, 3, d.c3, 1, 1, ops.Relu)
+	params = append(params, p...)
+	h, p = nn.Conv(g, rng, "conv4", h, 3, 3, d.c4, 1, 1, ops.Relu)
+	params = append(params, p...)
+	h, p = nn.Conv(g, rng, "conv5", h, 3, 3, d.c5, 1, 1, ops.Relu)
+	params = append(params, p...)
+	h = ops.MaxPool(h, 3, 2, 0)
+
+	flatDim := h.Shape()[1] * h.Shape()[2] * h.Shape()[3]
+	h = ops.Reshape(h, d.batch, flatDim)
+	h, p = nn.Dense(g, rng, "fc6", h, flatDim, d.fc, ops.Relu)
+	params = append(params, p...)
+	h = ops.Dropout(h, 0.5)
+	h, p = nn.Dense(g, rng, "fc7", h, d.fc, d.fc, ops.Relu)
+	params = append(params, p...)
+	h = ops.Dropout(h, 0.5)
+	logits, p := nn.Dense(g, rng, "fc8", h, d.fc, d.classes, nil)
+	params = append(params, p...)
+
+	m.loss = ops.CrossEntropy(logits, m.y)
+	m.probs = ops.Softmax(logits)
+	var err error
+	m.trainOp, err = nn.ApplyUpdates(g, m.loss, params, nn.SGD, d.lr)
+	return err
+}
+
+// Step implements core.Model.
+func (m *Model) Step(s *runtime.Session, mode core.Mode) error {
+	images, labels := m.data.Batch(m.dims.batch)
+	feeds := runtime.Feeds{m.x: images, m.y: labels}
+	s.SetTraining(mode == core.ModeTraining)
+	if mode == core.ModeTraining {
+		out, err := s.Run([]*graph.Node{m.loss, m.trainOp}, feeds)
+		if err != nil {
+			return err
+		}
+		m.lastLoss = float64(out[0].Data()[0])
+		return nil
+	}
+	_, err := s.Run([]*graph.Node{m.probs}, feeds)
+	return err
+}

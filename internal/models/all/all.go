@@ -1,0 +1,17 @@
+// Package all registers every Fathom workload. Import it for side
+// effect wherever the full suite is needed:
+//
+//	import _ "repro/internal/models/all"
+package all
+
+import (
+	_ "repro/internal/models/alexnet"
+	_ "repro/internal/models/autoenc"
+	_ "repro/internal/models/deepq"
+	_ "repro/internal/models/memnet"
+	_ "repro/internal/models/neuraltalk"
+	_ "repro/internal/models/residual"
+	_ "repro/internal/models/seq2seq"
+	_ "repro/internal/models/speech"
+	_ "repro/internal/models/vgg"
+)

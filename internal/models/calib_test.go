@@ -1,0 +1,23 @@
+package models_test
+
+import (
+	"fmt"
+	"repro/internal/core"
+	_ "repro/internal/models/all"
+	"testing"
+)
+
+func TestCalibrateRef(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference-preset calibration is slow")
+	}
+	for _, name := range []string{"alexnet", "autoenc", "deepq", "memnet", "residual", "seq2seq", "speech", "vgg"} {
+		res, err := core.SetupAndRun(name, core.Config{Preset: core.PresetRef, Seed: 1},
+			core.RunOptions{Mode: core.ModeTraining, Steps: 2, Warmup: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-10s sim/step=%-14v wall/step=%-14v ops/step=%d types=%d\n",
+			name, res.SimTime/2, res.WallTime/2, len(res.Events)/2, len(res.Profile.ByType))
+	}
+}

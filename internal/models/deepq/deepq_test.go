@@ -1,0 +1,138 @@
+package deepq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+func TestReplayBufferRing(t *testing.T) {
+	r := newReplayBuffer(3)
+	for i := 0; i < 5; i++ {
+		r.add(transition{action: i})
+	}
+	if r.len() != 3 {
+		t.Fatalf("buffer should cap at 3, got %d", r.len())
+	}
+	// Oldest entries (0, 1) must have been evicted.
+	seen := map[int]bool{}
+	for _, tr := range r.buf {
+		seen[tr.action] = true
+	}
+	if seen[0] || seen[1] || !seen[2] || !seen[3] || !seen[4] {
+		t.Fatalf("ring eviction wrong: %v", seen)
+	}
+}
+
+func TestReplayBufferSample(t *testing.T) {
+	r := newReplayBuffer(10)
+	for i := 0; i < 10; i++ {
+		r.add(transition{action: i})
+	}
+	rng := rand.New(rand.NewSource(1))
+	batch := r.sample(rng, 32)
+	if len(batch) != 32 {
+		t.Fatalf("sample size %d", len(batch))
+	}
+	for _, tr := range batch {
+		if tr.action < 0 || tr.action > 9 {
+			t.Fatal("sampled transition out of range")
+		}
+	}
+}
+
+func TestSetupPrefillsReplay(t *testing.T) {
+	m := New()
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.replay.len() < m.dims.batch {
+		t.Fatalf("replay should be prefilled to at least batch size: %d < %d",
+			m.replay.len(), m.dims.batch)
+	}
+}
+
+func TestTargetSyncCopiesWeights(t *testing.T) {
+	m := New()
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Perturb online weights, then sync.
+	m.onlineVars[0].Value().Data()[0] = 123
+	if m.targetVars[0].Value().Data()[0] == 123 {
+		t.Fatal("target should not alias online weights")
+	}
+	m.syncTarget()
+	if m.targetVars[0].Value().Data()[0] != 123 {
+		t.Fatal("sync should copy online weights to target")
+	}
+	// And the copy must be deep.
+	m.onlineVars[0].Value().Data()[0] = 7
+	if m.targetVars[0].Value().Data()[0] != 123 {
+		t.Fatal("target must hold an independent copy")
+	}
+}
+
+func TestEpsilonAnneals(t *testing.T) {
+	m := New()
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := runtime.NewSession(m.Graph(), runtime.WithSeed(1))
+	e0 := m.Epsilon()
+	for i := 0; i < 20; i++ {
+		if err := m.Step(s, core.ModeTraining); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Epsilon() >= e0 {
+		t.Fatalf("epsilon should anneal: %v -> %v", e0, m.Epsilon())
+	}
+}
+
+func TestTrainingUpdatesOnlineWeights(t *testing.T) {
+	m := New()
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := runtime.NewSession(m.Graph(), runtime.WithSeed(1))
+	before := m.onlineVars[0].Value().Clone()
+	for i := 0; i < 3; i++ {
+		if err := m.Step(s, core.ModeTraining); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tensor.MaxAbsDiff(before, m.onlineVars[0].Value()) == 0 {
+		t.Fatal("training steps should update the Q-network")
+	}
+}
+
+func TestInferenceDoesNotTrain(t *testing.T) {
+	m := New()
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := runtime.NewSession(m.Graph(), runtime.WithSeed(1))
+	before := m.onlineVars[0].Value().Clone()
+	for i := 0; i < 5; i++ {
+		if err := m.Step(s, core.ModeInference); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tensor.MaxAbsDiff(before, m.onlineVars[0].Value()) != 0 {
+		t.Fatal("inference must not change weights")
+	}
+}
+
+func TestEnvExposed(t *testing.T) {
+	m := New()
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Env() == nil || m.Env().NumActions() < 2 {
+		t.Fatal("environment should be live after setup")
+	}
+}

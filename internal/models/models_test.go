@@ -1,0 +1,258 @@
+// Package models_test exercises the full Fathom suite end to end:
+// every workload must build, train (finite decreasing loss), and run
+// inference under the standard interface.
+package models_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/runtime"
+
+	_ "repro/internal/models/all"
+)
+
+// The paper's eight workloads plus the neuraltalk extension
+// (registered alphabetically).
+var allNames = []string{
+	"alexnet", "autoenc", "deepq", "memnet", "neuraltalk",
+	"residual", "seq2seq", "speech", "vgg",
+}
+
+// paperNames are the original eight (the extension demonstrates the
+// "living suite" the paper's conclusion calls for).
+var paperNames = []string{
+	"alexnet", "autoenc", "deepq", "memnet",
+	"residual", "seq2seq", "speech", "vgg",
+}
+
+func TestRegistryHasSuiteAndExtension(t *testing.T) {
+	names := core.Names()
+	if len(names) != 9 {
+		t.Fatalf("expected 8 workloads + 1 extension, got %v", names)
+	}
+	for i, n := range allNames {
+		if names[i] != n {
+			t.Fatalf("registry = %v, want %v", names, allNames)
+		}
+	}
+}
+
+func TestPaperSuiteRegistered(t *testing.T) {
+	for _, n := range paperNames {
+		if _, err := core.New(n); err != nil {
+			t.Fatalf("paper workload %s missing: %v", n, err)
+		}
+	}
+}
+
+func TestUnknownWorkloadRejected(t *testing.T) {
+	if _, err := core.New("gpt"); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
+func TestMetasMatchTableII(t *testing.T) {
+	want := map[string]struct {
+		year   int
+		style  string
+		layers int
+		task   string
+		data   string
+	}{
+		"seq2seq":  {2014, "Recurrent", 7, "Supervised", "WMT-15"},
+		"memnet":   {2015, "Memory Network", 3, "Supervised", "bAbI"},
+		"speech":   {2014, "Recurrent, Full", 5, "Supervised", "TIMIT"},
+		"autoenc":  {2014, "Full", 3, "Unsupervised", "MNIST"},
+		"residual": {2015, "Convolutional", 34, "Supervised", "ImageNet"},
+		"vgg":      {2014, "Convolutional, Full", 19, "Supervised", "ImageNet"},
+		"alexnet":  {2012, "Convolutional, Full", 5, "Supervised", "ImageNet"},
+		"deepq":    {2013, "Convolutional, Full", 5, "Reinforcement", "Atari ALE"},
+	}
+	for name, w := range want {
+		m, err := core.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := m.Meta()
+		if meta.Year != w.year || meta.Style != w.style || meta.Layers != w.layers ||
+			meta.Task != w.task || meta.Dataset != w.data {
+			t.Errorf("%s meta = %+v, want %+v", name, meta, w)
+		}
+		if meta.Purpose == "" || meta.Ref == "" {
+			t.Errorf("%s meta missing purpose/ref", name)
+		}
+	}
+}
+
+// TestEveryWorkloadTrainsAndInfers is the standard-interface contract:
+// Setup, a few training steps with finite loss, then inference.
+func TestEveryWorkloadTrainsAndInfers(t *testing.T) {
+	for _, name := range allNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := core.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 3}); err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			if m.Graph() == nil || m.Graph().NumNodes() == 0 {
+				t.Fatal("graph must be built by Setup")
+			}
+			s := runtime.NewSession(m.Graph(), runtime.WithSeed(3))
+			for i := 0; i < 4; i++ {
+				if err := m.Step(s, core.ModeTraining); err != nil {
+					t.Fatalf("training step %d: %v", i, err)
+				}
+			}
+			if lr, ok := m.(core.LossReporter); ok {
+				if name == "deepq" && lr.LastLoss() == 0 {
+					// deepq needs to fill its replay buffer first; loss
+					// may legitimately still be zero after 4 steps.
+				} else if math.IsNaN(lr.LastLoss()) || math.IsInf(lr.LastLoss(), 0) {
+					t.Fatalf("loss not finite: %v", lr.LastLoss())
+				}
+			}
+			for i := 0; i < 2; i++ {
+				if err := m.Step(s, core.ModeInference); err != nil {
+					t.Fatalf("inference step %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsLearn verifies the loss decreases on the synthetic
+// tasks — the models are real learners, not shape-correct mockups.
+func TestWorkloadsLearn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning curves are slow")
+	}
+	// deepq is excluded: a handful of Q-learning steps has no
+	// monotonicity guarantee (tested separately for mechanics).
+	cases := map[string]int{
+		"autoenc":    40,
+		"memnet":     60,
+		"seq2seq":    50,
+		"speech":     40,
+		"alexnet":    30,
+		"neuraltalk": 60,
+	}
+	for name, steps := range cases {
+		name, steps := name, steps
+		t.Run(name, func(t *testing.T) {
+			m, err := core.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 5}); err != nil {
+				t.Fatal(err)
+			}
+			s := runtime.NewSession(m.Graph(), runtime.WithSeed(5))
+			lr := m.(core.LossReporter)
+			var first, last float64
+			for i := 0; i < steps; i++ {
+				if err := m.Step(s, core.ModeTraining); err != nil {
+					t.Fatal(err)
+				}
+				if i < 5 {
+					first += lr.LastLoss() / 5
+				}
+				if i >= steps-5 {
+					last += lr.LastLoss() / 5
+				}
+			}
+			if !(last < first) {
+				t.Fatalf("loss did not decrease: first5=%.4f last5=%.4f", first, last)
+			}
+		})
+	}
+}
+
+// TestInferenceCheaperThanTraining checks the Fig.-5 invariant at the
+// profile level for every workload.
+func TestInferenceCheaperThanTraining(t *testing.T) {
+	for _, name := range []string{"alexnet", "memnet", "autoenc", "speech"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			train, err := core.SetupAndRun(name, core.Config{Preset: core.PresetTiny, Seed: 7},
+				core.RunOptions{Mode: core.ModeTraining, Steps: 3, Warmup: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			infer, err := core.SetupAndRun(name, core.Config{Preset: core.PresetTiny, Seed: 7},
+				core.RunOptions{Mode: core.ModeInference, Steps: 3, Warmup: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if infer.SimTime >= train.SimTime {
+				t.Fatalf("inference (%v) should be cheaper than training (%v)",
+					infer.SimTime, train.SimTime)
+			}
+		})
+	}
+}
+
+// TestBackwardOpsAppearInTrainingProfiles checks that gradient ops are
+// first-class profile citizens (the property the methodology needs).
+func TestBackwardOpsAppearInTrainingProfiles(t *testing.T) {
+	res, err := core.SetupAndRun("alexnet", core.Config{Preset: core.PresetTiny, Seed: 9},
+		core.RunOptions{Mode: core.ModeTraining, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"Conv2DBackFilter", "Conv2DBackInput", "ApplyGradientDescent"} {
+		if res.Profile.ByType[op] == 0 {
+			t.Errorf("training profile missing %s", op)
+		}
+	}
+	inf, err := core.SetupAndRun("alexnet", core.Config{Preset: core.PresetTiny, Seed: 9},
+		core.RunOptions{Mode: core.ModeInference, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"Conv2DBackFilter", "ApplyGradientDescent"} {
+		if inf.Profile.ByType[op] != 0 {
+			t.Errorf("inference profile should not contain %s", op)
+		}
+	}
+}
+
+// TestProfileClassesMatchPaperExpectations spot-checks the Fig.-3
+// structure: conv nets dominated by class B, speech by class A,
+// autoenc exercising class E (random sampling) in inference.
+func TestProfileClassesMatchPaperExpectations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling runs are slow")
+	}
+	run := func(name string, mode core.Mode) *core.RunResult {
+		t.Helper()
+		res, err := core.SetupAndRun(name, core.Config{Preset: core.PresetSmall, Seed: 11},
+			core.RunOptions{Mode: mode, Steps: 2, Warmup: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	conv := run("alexnet", core.ModeTraining).Profile.ClassFractions()
+	if conv[graph.ClassConv] < 0.5 {
+		t.Errorf("alexnet should be convolution-dominated, got %.2f", conv[graph.ClassConv])
+	}
+	sp := run("speech", core.ModeTraining).Profile.ClassFractions()
+	if sp[graph.ClassMatrix] < 0.3 {
+		t.Errorf("speech should be MatMul-heavy, got %.2f", sp[graph.ClassMatrix])
+	}
+	if sp[graph.ClassConv] > 0.01 {
+		t.Errorf("speech contains no convolution, got %.2f", sp[graph.ClassConv])
+	}
+	ae := run("autoenc", core.ModeInference).Profile
+	if ae.ByType["RandomStandardNormal"] == 0 {
+		t.Error("autoenc inference must sample (RandomStandardNormal)")
+	}
+}
+
+var _ = math.Pi // keep math imported even if assertions change

@@ -1,0 +1,239 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+func sess(g *graph.Graph) *runtime.Session {
+	s := runtime.NewSession(g, runtime.WithSeed(2))
+	s.SetTraining(true)
+	return s
+}
+
+func TestGlorotBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := Glorot(rng, 100, 100, 100, 100)
+	limit := float32(math.Sqrt(6.0 / 200))
+	for _, v := range w.Data() {
+		if v < -limit || v > limit {
+			t.Fatalf("Glorot value %v outside ±%v", v, limit)
+		}
+	}
+}
+
+func TestHeNormalScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := HeNormal(rng, 200, 200, 50)
+	var sum2 float64
+	for _, v := range w.Data() {
+		sum2 += float64(v) * float64(v)
+	}
+	std := math.Sqrt(sum2 / float64(w.Size()))
+	want := math.Sqrt(2.0 / 200)
+	if std < want*0.8 || std > want*1.2 {
+		t.Fatalf("He std = %v, want ≈ %v", std, want)
+	}
+}
+
+func TestDenseShapesAndParams(t *testing.T) {
+	g := graph.New()
+	rng := rand.New(rand.NewSource(3))
+	x := g.Placeholder("x", 4, 10)
+	y, params := Dense(g, rng, "fc", x, 10, 7, ops.Relu)
+	if !tensor.SameShape(y.Shape(), []int{4, 7}) {
+		t.Fatalf("dense output shape %v", y.Shape())
+	}
+	if len(params) != 2 {
+		t.Fatalf("dense should create W and b, got %d params", len(params))
+	}
+	out := sess(g).MustRun([]*graph.Node{y}, runtime.Feeds{x: tensor.Ones(4, 10)})[0]
+	for _, v := range out.Data() {
+		if v < 0 {
+			t.Fatal("ReLU output must be non-negative")
+		}
+	}
+}
+
+func TestConvShapes(t *testing.T) {
+	g := graph.New()
+	rng := rand.New(rand.NewSource(4))
+	x := g.Placeholder("x", 2, 8, 8, 3)
+	y, params := Conv(g, rng, "c", x, 3, 3, 16, 2, 1, ops.Relu)
+	if !tensor.SameShape(y.Shape(), []int{2, 4, 4, 16}) {
+		t.Fatalf("conv output shape %v", y.Shape())
+	}
+	if len(params) != 2 {
+		t.Fatal("conv should create W and b")
+	}
+}
+
+func TestBatchNormNormalizes(t *testing.T) {
+	g := graph.New()
+	rng := rand.New(rand.NewSource(5))
+	x := g.Placeholder("x", 4, 3, 3, 2)
+	y, params := BatchNorm(g, rng, "bn", x)
+	if len(params) != 2 {
+		t.Fatal("BN should create gamma and beta")
+	}
+	in := tensor.RandNormal(rng, 5, 3, 4, 3, 3, 2) // mean 5, std 3
+	out := sess(g).MustRun([]*graph.Node{y}, runtime.Feeds{x: in})[0]
+	// With gamma=1, beta=0 the per-channel mean must be ≈0, var ≈1.
+	for c := 0; c < 2; c++ {
+		var sum, sum2 float64
+		n := 0
+		for b := 0; b < 4; b++ {
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					v := float64(out.At(b, i, j, c))
+					sum += v
+					sum2 += v * v
+					n++
+				}
+			}
+		}
+		mean := sum / float64(n)
+		variance := sum2/float64(n) - mean*mean
+		if math.Abs(mean) > 1e-3 {
+			t.Fatalf("BN channel %d mean = %v", c, mean)
+		}
+		if math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("BN channel %d var = %v", c, variance)
+		}
+	}
+}
+
+func TestBatchNormGradientFlows(t *testing.T) {
+	g := graph.New()
+	rng := rand.New(rand.NewSource(6))
+	x := g.Variable("x", tensor.RandNormal(rng, 0, 1, 2, 2, 2, 3))
+	y, params := BatchNorm(g, rng, "bn", x)
+	loss := ops.Sum(ops.Square(y))
+	grads, err := graph.Gradients(loss, append([]*graph.Node{x}, params...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, gn := range grads {
+		if gn == nil {
+			t.Fatalf("BN grad %d missing", i)
+		}
+	}
+	outs := sess(g).MustRun(grads, nil)
+	for _, o := range outs {
+		for _, v := range o.Data() {
+			if math.IsNaN(float64(v)) {
+				t.Fatal("BN gradient contains NaN")
+			}
+		}
+	}
+}
+
+func TestLSTMCellStep(t *testing.T) {
+	g := graph.New()
+	rng := rand.New(rand.NewSource(7))
+	cell := NewLSTMCell(g, rng, "lstm", 6, 5)
+	if len(cell.Params()) != 3 {
+		t.Fatal("LSTM cell should have Wx, Wh, b")
+	}
+	x := g.Placeholder("x", 3, 6)
+	h0 := ZeroState(g, "h0", 3, 5)
+	c0 := ZeroState(g, "c0", 3, 5)
+	h1, c1 := cell.Step(x, h0, c0)
+	if !tensor.SameShape(h1.Shape(), []int{3, 5}) || !tensor.SameShape(c1.Shape(), []int{3, 5}) {
+		t.Fatalf("LSTM output shapes %v %v", h1.Shape(), c1.Shape())
+	}
+	// Chain two steps and check values stay bounded (tanh/sigmoid).
+	h2, _ := cell.Step(x, h1, c1)
+	out := sess(g).MustRun([]*graph.Node{h2}, runtime.Feeds{x: tensor.Ones(3, 6)})[0]
+	for _, v := range out.Data() {
+		if v < -1 || v > 1 {
+			t.Fatalf("LSTM hidden out of tanh range: %v", v)
+		}
+	}
+}
+
+func TestRNNCellClips(t *testing.T) {
+	g := graph.New()
+	rng := rand.New(rand.NewSource(8))
+	cell := NewRNNCell(g, rng, "rnn", 4, 4)
+	x := g.Placeholder("x", 2, 4)
+	h := cell.Step(x, ZeroState(g, "h0", 2, 4))
+	out := sess(g).MustRun([]*graph.Node{h}, runtime.Feeds{x: tensor.Full(1000, 2, 4)})[0]
+	for _, v := range out.Data() {
+		if v < 0 || v > 20 {
+			t.Fatalf("clipped ReLU must stay in [0,20]: %v", v)
+		}
+	}
+}
+
+func TestPrimitiveSoftmaxMatchesFused(t *testing.T) {
+	g := graph.New()
+	rng := rand.New(rand.NewSource(9))
+	x := g.Const("x", tensor.RandNormal(rng, 0, 2, 4, 6))
+	prim := PrimitiveSoftmax(x)
+	fused := ops.Softmax(x)
+	outs := sess(g).MustRun([]*graph.Node{prim, fused}, nil)
+	if !tensor.AllClose(outs[0], outs[1], 1e-4, 1e-5) {
+		t.Fatalf("primitive softmax diverges from fused (max diff %g)",
+			tensor.MaxAbsDiff(outs[0], outs[1]))
+	}
+	// The primitive version must consist of primitive ops.
+	names := map[string]bool{}
+	for _, n := range g.Nodes() {
+		names[n.OpName()] = true
+	}
+	for _, want := range []string{"Max", "Sub", "Exp", "Sum", "Div"} {
+		if !names[want] {
+			t.Errorf("primitive softmax should emit %s", want)
+		}
+	}
+}
+
+func TestApplyUpdatesAllOptimizers(t *testing.T) {
+	for _, opt := range []Optimizer{SGD, Momentum, RMSProp, Adam} {
+		g := graph.New()
+		w := g.Variable("w", tensor.Full(1, 3))
+		loss := ops.Sum(ops.Square(w))
+		up, err := ApplyUpdates(g, loss, []*graph.Node{w}, opt, 0.1)
+		if err != nil {
+			t.Fatalf("opt %v: %v", opt, err)
+		}
+		before := w.Value().Clone()
+		sess(g).MustRun([]*graph.Node{up}, nil)
+		if tensor.MaxAbsDiff(before, w.Value()) == 0 {
+			t.Fatalf("optimizer %v did not move the weights", opt)
+		}
+		// Loss 3w² has gradient 6w > 0 at w=1: weights must decrease.
+		if w.Value().Data()[0] >= 1 {
+			t.Fatalf("optimizer %v moved weights the wrong way: %v", opt, w.Value().Data())
+		}
+	}
+}
+
+func TestApplyUpdatesRejectsDisconnectedParam(t *testing.T) {
+	g := graph.New()
+	w := g.Variable("w", tensor.Ones(2))
+	u := g.Variable("unused", tensor.Ones(2))
+	loss := ops.Sum(ops.Square(w))
+	if _, err := ApplyUpdates(g, loss, []*graph.Node{w, u}, SGD, 0.1); err == nil {
+		t.Fatal("disconnected parameter should be rejected")
+	}
+}
+
+func TestEmbeddingShape(t *testing.T) {
+	g := graph.New()
+	rng := rand.New(rand.NewSource(10))
+	e := Embedding(g, rng, "emb", 50, 8)
+	if !tensor.SameShape(e.Shape(), []int{50, 8}) {
+		t.Fatalf("embedding shape %v", e.Shape())
+	}
+	if e.Kind() != graph.KindVariable {
+		t.Fatal("embedding must be trainable")
+	}
+}

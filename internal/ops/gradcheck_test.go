@@ -1,0 +1,497 @@
+package ops
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+// gradCase builds a scalar loss over a set of variables; the checker
+// compares symbolic gradients against central finite differences.
+type gradCase struct {
+	name  string
+	build func(g *graph.Graph, rng *rand.Rand) (loss *graph.Node, vars []*graph.Node)
+	eps   float64 // finite-difference step (default 1e-2)
+	tol   float64 // absolute+relative tolerance (default 2e-2)
+}
+
+// weightedSum turns any node into a scalar loss with non-uniform
+// upstream gradients: Sum(x ⊙ C) for a fixed random C.
+func weightedSum(x *graph.Node, rng *rand.Rand) *graph.Node {
+	c := x.Graph().Const("loss_weights", tensor.RandNormal(rng, 0, 1, x.Shape()...))
+	return Sum(Mul(x, c))
+}
+
+func evalLoss(t *testing.T, loss *graph.Node) float64 {
+	t.Helper()
+	s := runtime.NewSession(loss.Graph(), runtime.WithSeed(7))
+	s.SetTraining(true)
+	out, err := s.Run([]*graph.Node{loss}, nil)
+	if err != nil {
+		t.Fatalf("eval loss: %v", err)
+	}
+	return float64(out[0].Data()[0])
+}
+
+func runGradCheck(t *testing.T, tc gradCase) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	g := graph.New()
+	loss, vars := tc.build(g, rng)
+	grads, err := graph.Gradients(loss, vars)
+	if err != nil {
+		t.Fatalf("%s: Gradients: %v", tc.name, err)
+	}
+	eps := tc.eps
+	if eps == 0 {
+		eps = 1e-2
+	}
+	tol := tc.tol
+	if tol == 0 {
+		tol = 2e-2
+	}
+	// Evaluate analytic gradients once.
+	s := runtime.NewSession(g, runtime.WithSeed(7))
+	s.SetTraining(true)
+	analytic := make([]*tensor.Tensor, len(vars))
+	fetches := []*graph.Node{}
+	idxOf := map[int]int{}
+	for i, gn := range grads {
+		if gn == nil {
+			t.Fatalf("%s: nil gradient for var %d", tc.name, i)
+		}
+		idxOf[i] = len(fetches)
+		fetches = append(fetches, gn)
+	}
+	outs, err := s.Run(fetches, nil)
+	if err != nil {
+		t.Fatalf("%s: eval grads: %v", tc.name, err)
+	}
+	for i := range vars {
+		analytic[i] = outs[idxOf[i]]
+	}
+	// Spot-check up to 6 coordinates per variable numerically.
+	for vi, v := range vars {
+		data := v.Value().Data()
+		stride := len(data)/6 + 1
+		for i := 0; i < len(data); i += stride {
+			orig := data[i]
+			data[i] = orig + float32(eps)
+			lp := evalLoss(t, loss)
+			data[i] = orig - float32(eps)
+			lm := evalLoss(t, loss)
+			data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			got := float64(analytic[vi].Data()[i])
+			diff := num - got
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := 1.0
+			if a := absf(num); a > scale {
+				scale = a
+			}
+			if diff > tol*scale {
+				t.Errorf("%s: var %d [%d]: analytic %.5f numeric %.5f", tc.name, vi, i, got, num)
+			}
+		}
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// v creates a variable with smooth, kink-free values.
+func mkVar(g *graph.Graph, rng *rand.Rand, name string, lo, hi float64, shape ...int) *graph.Node {
+	return g.Variable(name, tensor.RandUniform(rng, lo, hi, shape...))
+}
+
+func TestGradBinaryOps(t *testing.T) {
+	cases := []gradCase{
+		{name: "Add", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 3, 4)
+			b := mkVar(g, rng, "b", -1, 1, 3, 4)
+			return weightedSum(Add(a, b), rng), []*graph.Node{a, b}
+		}},
+		{name: "AddBroadcastBias", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 3, 4)
+			b := mkVar(g, rng, "b", -1, 1, 4)
+			return weightedSum(Add(a, b), rng), []*graph.Node{a, b}
+		}},
+		{name: "Sub", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 2, 3)
+			b := mkVar(g, rng, "b", -1, 1, 2, 3)
+			return weightedSum(Sub(a, b), rng), []*graph.Node{a, b}
+		}},
+		{name: "Mul", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", 0.5, 1.5, 2, 3)
+			b := mkVar(g, rng, "b", 0.5, 1.5, 2, 3)
+			return weightedSum(Mul(a, b), rng), []*graph.Node{a, b}
+		}},
+		{name: "MulBroadcastScalar", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", 0.5, 1.5, 2, 3)
+			b := mkVar(g, rng, "b", 0.5, 1.5)
+			return weightedSum(Mul(a, b), rng), []*graph.Node{a, b}
+		}},
+		{name: "Div", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", 0.5, 1.5, 2, 3)
+			b := mkVar(g, rng, "b", 1.0, 2.0, 2, 3)
+			return weightedSum(Div(a, b), rng), []*graph.Node{a, b}
+		}},
+		{name: "Maximum", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", 0.5, 1.0, 2, 3)
+			b := mkVar(g, rng, "b", 1.5, 2.0, 2, 3) // well separated from a
+			return weightedSum(Maximum(a, b), rng), []*graph.Node{a, b}
+		}},
+		{name: "Minimum", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", 0.5, 1.0, 2, 3)
+			b := mkVar(g, rng, "b", 1.5, 2.0, 2, 3)
+			return weightedSum(Minimum(a, b), rng), []*graph.Node{a, b}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runGradCheck(t, tc) })
+	}
+}
+
+func TestGradUnaryOps(t *testing.T) {
+	cases := []gradCase{
+		{name: "Neg", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 5)
+			return weightedSum(Neg(a), rng), []*graph.Node{a}
+		}},
+		{name: "Exp", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 5)
+			return weightedSum(Exp(a), rng), []*graph.Node{a}
+		}},
+		{name: "Log", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", 0.5, 2, 5)
+			return weightedSum(Log(a), rng), []*graph.Node{a}
+		}},
+		{name: "Sqrt", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", 0.5, 2, 5)
+			return weightedSum(Sqrt(a), rng), []*graph.Node{a}
+		}},
+		{name: "Square", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 5)
+			return weightedSum(Square(a), rng), []*graph.Node{a}
+		}},
+		{name: "Tanh", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 5)
+			return weightedSum(Tanh(a), rng), []*graph.Node{a}
+		}},
+		{name: "Sigmoid", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 5)
+			return weightedSum(Sigmoid(a), rng), []*graph.Node{a}
+		}},
+		{name: "Relu", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", 0.3, 1.5, 5) // away from the kink
+			return weightedSum(Relu(a), rng), []*graph.Node{a}
+		}},
+		{name: "Pow", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", 0.5, 1.5, 5)
+			return weightedSum(Pow(a, 3), rng), []*graph.Node{a}
+		}},
+		{name: "Huber", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -0.5, 0.5, 5) // inside quadratic region
+			return weightedSum(Huber(a, 1), rng), []*graph.Node{a}
+		}},
+		{name: "HuberLinearRegion", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", 2, 3, 5) // inside linear region
+			return weightedSum(Huber(a, 1), rng), []*graph.Node{a}
+		}},
+		{name: "ClippedRelu", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", 1, 5, 6) // below the clip at 20
+			return weightedSum(ClippedRelu(a, 20), rng), []*graph.Node{a}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runGradCheck(t, tc) })
+	}
+}
+
+func TestGradMatMulAllCombos(t *testing.T) {
+	for _, ta := range []bool{false, true} {
+		for _, tb := range []bool{false, true} {
+			ta, tb := ta, tb
+			name := "MatMul"
+			if ta {
+				name += "_tA"
+			}
+			if tb {
+				name += "_tB"
+			}
+			runGradCheck(t, gradCase{name: name, build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+				ashape := []int{3, 4}
+				if ta {
+					ashape = []int{4, 3}
+				}
+				bshape := []int{4, 2}
+				if tb {
+					bshape = []int{2, 4}
+				}
+				a := mkVar(g, rng, "a", -1, 1, ashape...)
+				b := mkVar(g, rng, "b", -1, 1, bshape...)
+				return weightedSum(MatMulT(a, b, ta, tb), rng), []*graph.Node{a, b}
+			}})
+		}
+	}
+}
+
+func TestGradConvAndPooling(t *testing.T) {
+	cases := []gradCase{
+		{name: "Conv2D", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			x := mkVar(g, rng, "x", -1, 1, 1, 6, 6, 2)
+			f := mkVar(g, rng, "f", -0.5, 0.5, 3, 3, 2, 2)
+			return weightedSum(Conv2D(x, f, 2, 2, 1, 1), rng), []*graph.Node{x, f}
+		}},
+		{name: "Conv2DStride1NoPad", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			x := mkVar(g, rng, "x", -1, 1, 2, 5, 5, 1)
+			f := mkVar(g, rng, "f", -0.5, 0.5, 3, 3, 1, 3)
+			return weightedSum(Conv2D(x, f, 1, 1, 0, 0), rng), []*graph.Node{x, f}
+		}},
+		{name: "MaxPool", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			x := mkVar(g, rng, "x", 0, 10, 1, 4, 4, 2) // widely spread: unique maxima
+			return weightedSum(MaxPool(x, 2, 2, 0), rng), []*graph.Node{x}
+		}},
+		{name: "AvgPool", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			x := mkVar(g, rng, "x", -1, 1, 1, 4, 4, 2)
+			return weightedSum(AvgPool(x, 2, 2, 0), rng), []*graph.Node{x}
+		}},
+		{name: "LRN", eps: 5e-3, tol: 5e-2, build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			x := mkVar(g, rng, "x", 0.5, 1.5, 1, 2, 2, 6)
+			return weightedSum(LRN(x, 5, 2, 1e-3, 0.75), rng), []*graph.Node{x}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runGradCheck(t, tc) })
+	}
+}
+
+func TestGradReductions(t *testing.T) {
+	cases := []gradCase{
+		{name: "SumAll", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 3, 4)
+			return Sum(a), []*graph.Node{a}
+		}},
+		{name: "SumAxis0", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 3, 4)
+			return weightedSum(Sum(a, 0), rng), []*graph.Node{a}
+		}},
+		{name: "MeanAxis1", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 3, 4)
+			return weightedSum(Mean(a, 1), rng), []*graph.Node{a}
+		}},
+		{name: "MeanAll", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 3, 4)
+			return Mean(a), []*graph.Node{a}
+		}},
+		{name: "MaxAxisLast", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", 0, 10, 3, 4) // spread to avoid ties
+			return weightedSum(MaxReduce(a, 1), rng), []*graph.Node{a}
+		}},
+		{name: "Softmax", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 3, 5)
+			return weightedSum(Softmax(a), rng), []*graph.Node{a}
+		}},
+		{name: "Tile", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 2, 3)
+			return weightedSum(TileN(a, []int{2, 2}), rng), []*graph.Node{a}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runGradCheck(t, tc) })
+	}
+}
+
+func TestGradMovement(t *testing.T) {
+	cases := []gradCase{
+		{name: "Reshape", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 2, 6)
+			return weightedSum(Reshape(a, 3, 4), rng), []*graph.Node{a}
+		}},
+		{name: "ReshapeInferred", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 2, 6)
+			return weightedSum(Reshape(a, 4, -1), rng), []*graph.Node{a}
+		}},
+		{name: "Identity", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 4)
+			return weightedSum(Identity(a), rng), []*graph.Node{a}
+		}},
+		{name: "Transpose", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 3, 4)
+			return weightedSum(Transpose(a), rng), []*graph.Node{a}
+		}},
+		{name: "TransposePerm3D", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 2, 3, 4)
+			return weightedSum(TransposePerm(a, []int{2, 0, 1}), rng), []*graph.Node{a}
+		}},
+		{name: "Concat", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 2, 3)
+			b := mkVar(g, rng, "b", -1, 1, 2, 2)
+			return weightedSum(ConcatN(1, a, b), rng), []*graph.Node{a, b}
+		}},
+		{name: "Slice", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 4, 4)
+			return weightedSum(SliceN(a, []int{1, 0}, []int{2, 3}), rng), []*graph.Node{a}
+		}},
+		{name: "Pad", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 2, 2)
+			return weightedSum(PadN(a, []int{1, 1}, []int{1, 1}), rng), []*graph.Node{a}
+		}},
+		{name: "Gather", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			table := mkVar(g, rng, "table", -1, 1, 5, 3)
+			idx := g.Const("idx", tensor.FromSlice([]float32{0, 2, 2, 4}, 4))
+			return weightedSum(Gather(table, idx), rng), []*graph.Node{table}
+		}},
+		{name: "ExpandSqueeze", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			a := mkVar(g, rng, "a", -1, 1, 2, 3)
+			return weightedSum(Squeeze(ExpandDims(a, 1)), rng), []*graph.Node{a}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runGradCheck(t, tc) })
+	}
+}
+
+func TestGradLosses(t *testing.T) {
+	cases := []gradCase{
+		{name: "CrossEntropy", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			logits := mkVar(g, rng, "logits", -1, 1, 4, 5)
+			labels := g.Const("labels", tensor.FromSlice([]float32{0, 2, 4, 1}, 4))
+			return CrossEntropy(logits, labels), []*graph.Node{logits}
+		}},
+		{name: "SigmoidCrossEntropy", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			logits := mkVar(g, rng, "logits", -1, 1, 3, 4)
+			targets := g.Const("targets", tensor.RandUniform(rng, 0, 1, 3, 4))
+			return SigmoidCrossEntropy(logits, targets), []*graph.Node{logits}
+		}},
+		{name: "CTCLoss", eps: 5e-3, tol: 5e-2, build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			logits := mkVar(g, rng, "logits", -1, 1, 6, 2, 4) // T=6, B=2, K=4
+			labels := g.Const("labels", tensor.FromSlice([]float32{
+				0, 1, -1, // first example: "ab"
+				2, -1, -1, // second example: "c"
+			}, 2, 3))
+			return CTCLoss(logits, labels), []*graph.Node{logits}
+		}},
+		{name: "SoftmaxPrimitiveComposite", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+			// The primitive softmax pattern used by the recurrent models:
+			// exp(x - max)/sum via Max/Sub/Exp/Sum/Div + Reshape/Tile.
+			a := mkVar(g, rng, "a", -1, 1, 3, 5)
+			m := MaxReduceKeep(a, 1)
+			e := Exp(Sub(a, m))
+			z := SumKeep(e, 1)
+			sm := Div(e, z)
+			return weightedSum(sm, rng), []*graph.Node{a}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runGradCheck(t, tc) })
+	}
+}
+
+// TestGradSlicePartitionAssembled checks both the numerical
+// correctness of partitioned slice gradients and that autodiff
+// assembles them with a Concat rather than padded accumulation.
+func TestGradSlicePartitionAssembled(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	g := graph.New()
+	x := g.Variable("x", tensor.RandUniform(rng, -1, 1, 6, 3))
+	s1 := SliceN(x, []int{0, 0}, []int{2, 3})
+	s2 := SliceN(x, []int{2, 0}, []int{2, 3})
+	s3 := SliceN(x, []int{4, 0}, []int{2, 3})
+	loss := Sum(Add(Add(Square(s1), Mul(s2, s2)), Square(s3)))
+	grads, err := graph.Gradients(loss, []*graph.Node{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gradient of x must be a Concat node (partition assembly).
+	if grads[0].OpName() != "Concat" {
+		t.Fatalf("partitioned slice grads should assemble via Concat, got %s", grads[0].OpName())
+	}
+	// And the values must match 2x everywhere.
+	s := runtime.NewSession(g, runtime.WithSeed(1))
+	out, err := s.Run([]*graph.Node{grads[0]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out[0].Data() {
+		want := 2 * x.Value().Data()[i]
+		if d := v - want; d > 1e-5 || d < -1e-5 {
+			t.Fatalf("grad[%d] = %v want %v", i, v, want)
+		}
+	}
+}
+
+// TestGradSliceOverlapFallsBackToAddN: overlapping slices must not be
+// concat-assembled; the padded AddN path stays numerically correct.
+func TestGradSliceOverlapFallsBackToAddN(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	g := graph.New()
+	x := g.Variable("x", tensor.RandUniform(rng, 0.5, 1.5, 4, 2))
+	a := SliceN(x, []int{0, 0}, []int{3, 2}) // rows 0..2
+	b := SliceN(x, []int{1, 0}, []int{3, 2}) // rows 1..3 (overlap)
+	loss := Add(Sum(Square(a)), Sum(Square(b)))
+	grads, err := graph.Gradients(loss, []*graph.Node{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grads[0].OpName() == "Concat" {
+		t.Fatal("overlapping slices must not be treated as a partition")
+	}
+	s := runtime.NewSession(g, runtime.WithSeed(1))
+	out, err := s.Run([]*graph.Node{grads[0]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 0 and 3 are covered once (grad 2x), rows 1-2 twice (grad 4x).
+	for i, v := range out[0].Data() {
+		mult := float32(2)
+		if i >= 2 && i < 6 {
+			mult = 4
+		}
+		want := mult * x.Value().Data()[i]
+		if d := v - want; d > 1e-5 || d < -1e-5 {
+			t.Fatalf("grad[%d] = %v want %v", i, v, want)
+		}
+	}
+}
+
+func TestGradBatchMatMul(t *testing.T) {
+	runGradCheck(t, gradCase{name: "BatchMatMul", build: func(g *graph.Graph, rng *rand.Rand) (*graph.Node, []*graph.Node) {
+		a := mkVar(g, rng, "a", -1, 1, 2, 3, 4)
+		b := mkVar(g, rng, "b", -1, 1, 2, 4, 2)
+		return weightedSum(BatchMatMul(a, b), rng), []*graph.Node{a, b}
+	}})
+}
+
+// Property: BatchMatMul equals per-batch MatMul (via slicing).
+func TestBatchMatMulMatchesSlicedQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	g := graph.New()
+	a := g.Const("a", tensor.RandNormal(rng, 0, 1, 3, 4, 5))
+	b := g.Const("b", tensor.RandNormal(rng, 0, 1, 3, 5, 2))
+	fused := BatchMatMul(a, b)
+	var parts []*graph.Node
+	for i := 0; i < 3; i++ {
+		ai := Reshape(SliceN(a, []int{i, 0, 0}, []int{1, -1, -1}), 4, 5)
+		bi := Reshape(SliceN(b, []int{i, 0, 0}, []int{1, -1, -1}), 5, 2)
+		parts = append(parts, ExpandDims(MatMul(ai, bi), 0))
+	}
+	manual := ConcatN(0, parts...)
+	s := runtime.NewSession(g, runtime.WithSeed(1))
+	out, err := s.Run([]*graph.Node{fused, manual}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(out[0], out[1], 1e-4, 1e-5) {
+		t.Fatalf("fused and sliced batch matmul differ by %g", tensor.MaxAbsDiff(out[0], out[1]))
+	}
+}

@@ -1,0 +1,253 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Optimizer apply-ops (class F) mutate their target Variable in place,
+// mirroring TensorFlow's ApplyGradientDescent / ApplyRMSProp /
+// ApplyAdam kernels. Each op holds its slot tensors (momentum, RMS
+// accumulators) as op state. The output is a scalar zero so updates
+// can be grouped behind a NoOp fetch.
+
+type applySGDOp struct {
+	target *graph.Node
+	lr     float32
+}
+
+func (*applySGDOp) Name() string         { return "ApplyGradientDescent" }
+func (*applySGDOp) Class() graph.OpClass { return graph.ClassOptimization }
+func (o *applySGDOp) InferShape(in [][]int) ([]int, error) {
+	if err := wantInputs("ApplyGradientDescent", in, 1); err != nil {
+		return nil, err
+	}
+	if !tensor.SameShape(in[0], o.target.Shape()) {
+		return nil, fmt.Errorf("ApplyGradientDescent grad %v vs var %v", in[0], o.target.Shape())
+	}
+	return []int{}, nil
+}
+func (o *applySGDOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	v := o.target.Value().Data()
+	g := in[0].Data()
+	lr := o.lr
+	ctx.Pool.For(len(v), 16384, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v[i] -= lr * g[i]
+		}
+	})
+	return tensor.Scalar(0), nil
+}
+func (o *applySGDOp) Cost(in [][]int, out []int) (int64, int64) {
+	n := int64(tensor.SizeOf(in[0]))
+	return n, 3 * n * elemBytes
+}
+
+// Impure implements graph.Impure: updates mutate their variable.
+func (*applySGDOp) Impure() {}
+
+// ApplySGD adds a gradient-descent update of variable v by grad.
+func ApplySGD(v, grad *graph.Node, lr float32) *graph.Node {
+	return v.Graph().MustApply(&applySGDOp{target: v, lr: lr}, grad)
+}
+
+type applyMomentumOp struct {
+	target   *graph.Node
+	lr, mom  float32
+	velocity *tensor.Tensor
+}
+
+func (*applyMomentumOp) Name() string         { return "ApplyMomentum" }
+func (*applyMomentumOp) Class() graph.OpClass { return graph.ClassOptimization }
+func (o *applyMomentumOp) InferShape(in [][]int) ([]int, error) {
+	if err := wantInputs("ApplyMomentum", in, 1); err != nil {
+		return nil, err
+	}
+	if !tensor.SameShape(in[0], o.target.Shape()) {
+		return nil, fmt.Errorf("ApplyMomentum grad %v vs var %v", in[0], o.target.Shape())
+	}
+	return []int{}, nil
+}
+func (o *applyMomentumOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if o.velocity == nil {
+		o.velocity = tensor.New(o.target.Shape()...)
+	}
+	v := o.target.Value().Data()
+	vel := o.velocity.Data()
+	g := in[0].Data()
+	lr, mom := o.lr, o.mom
+	ctx.Pool.For(len(v), 16384, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vel[i] = mom*vel[i] + g[i]
+			v[i] -= lr * vel[i]
+		}
+	})
+	return tensor.Scalar(0), nil
+}
+func (o *applyMomentumOp) Cost(in [][]int, out []int) (int64, int64) {
+	n := int64(tensor.SizeOf(in[0]))
+	return 3 * n, 5 * n * elemBytes
+}
+
+// Impure implements graph.Impure.
+func (*applyMomentumOp) Impure() {}
+
+// ApplyMomentum adds a momentum-SGD update of variable v by grad.
+func ApplyMomentum(v, grad *graph.Node, lr, momentum float32) *graph.Node {
+	return v.Graph().MustApply(&applyMomentumOp{target: v, lr: lr, mom: momentum}, grad)
+}
+
+type applyRMSPropOp struct {
+	target         *graph.Node
+	lr, decay, eps float32
+	ms             *tensor.Tensor
+}
+
+func (*applyRMSPropOp) Name() string         { return "ApplyRMSProp" }
+func (*applyRMSPropOp) Class() graph.OpClass { return graph.ClassOptimization }
+func (o *applyRMSPropOp) InferShape(in [][]int) ([]int, error) {
+	if err := wantInputs("ApplyRMSProp", in, 1); err != nil {
+		return nil, err
+	}
+	if !tensor.SameShape(in[0], o.target.Shape()) {
+		return nil, fmt.Errorf("ApplyRMSProp grad %v vs var %v", in[0], o.target.Shape())
+	}
+	return []int{}, nil
+}
+func (o *applyRMSPropOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if o.ms == nil {
+		o.ms = tensor.New(o.target.Shape()...)
+	}
+	v := o.target.Value().Data()
+	ms := o.ms.Data()
+	g := in[0].Data()
+	lr, decay, eps := o.lr, o.decay, o.eps
+	ctx.Pool.For(len(v), 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ms[i] = decay*ms[i] + (1-decay)*g[i]*g[i]
+			v[i] -= lr * g[i] / float32(math.Sqrt(float64(ms[i]))+float64(eps))
+		}
+	})
+	return tensor.Scalar(0), nil
+}
+func (o *applyRMSPropOp) Cost(in [][]int, out []int) (int64, int64) {
+	n := int64(tensor.SizeOf(in[0]))
+	return 6 * n, 5 * n * elemBytes
+}
+
+// Impure implements graph.Impure.
+func (*applyRMSPropOp) Impure() {}
+
+// ApplyRMSProp adds an RMSProp update of variable v by grad — the
+// optimizer DeepMind used for DQN (visible in the paper's Fig. 6a).
+func ApplyRMSProp(v, grad *graph.Node, lr, decay, eps float32) *graph.Node {
+	return v.Graph().MustApply(&applyRMSPropOp{target: v, lr: lr, decay: decay, eps: eps}, grad)
+}
+
+type applyAdamOp struct {
+	target          *graph.Node
+	lr, b1, b2, eps float32
+	m, v            *tensor.Tensor
+	step            int
+}
+
+func (*applyAdamOp) Name() string         { return "ApplyAdam" }
+func (*applyAdamOp) Class() graph.OpClass { return graph.ClassOptimization }
+func (o *applyAdamOp) InferShape(in [][]int) ([]int, error) {
+	if err := wantInputs("ApplyAdam", in, 1); err != nil {
+		return nil, err
+	}
+	if !tensor.SameShape(in[0], o.target.Shape()) {
+		return nil, fmt.Errorf("ApplyAdam grad %v vs var %v", in[0], o.target.Shape())
+	}
+	return []int{}, nil
+}
+func (o *applyAdamOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if o.m == nil {
+		o.m = tensor.New(o.target.Shape()...)
+		o.v = tensor.New(o.target.Shape()...)
+	}
+	o.step++
+	w := o.target.Value().Data()
+	m, v := o.m.Data(), o.v.Data()
+	g := in[0].Data()
+	b1, b2 := float64(o.b1), float64(o.b2)
+	c1 := 1 - math.Pow(b1, float64(o.step))
+	c2 := 1 - math.Pow(b2, float64(o.step))
+	lr := float64(o.lr) * math.Sqrt(c2) / c1
+	eps := float64(o.eps)
+	ctx.Pool.For(len(w), 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gi := float64(g[i])
+			mi := b1*float64(m[i]) + (1-b1)*gi
+			vi := b2*float64(v[i]) + (1-b2)*gi*gi
+			m[i], v[i] = float32(mi), float32(vi)
+			w[i] -= float32(lr * mi / (math.Sqrt(vi) + eps))
+		}
+	})
+	return tensor.Scalar(0), nil
+}
+func (o *applyAdamOp) Cost(in [][]int, out []int) (int64, int64) {
+	n := int64(tensor.SizeOf(in[0]))
+	return 10 * n, 7 * n * elemBytes
+}
+
+// Impure implements graph.Impure.
+func (*applyAdamOp) Impure() {}
+
+// ApplyAdam adds an Adam update of variable v by grad — the optimizer
+// Kingma & Welling's autoencoder work popularized.
+func ApplyAdam(v, grad *graph.Node, lr, beta1, beta2, eps float32) *graph.Node {
+	return v.Graph().MustApply(&applyAdamOp{target: v, lr: lr, b1: beta1, b2: beta2, eps: eps}, grad)
+}
+
+type applyAdagradOp struct {
+	target  *graph.Node
+	lr, eps float32
+	accum   *tensor.Tensor
+}
+
+func (*applyAdagradOp) Name() string         { return "ApplyAdagrad" }
+func (*applyAdagradOp) Class() graph.OpClass { return graph.ClassOptimization }
+func (o *applyAdagradOp) InferShape(in [][]int) ([]int, error) {
+	if err := wantInputs("ApplyAdagrad", in, 1); err != nil {
+		return nil, err
+	}
+	if !tensor.SameShape(in[0], o.target.Shape()) {
+		return nil, fmt.Errorf("ApplyAdagrad grad %v vs var %v", in[0], o.target.Shape())
+	}
+	return []int{}, nil
+}
+func (o *applyAdagradOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if o.accum == nil {
+		o.accum = tensor.New(o.target.Shape()...)
+	}
+	v := o.target.Value().Data()
+	acc := o.accum.Data()
+	g := in[0].Data()
+	lr, eps := o.lr, o.eps
+	ctx.Pool.For(len(v), 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc[i] += g[i] * g[i]
+			v[i] -= lr * g[i] / (float32(math.Sqrt(float64(acc[i]))) + eps)
+		}
+	})
+	return tensor.Scalar(0), nil
+}
+func (o *applyAdagradOp) Cost(in [][]int, out []int) (int64, int64) {
+	n := int64(tensor.SizeOf(in[0]))
+	return 5 * n, 5 * n * elemBytes
+}
+
+// Impure implements graph.Impure.
+func (*applyAdagradOp) Impure() {}
+
+// ApplyAdagrad adds a Duchi et al. AdaGrad update of variable v by
+// grad — the per-parameter learning-rate annealing the memory-network
+// paper's optimizer family popularized.
+func ApplyAdagrad(v, grad *graph.Node, lr, eps float32) *graph.Node {
+	return v.Graph().MustApply(&applyAdagradOp{target: v, lr: lr, eps: eps}, grad)
+}

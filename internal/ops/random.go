@@ -1,0 +1,131 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// ---- random sampling (class E) ----
+
+// randomNormalOp draws from N(0,1); shift/scale are done with ordinary
+// elementwise ops so the profile shows the sampling separately, as the
+// paper's variational-autoencoder analysis expects.
+type randomNormalOp struct{ shape []int }
+
+func (randomNormalOp) Name() string         { return "RandomStandardNormal" }
+func (randomNormalOp) Class() graph.OpClass { return graph.ClassRandom }
+func (o randomNormalOp) InferShape(in [][]int) ([]int, error) {
+	if len(in) != 0 {
+		return nil, fmt.Errorf("RandomStandardNormal takes no inputs")
+	}
+	return copyShape(o.shape), nil
+}
+func (o randomNormalOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	t := tensor.New(o.shape...)
+	tensor.FillNormal(t, ctx.RNG, 0, 1)
+	return t, nil
+}
+
+// Impure implements graph.Impure: sampling must never be folded.
+func (randomNormalOp) Impure() {}
+
+// RandomStandardNormal adds a N(0,1) sampling node of the given shape.
+func RandomStandardNormal(g *graph.Graph, shape ...int) *graph.Node {
+	return g.MustApply(randomNormalOp{shape: append([]int(nil), shape...)})
+}
+
+type randomUniformOp struct{ shape []int }
+
+func (randomUniformOp) Name() string         { return "RandomUniform" }
+func (randomUniformOp) Class() graph.OpClass { return graph.ClassRandom }
+func (o randomUniformOp) InferShape(in [][]int) ([]int, error) {
+	if len(in) != 0 {
+		return nil, fmt.Errorf("RandomUniform takes no inputs")
+	}
+	return copyShape(o.shape), nil
+}
+func (o randomUniformOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	t := tensor.New(o.shape...)
+	tensor.FillUniform(t, ctx.RNG, 0, 1)
+	return t, nil
+}
+
+// Impure implements graph.Impure.
+func (randomUniformOp) Impure() {}
+
+// RandomUniform adds a U[0,1) sampling node of the given shape.
+func RandomUniform(g *graph.Graph, shape ...int) *graph.Node {
+	return g.MustApply(randomUniformOp{shape: append([]int(nil), shape...)})
+}
+
+// ---- Dropout (class E) ----
+//
+// dropoutOp is stateful: the forward pass samples an inverted-dropout
+// mask and stores it so the paired DropoutGrad applies the *same* mask.
+// This mirrors cuDNN-style fused dropout. The executor runs operations
+// sequentially and the gradient is topologically after the forward op,
+// so the handoff is safe. In inference mode dropout is the identity.
+type dropoutOp struct {
+	rate float32
+	mask *tensor.Tensor // last sampled mask (training only)
+}
+
+func (*dropoutOp) Name() string         { return "Dropout" }
+func (*dropoutOp) Class() graph.OpClass { return graph.ClassRandom }
+func (o *dropoutOp) InferShape(in [][]int) ([]int, error) {
+	if err := wantInputs("Dropout", in, 1); err != nil {
+		return nil, err
+	}
+	return copyShape(in[0]), nil
+}
+func (o *dropoutOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	x := in[0]
+	if !ctx.Training || o.rate <= 0 {
+		return x, nil
+	}
+	keep := 1 - o.rate
+	mask := tensor.New(x.Shape()...)
+	md := mask.Data()
+	inv := 1 / keep
+	for i := range md {
+		if ctx.RNG.Float32() < keep {
+			md[i] = inv
+		}
+	}
+	o.mask = mask
+	return tensor.BinaryOp(ctx.Pool, x, mask, func(a, m float32) float32 { return a * m })
+}
+func (o *dropoutOp) Grad(g *graph.Graph, n *graph.Node, grad *graph.Node) ([]*graph.Node, error) {
+	return []*graph.Node{g.MustApply(&dropoutGradOp{src: o}, grad)}, nil
+}
+
+type dropoutGradOp struct{ src *dropoutOp }
+
+func (*dropoutGradOp) Name() string         { return "DropoutGrad" }
+func (*dropoutGradOp) Class() graph.OpClass { return graph.ClassRandom }
+func (o *dropoutGradOp) InferShape(in [][]int) ([]int, error) {
+	if err := wantInputs("DropoutGrad", in, 1); err != nil {
+		return nil, err
+	}
+	return copyShape(in[0]), nil
+}
+func (o *dropoutGradOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if !ctx.Training || o.src.rate <= 0 || o.src.mask == nil {
+		return in[0], nil
+	}
+	return tensor.BinaryOp(ctx.Pool, in[0], o.src.mask, func(g, m float32) float32 { return g * m })
+}
+
+// Impure implements graph.Impure: dropout is stateful and stochastic.
+func (*dropoutOp) Impure() {}
+
+// Impure implements graph.Impure.
+func (*dropoutGradOp) Impure() {}
+
+// Dropout applies inverted dropout with the given drop rate during
+// training and is the identity during inference.
+func Dropout(x *graph.Node, rate float32) *graph.Node {
+	return x.Graph().MustApply(&dropoutOp{rate: rate}, x)
+}

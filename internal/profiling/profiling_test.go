@@ -1,0 +1,180 @@
+package profiling
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
+
+func evts() []runtime.Event {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []runtime.Event{
+		{Op: "MatMul", Class: graph.ClassMatrix, Dur: ms(60), Step: 0},
+		{Op: "Add", Class: graph.ClassElementwise, Dur: ms(20), Step: 0},
+		{Op: "Sum", Class: graph.ClassReduction, Dur: ms(20), Step: 0},
+		{Op: "MatMul", Class: graph.ClassMatrix, Dur: ms(58), Step: 1},
+		{Op: "Add", Class: graph.ClassElementwise, Dur: ms(22), Step: 1},
+		{Op: "Sum", Class: graph.ClassReduction, Dur: ms(20), Step: 1},
+	}
+}
+
+func TestCollectAggregates(t *testing.T) {
+	p := Collect("toy", "training", 2, evts())
+	if p.Total != 200*time.Millisecond {
+		t.Fatalf("total = %v", p.Total)
+	}
+	if p.ByType["MatMul"] != 118*time.Millisecond {
+		t.Fatalf("MatMul time = %v", p.ByType["MatMul"])
+	}
+	if p.ByClass[graph.ClassMatrix] != 118*time.Millisecond {
+		t.Fatalf("class A time = %v", p.ByClass[graph.ClassMatrix])
+	}
+	if p.ClassOfType["Sum"] != graph.ClassReduction {
+		t.Fatal("class map wrong")
+	}
+}
+
+func TestSharesSortedDescending(t *testing.T) {
+	p := Collect("toy", "training", 2, evts())
+	sh := p.Shares()
+	if sh[0].Op != "MatMul" {
+		t.Fatalf("heaviest op should be MatMul, got %v", sh[0])
+	}
+	if sh[0].Fraction < 0.58 || sh[0].Fraction > 0.60 {
+		t.Fatalf("MatMul share = %v", sh[0].Fraction)
+	}
+	for i := 1; i < len(sh); i++ {
+		if sh[i].Time > sh[i-1].Time {
+			t.Fatal("shares must be sorted descending")
+		}
+	}
+}
+
+func TestClassFractionsSumToOne(t *testing.T) {
+	p := Collect("toy", "training", 2, evts())
+	fr := p.ClassFractions()
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("class fractions sum to %v", sum)
+	}
+}
+
+func TestCumulativeCurveMonotone(t *testing.T) {
+	p := Collect("toy", "training", 2, evts())
+	cum := p.Cumulative()
+	if len(cum) != 3 {
+		t.Fatalf("3 op types expected, got %d", len(cum))
+	}
+	prev := 0.0
+	for _, pt := range cum {
+		if pt.Cumulative < prev {
+			t.Fatal("cumulative must be monotone")
+		}
+		prev = pt.Cumulative
+	}
+	if prev < 0.999 || prev > 1.001 {
+		t.Fatalf("cumulative should end at 1, got %v", prev)
+	}
+}
+
+func TestHeavyTypes(t *testing.T) {
+	p := Collect("toy", "training", 2, evts())
+	if h := p.HeavyTypes(0.5); h != 1 {
+		t.Fatalf("50%% coverage needs %d types, want 1", h)
+	}
+	if h := p.HeavyTypes(0.95); h != 3 {
+		t.Fatalf("95%% coverage needs %d types, want 3", h)
+	}
+}
+
+func TestPerStepTimesAndStationarity(t *testing.T) {
+	series := PerStepTimes(evts(), "MatMul")
+	if len(series) != 2 || series[0] != 60*time.Millisecond {
+		t.Fatalf("per-step times = %v", series)
+	}
+	st := Stationary(series)
+	if st.Samples != 2 || st.Mean != 59*time.Millisecond {
+		t.Fatalf("stationarity = %+v", st)
+	}
+	if st.CoV > 0.05 {
+		t.Fatalf("CoV should be tiny for near-constant series: %v", st.CoV)
+	}
+}
+
+func TestStationaryEmpty(t *testing.T) {
+	st := Stationary(nil)
+	if st.Samples != 0 || st.Mean != 0 {
+		t.Fatal("empty series should produce zero stats")
+	}
+}
+
+func TestStationaryDrift(t *testing.T) {
+	var s []time.Duration
+	for i := 0; i < 10; i++ {
+		s = append(s, 10*time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		s = append(s, 20*time.Millisecond)
+	}
+	st := Stationary(s)
+	if st.Drift < 0.9 || st.Drift > 1.1 {
+		t.Fatalf("drift = %v, want ≈1 for doubled second half", st.Drift)
+	}
+}
+
+func TestStepTotals(t *testing.T) {
+	tot := StepTotals(evts())
+	if len(tot) != 2 || tot[0] != 100*time.Millisecond || tot[1] != 100*time.Millisecond {
+		t.Fatalf("step totals = %v", tot)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	series := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	edges, counts := Histogram(series, 2)
+	if len(edges) != 3 || len(counts) != 2 {
+		t.Fatalf("histogram shape: %v %v", edges, counts)
+	}
+	if counts[0]+counts[1] != 10 {
+		t.Fatalf("histogram must cover all samples: %v", counts)
+	}
+}
+
+func TestVectorize(t *testing.T) {
+	p1 := Collect("m1", "training", 1, []runtime.Event{
+		{Op: "MatMul", Class: graph.ClassMatrix, Dur: time.Second},
+	})
+	p2 := Collect("m2", "training", 1, []runtime.Event{
+		{Op: "Conv2D", Class: graph.ClassConv, Dur: time.Second},
+	})
+	types, vecs := Vectorize([]*Profile{p1, p2})
+	if len(types) != 2 {
+		t.Fatalf("union of types = %v", types)
+	}
+	// Orthogonal profiles: each vector has one 1 and one 0.
+	for _, v := range vecs {
+		var sum float64
+		for _, x := range v {
+			sum += x
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("vector should sum to 1: %v", v)
+		}
+	}
+	if vecs[0][0]*vecs[1][0]+vecs[0][1]*vecs[1][1] != 0 {
+		t.Fatal("disjoint profiles should be orthogonal")
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p := Collect("toy", "training", 2, evts())
+	s := p.String()
+	if len(s) == 0 || s[0] != 't' {
+		t.Fatalf("profile string: %q", s)
+	}
+}

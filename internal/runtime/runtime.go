@@ -1,0 +1,261 @@
+// Package runtime executes dataflow graphs: the analogue of the
+// TensorFlow runtime the paper instruments. It provides sessions,
+// per-operation tracing on a simulated timeline, and two devices —
+// a CPU whose op timings come from measured kernels under the virtual
+// thread pool, and a modeled GPU using a roofline cost model (the
+// substitution for the paper's GTX 960; see DESIGN.md §4.2).
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Event records one operation execution on the session's simulated
+// timeline. Durations are device-modeled (see Device).
+type Event struct {
+	Node  *graph.Node
+	Op    string        // operation type name
+	Class graph.OpClass // Figure-3 class
+	Start time.Duration // simulated start since session creation
+	Dur   time.Duration // simulated duration
+	Step  int           // session run counter when executed
+}
+
+// Device turns an operation invocation into an output tensor and a
+// modeled duration.
+type Device interface {
+	Name() string
+	Run(ctx *graph.ExecContext, n *graph.Node, in []*tensor.Tensor) (*tensor.Tensor, time.Duration, error)
+}
+
+// CPUDevice executes kernels through the virtual thread pool and
+// reports the pool's simulated parallel time (measured chunk makespan;
+// see tensor.Pool).
+type CPUDevice struct{}
+
+// Name implements Device.
+func (CPUDevice) Name() string { return "cpu" }
+
+// Run implements Device.
+func (CPUDevice) Run(ctx *graph.ExecContext, n *graph.Node, in []*tensor.Tensor) (*tensor.Tensor, time.Duration, error) {
+	ctx.Pool.ResetOp()
+	t0 := time.Now()
+	out, err := n.Op().Forward(ctx, in)
+	wall := time.Since(t0)
+	return out, ctx.Pool.OpTime(wall), err
+}
+
+// GPUDevice executes kernels on the CPU for numerical correctness but
+// reports a modeled duration launch + max(flops/PeakFlops,
+// bytes/PeakBytes): a roofline model calibrated to a GTX-960-class
+// part. Operations expose flop/byte counts through graph.Coster; other
+// ops get a byte-dominated default.
+type GPUDevice struct {
+	// PeakFlops is the peak arithmetic throughput in FLOP/s.
+	PeakFlops float64
+	// PeakBytes is the peak memory bandwidth in bytes/s.
+	PeakBytes float64
+	// Launch is the fixed kernel-launch overhead per operation.
+	Launch time.Duration
+	// Efficiency derates the peaks (real kernels do not hit roofline).
+	Efficiency float64
+}
+
+// NewGTX960 returns a GPU device modeled on the paper's NVidia GeForce
+// GTX 960: ~2.3 TFLOP/s fp32, ~112 GB/s, ~5µs launch overhead, with a
+// 35% roofline efficiency typical of 2016-era cuDNN kernels.
+func NewGTX960() *GPUDevice {
+	return &GPUDevice{
+		PeakFlops:  2.3e12,
+		PeakBytes:  112e9,
+		Launch:     5 * time.Microsecond,
+		Efficiency: 0.35,
+	}
+}
+
+// Name implements Device.
+func (d *GPUDevice) Name() string { return "gpu" }
+
+// Run implements Device.
+func (d *GPUDevice) Run(ctx *graph.ExecContext, n *graph.Node, in []*tensor.Tensor) (*tensor.Tensor, time.Duration, error) {
+	out, err := n.Op().Forward(ctx, in)
+	if err != nil {
+		return nil, 0, err
+	}
+	inShapes := make([][]int, len(n.Inputs()))
+	for i, x := range n.Inputs() {
+		inShapes[i] = x.Shape()
+	}
+	var flops, bytes int64
+	if c, ok := n.Op().(graph.Coster); ok {
+		flops, bytes = c.Cost(inShapes, n.Shape())
+	} else {
+		var b int64
+		for _, s := range inShapes {
+			b += int64(tensor.SizeOf(s))
+		}
+		b += int64(tensor.SizeOf(n.Shape()))
+		bytes = b * 4
+		flops = int64(tensor.SizeOf(n.Shape()))
+	}
+	eff := d.Efficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	ft := float64(flops) / (d.PeakFlops * eff)
+	bt := float64(bytes) / (d.PeakBytes * eff)
+	t := ft
+	if bt > t {
+		t = bt
+	}
+	return out, d.Launch + time.Duration(t*float64(time.Second)), nil
+}
+
+// Feeds maps placeholder nodes to their input tensors for one Run.
+type Feeds map[*graph.Node]*tensor.Tensor
+
+// Session executes fetches against a graph on a device, accumulating
+// an operation trace on a simulated timeline.
+type Session struct {
+	g     *graph.Graph
+	dev   Device
+	ctx   *graph.ExecContext
+	clock time.Duration
+	step  int
+
+	traceOn bool
+	trace   []Event
+
+	planCache map[string][]*graph.Node
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithDevice selects the execution device (default CPUDevice).
+func WithDevice(d Device) Option { return func(s *Session) { s.dev = d } }
+
+// WithWorkers sets the modeled intra-op worker count (default 1).
+func WithWorkers(n int) Option { return func(s *Session) { s.ctx.Pool.SetWorkers(n) } }
+
+// WithSeed seeds the session RNG (default 1).
+func WithSeed(seed int64) Option {
+	return func(s *Session) { s.ctx.RNG = rand.New(rand.NewSource(seed)) }
+}
+
+// WithTrace enables event collection.
+func WithTrace() Option { return func(s *Session) { s.traceOn = true } }
+
+// NewSession creates a session over g.
+func NewSession(g *graph.Graph, opts ...Option) *Session {
+	s := &Session{
+		g:   g,
+		dev: CPUDevice{},
+		ctx: &graph.ExecContext{
+			Pool: tensor.NewPool(1),
+			RNG:  rand.New(rand.NewSource(1)),
+		},
+		planCache: map[string][]*graph.Node{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Context exposes the session's execution context.
+func (s *Session) Context() *graph.ExecContext { return s.ctx }
+
+// Device returns the session's device.
+func (s *Session) Device() Device { return s.dev }
+
+// SetTraining sets the mode flag seen by mode-dependent ops.
+func (s *Session) SetTraining(v bool) { s.ctx.Training = v }
+
+// Step returns the number of completed Run calls.
+func (s *Session) Step() int { return s.step }
+
+// Trace returns the accumulated events (nil unless WithTrace).
+func (s *Session) Trace() []Event { return s.trace }
+
+// ResetTrace clears accumulated events and rewinds the sim clock.
+func (s *Session) ResetTrace() {
+	s.trace = nil
+	s.clock = 0
+}
+
+// SimTime returns the simulated timeline position.
+func (s *Session) SimTime() time.Duration { return s.clock }
+
+func planKey(fetches []*graph.Node) string {
+	b := make([]byte, 0, len(fetches)*4)
+	for _, f := range fetches {
+		id := f.ID()
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+// Run evaluates fetches given feeds, returning one tensor per fetch.
+func (s *Session) Run(fetches []*graph.Node, feeds Feeds) ([]*tensor.Tensor, error) {
+	key := planKey(fetches)
+	plan, ok := s.planCache[key]
+	if !ok {
+		plan = graph.Topo(fetches)
+		s.planCache[key] = plan
+	}
+	s.ctx.Step = s.step
+	values := make(map[*graph.Node]*tensor.Tensor, len(plan))
+	for _, n := range plan {
+		switch n.Kind() {
+		case graph.KindConst, graph.KindVariable:
+			values[n] = n.Value()
+		case graph.KindPlaceholder:
+			v, ok := feeds[n]
+			if !ok {
+				return nil, fmt.Errorf("runtime: missing feed for placeholder %q", n.Name())
+			}
+			if !tensor.SameShape(v.Shape(), n.Shape()) {
+				return nil, fmt.Errorf("runtime: feed for %q has shape %v, want %v", n.Name(), v.Shape(), n.Shape())
+			}
+			values[n] = v
+		case graph.KindOp:
+			ins := make([]*tensor.Tensor, len(n.Inputs()))
+			for i, in := range n.Inputs() {
+				ins[i] = values[in]
+			}
+			out, dur, err := s.dev.Run(s.ctx, n, ins)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: %v: %w", n, err)
+			}
+			if s.traceOn {
+				s.trace = append(s.trace, Event{
+					Node: n, Op: n.OpName(), Class: n.Op().Class(),
+					Start: s.clock, Dur: dur, Step: s.step,
+				})
+			}
+			s.clock += dur
+			values[n] = out
+		}
+	}
+	s.step++
+	out := make([]*tensor.Tensor, len(fetches))
+	for i, f := range fetches {
+		out[i] = values[f]
+	}
+	return out, nil
+}
+
+// MustRun is Run for tests and examples; it panics on error.
+func (s *Session) MustRun(fetches []*graph.Node, feeds Feeds) []*tensor.Tensor {
+	out, err := s.Run(fetches, feeds)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package runtime
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome-trace export: the paper's Related Work describes EEG,
+// Google's internal tool that "can reconstruct the dynamic execution
+// timeline of TensorFlow operations" but was never released. This is
+// the equivalent for this runtime: events serialize to the Chrome
+// trace-event format (chrome://tracing, Perfetto) with one lane per
+// operation class, so a session's simulated timeline can be inspected
+// visually.
+
+// chromeEvent is one "complete" (ph=X) trace-event record.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteChromeTrace serializes events as a Chrome trace-event JSON
+// array. Each operation class gets its own thread lane; timestamps
+// are the session's simulated timeline.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := make([]interface{}, 0, len(events)+8)
+	seen := map[int]bool{}
+	for _, e := range events {
+		tid := int(e.Class)
+		if !seen[tid] {
+			seen[tid] = true
+			out = append(out, chromeMeta{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Args: map[string]string{"name": e.Class.Letter() + ": " + e.Class.String()},
+			})
+		}
+		out = append(out, chromeEvent{
+			Name: e.Op,
+			Cat:  e.Class.String(),
+			Ph:   "X",
+			TS:   float64(e.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(e.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  tid,
+			Args: map[string]string{"node": e.Node.String()},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,169 @@
+// Package survey reproduces Table I of the paper: the survey of 16
+// architecture papers (2010–2016) showing how narrow the deep-learning
+// coverage of the hardware literature was, contrasted with the Fathom
+// column. The per-paper feature assignments are reconstructed from the
+// cited papers' content; the row totals match the published table
+// (e.g. recurrent networks appear in exactly two papers, and no paper
+// covers unsupervised or reinforcement learning). The Fathom column is
+// derived live from the registered workloads' metadata.
+package survey
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Feature identifies one row of Table I.
+type Feature int
+
+// Table I rows.
+const (
+	FullyConnected Feature = iota
+	Convolutional
+	Recurrent
+	Inference
+	Supervised
+	Unsupervised
+	Reinforcement
+	Vision
+	Speech
+	LanguageModeling
+	FunctionApproximation
+	numFeatures
+)
+
+var featureNames = [...]string{
+	"Fully-connected", "Convolutional", "Recurrent",
+	"Inference", "Supervised", "Unsupervised", "Reinforcement",
+	"Vision", "Speech", "Language Modeling", "Function Approximation",
+}
+
+// String returns the row label.
+func (f Feature) String() string { return featureNames[f] }
+
+// Paper is one surveyed publication.
+type Paper struct {
+	Cite     string // bracketed citation number from the paper
+	Name     string
+	Depth    int // maximum layer depth evaluated
+	Features map[Feature]bool
+}
+
+func paper(cite, name string, depth int, fs ...Feature) Paper {
+	m := map[Feature]bool{}
+	for _, f := range fs {
+		m[f] = true
+	}
+	return Paper{Cite: cite, Name: name, Depth: depth, Features: m}
+}
+
+// Papers returns the 16 surveyed works in citation order.
+func Papers() []Paper {
+	return []Paper{
+		paper("[8]", "Chakradhar (conv coprocessor)", 4, FullyConnected, Convolutional, Inference, Vision),
+		paper("[9]", "BenchNN", 4, FullyConnected, Inference, Supervised, FunctionApproximation),
+		paper("[10]", "DianNao", 3, FullyConnected, Convolutional, Inference, Supervised, Vision),
+		paper("[11]", "DaDianNao", 3, FullyConnected, Convolutional, Inference, Supervised, Vision),
+		paper("[12]", "Eyeriss", 5, Convolutional, Inference, Vision),
+		paper("[14]", "PRIME", 16, FullyConnected, Convolutional, Inference, Vision),
+		paper("[21]", "ShiDianNao", 7, Convolutional, Inference, Vision),
+		paper("[24]", "EIE", 3, FullyConnected, Convolutional, Recurrent, Inference, Vision, LanguageModeling),
+		paper("[26]", "DjiNN and Tonic", 13, FullyConnected, Inference, Supervised, Vision, Speech, LanguageModeling),
+		paper("[35]", "PuDianNao", 6, FullyConnected, Inference, Supervised, Vision, LanguageModeling),
+		paper("[38]", "Ovtcharov (FPGA CNN)", 9, FullyConnected, Convolutional, Inference, Vision),
+		paper("[39]", "Minerva", 4, FullyConnected, Inference, Vision),
+		paper("[40]", "ISAAC", 26, Convolutional, Inference, Vision),
+		paper("[44]", "CortexSuite", 2, FullyConnected, Recurrent, Inference, Supervised, Speech, LanguageModeling),
+		paper("[47]", "Yazdanbakhsh (NGPU)", 5, FullyConnected, Inference, Supervised, FunctionApproximation),
+		paper("[49]", "Zhang (FPGA CNN)", 5, Convolutional, Inference, Vision),
+	}
+}
+
+// FathomColumn derives the Fathom column from the registered models'
+// metadata (depth, styles, tasks, domains).
+func FathomColumn(metas []core.Meta) Paper {
+	p := Paper{Cite: "Fathom", Name: "Fathom", Features: map[Feature]bool{}}
+	for _, m := range metas {
+		if m.Layers > p.Depth {
+			p.Depth = m.Layers
+		}
+		style := strings.ToLower(m.Style)
+		if strings.Contains(style, "full") || strings.Contains(style, "memory") {
+			p.Features[FullyConnected] = true
+		}
+		if strings.Contains(style, "convolutional") {
+			p.Features[Convolutional] = true
+		}
+		if strings.Contains(style, "recurrent") || strings.Contains(style, "memory") {
+			p.Features[Recurrent] = true
+		}
+		p.Features[Inference] = true // every workload runs inference
+		switch m.Task {
+		case "Supervised":
+			p.Features[Supervised] = true
+		case "Unsupervised":
+			p.Features[Unsupervised] = true
+		case "Reinforcement":
+			p.Features[Reinforcement] = true
+		}
+		switch m.Dataset {
+		case "ImageNet", "MNIST":
+			p.Features[Vision] = true
+		case "TIMIT":
+			p.Features[Speech] = true
+		case "WMT-15", "bAbI":
+			p.Features[LanguageModeling] = true
+		case "Atari ALE":
+			p.Features[Vision] = true
+			p.Features[FunctionApproximation] = true // Q-value regression
+		}
+	}
+	return p
+}
+
+// Render formats the survey as the paper's Table I (rows = features,
+// columns = papers + Fathom).
+func Render(metas []core.Meta) string {
+	papers := append(Papers(), FathomColumn(metas))
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s", "Feature")
+	for _, p := range papers {
+		fmt.Fprintf(&b, "%8s", p.Cite)
+	}
+	b.WriteString("\n")
+	for f := Feature(0); f < numFeatures; f++ {
+		fmt.Fprintf(&b, "%-24s", f.String())
+		for _, p := range papers {
+			mark := ""
+			if p.Features[f] {
+				mark = "x"
+			}
+			fmt.Fprintf(&b, "%8s", mark)
+		}
+		b.WriteString("\n")
+		if f == Recurrent {
+			fmt.Fprintf(&b, "%-24s", "Layer Depth (Maximum)")
+			for _, p := range papers {
+				fmt.Fprintf(&b, "%8d", p.Depth)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Totals returns per-feature counts across the 16 surveyed papers
+// (excluding Fathom), used by tests to pin the published row totals.
+func Totals() map[Feature]int {
+	out := map[Feature]int{}
+	for _, p := range Papers() {
+		for f, ok := range p.Features {
+			if ok {
+				out[f]++
+			}
+		}
+	}
+	return out
+}

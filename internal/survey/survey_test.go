@@ -1,0 +1,92 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	_ "repro/internal/models/all"
+)
+
+func suiteMetas(t *testing.T) []core.Meta {
+	t.Helper()
+	var metas []core.Meta
+	for _, name := range core.Names() {
+		m, err := core.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metas = append(metas, m.Meta())
+	}
+	return metas
+}
+
+func TestSixteenPapers(t *testing.T) {
+	if len(Papers()) != 16 {
+		t.Fatalf("the paper surveys 16 works, got %d", len(Papers()))
+	}
+}
+
+// TestRowTotalsMatchPublishedTable pins the row totals of Table I:
+// the published counts that motivate the paper (in particular, zero
+// unsupervised and zero reinforcement learning papers, and recurrent
+// networks in exactly two).
+func TestRowTotalsMatchPublishedTable(t *testing.T) {
+	totals := Totals()
+	want := map[Feature]int{
+		FullyConnected:        12,
+		Convolutional:         10,
+		Recurrent:             2,
+		Inference:             16,
+		Supervised:            7,
+		Unsupervised:          0,
+		Reinforcement:         0,
+		Vision:                13,
+		Speech:                2,
+		LanguageModeling:      4,
+		FunctionApproximation: 2,
+	}
+	for f, n := range want {
+		if totals[f] != n {
+			t.Errorf("%s total = %d, want %d", f, totals[f], n)
+		}
+	}
+}
+
+func TestPublishedDepths(t *testing.T) {
+	wantDepths := []int{4, 4, 3, 3, 5, 16, 7, 3, 13, 6, 9, 4, 26, 2, 5, 5}
+	for i, p := range Papers() {
+		if p.Depth != wantDepths[i] {
+			t.Errorf("paper %s depth = %d, want %d", p.Cite, p.Depth, wantDepths[i])
+		}
+	}
+}
+
+func TestFathomColumnCoversEverything(t *testing.T) {
+	col := FathomColumn(suiteMetas(t))
+	for f := FullyConnected; f <= FunctionApproximation; f++ {
+		if !col.Features[f] {
+			t.Errorf("Fathom column should cover %s", f)
+		}
+	}
+	if col.Depth != 34 {
+		t.Errorf("Fathom max depth = %d, want 34 (residual)", col.Depth)
+	}
+}
+
+func TestRenderContainsRowsAndFathom(t *testing.T) {
+	out := Render(suiteMetas(t))
+	for _, want := range []string{"Fully-connected", "Reinforcement", "Layer Depth", "Fathom", "[24]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one x in the Unsupervised row (Fathom's column).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Unsupervised") {
+			if n := strings.Count(line, "x"); n != 1 {
+				t.Fatalf("Unsupervised row should have exactly 1 mark (Fathom): %q", line)
+			}
+		}
+	}
+}

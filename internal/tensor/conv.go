@@ -1,0 +1,386 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes a 2-D convolution in NHWC layout.
+type ConvSpec struct {
+	StrideH, StrideW int
+	PadH, PadW       int // symmetric zero padding applied to each side
+}
+
+// ConvOutSize returns the output spatial size for an input of size in,
+// filter size k, stride s and padding p on each side.
+func ConvOutSize(in, k, s, p int) int {
+	o := (in+2*p-k)/s + 1
+	if o < 0 {
+		o = 0
+	}
+	return o
+}
+
+// SamePad returns the padding that keeps output = ceil(in/stride) for
+// odd filter sizes (TensorFlow "SAME" with symmetric padding).
+func SamePad(k int) int { return (k - 1) / 2 }
+
+func (c ConvSpec) check() ConvSpec {
+	if c.StrideH < 1 {
+		c.StrideH = 1
+	}
+	if c.StrideW < 1 {
+		c.StrideW = 1
+	}
+	return c
+}
+
+// Conv2D computes a 2-D convolution: input (N,H,W,Cin) with filter
+// (KH,KW,Cin,Cout) producing (N,OH,OW,Cout). Parallelized over N*OH.
+func Conv2D(p *Pool, in, filter *Tensor, spec ConvSpec) (*Tensor, error) {
+	spec = spec.check()
+	if in.Rank() != 4 || filter.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: Conv2D requires NHWC input and KHKWCinCout filter, got %v and %v", in.shape, filter.shape)
+	}
+	n, h, w, cin := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	kh, kw, fcin, cout := filter.shape[0], filter.shape[1], filter.shape[2], filter.shape[3]
+	if cin != fcin {
+		return nil, fmt.Errorf("tensor: Conv2D channel mismatch: input %v filter %v", in.shape, filter.shape)
+	}
+	oh := ConvOutSize(h, kh, spec.StrideH, spec.PadH)
+	ow := ConvOutSize(w, kw, spec.StrideW, spec.PadW)
+	out := New(n, oh, ow, cout)
+	id, fd, od := in.data, filter.data, out.data
+	rows := n * oh
+	grain := 1 + 32768/(ow*cout*kh*kw*cin+1)
+	p.For(rows, grain, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			b := r / oh
+			oy := r % oh
+			for ox := 0; ox < ow; ox++ {
+				obase := ((b*oh+oy)*ow + ox) * cout
+				acc := od[obase : obase+cout]
+				iy0 := oy*spec.StrideH - spec.PadH
+				ix0 := ox*spec.StrideW - spec.PadW
+				for ky := 0; ky < kh; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < kw; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						ibase := ((b*h+iy)*w + ix) * cin
+						fbase := (ky*kw + kx) * cin * cout
+						for c := 0; c < cin; c++ {
+							v := id[ibase+c]
+							frow := fd[fbase+c*cout : fbase+(c+1)*cout]
+							for co := 0; co < cout; co++ {
+								acc[co] += v * frow[co]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// Conv2DBackFilter computes the gradient of Conv2D with respect to the
+// filter: input (N,H,W,Cin), gradOut (N,OH,OW,Cout) → (KH,KW,Cin,Cout).
+// Parallelized over filter rows (each chunk owns disjoint output cells).
+func Conv2DBackFilter(p *Pool, in, gradOut *Tensor, kh, kw int, spec ConvSpec) (*Tensor, error) {
+	spec = spec.check()
+	n, h, w, cin := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	gn, oh, ow, cout := gradOut.shape[0], gradOut.shape[1], gradOut.shape[2], gradOut.shape[3]
+	if n != gn {
+		return nil, fmt.Errorf("tensor: Conv2DBackFilter batch mismatch %v vs %v", in.shape, gradOut.shape)
+	}
+	out := New(kh, kw, cin, cout)
+	id, gd, od := in.data, gradOut.data, out.data
+	grain := 1 // kh is small; each row is heavy
+	p.For(kh, grain, func(lo, hi int) {
+		for ky := lo; ky < hi; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				fbase := (ky*kw + kx) * cin * cout
+				for b := 0; b < n; b++ {
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*spec.StrideH - spec.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*spec.StrideW - spec.PadW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							ibase := ((b*h+iy)*w + ix) * cin
+							gbase := ((b*oh+oy)*ow + ox) * cout
+							grow := gd[gbase : gbase+cout]
+							for c := 0; c < cin; c++ {
+								v := id[ibase+c]
+								frow := od[fbase+c*cout : fbase+(c+1)*cout]
+								for co := 0; co < cout; co++ {
+									frow[co] += v * grow[co]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// Conv2DBackInput computes the gradient of Conv2D with respect to the
+// input: filter (KH,KW,Cin,Cout), gradOut (N,OH,OW,Cout) → (N,H,W,Cin).
+// Parallelized over batch entries (disjoint output regions).
+func Conv2DBackInput(p *Pool, filter, gradOut *Tensor, h, w int, spec ConvSpec) (*Tensor, error) {
+	spec = spec.check()
+	kh, kw, cin, cout := filter.shape[0], filter.shape[1], filter.shape[2], filter.shape[3]
+	n, oh, ow, gcout := gradOut.shape[0], gradOut.shape[1], gradOut.shape[2], gradOut.shape[3]
+	if cout != gcout {
+		return nil, fmt.Errorf("tensor: Conv2DBackInput channel mismatch filter %v gradOut %v", filter.shape, gradOut.shape)
+	}
+	out := New(n, h, w, cin)
+	fd, gd, od := filter.data, gradOut.data, out.data
+	p.For(n, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*spec.StrideH - spec.PadH
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*spec.StrideW - spec.PadW
+					gbase := ((b*oh+oy)*ow + ox) * cout
+					grow := gd[gbase : gbase+cout]
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							ibase := ((b*h+iy)*w + ix) * cin
+							fbase := (ky*kw + kx) * cin * cout
+							for c := 0; c < cin; c++ {
+								frow := fd[fbase+c*cout : fbase+(c+1)*cout]
+								var s float32
+								for co := 0; co < cout; co++ {
+									s += frow[co] * grow[co]
+								}
+								od[ibase+c] += s
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// MaxPool computes max pooling over (N,H,W,C) with window k and stride
+// s (symmetric padding p, padded cells treated as -inf).
+func MaxPool(p *Pool, in *Tensor, k, s, pad int) (*Tensor, error) {
+	if in.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: MaxPool requires NHWC input, got %v", in.shape)
+	}
+	n, h, w, c := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	oh := ConvOutSize(h, k, s, pad)
+	ow := ConvOutSize(w, k, s, pad)
+	out := New(n, oh, ow, c)
+	id, od := in.data, out.data
+	rows := n * oh
+	p.For(rows, 4, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			b := r / oh
+			oy := r % oh
+			for ox := 0; ox < ow; ox++ {
+				obase := ((b*oh+oy)*ow + ox) * c
+				for ch := 0; ch < c; ch++ {
+					best := float32(negInf)
+					for ky := 0; ky < k; ky++ {
+						iy := oy*s - pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*s - pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := id[((b*h+iy)*w+ix)*c+ch]
+							if v > best {
+								best = v
+							}
+						}
+					}
+					od[obase+ch] = best
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+const negInf = float32(-3.4e38)
+
+// MaxPoolGrad routes gradOut back to the argmax input cell of each
+// pooling window (ties go to the first maximum, matching MaxPool).
+func MaxPoolGrad(p *Pool, in, gradOut *Tensor, k, s, pad int) (*Tensor, error) {
+	n, h, w, c := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	oh, ow := gradOut.shape[1], gradOut.shape[2]
+	out := New(in.shape...)
+	id, gd, od := in.data, gradOut.data, out.data
+	// Pooling windows can overlap when s < k, so parallelize over batch
+	// entries only (disjoint input regions).
+	p.For(n, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gbase := ((b*oh+oy)*ow + ox) * c
+					for ch := 0; ch < c; ch++ {
+						best := float32(negInf)
+						bi := -1
+						for ky := 0; ky < k; ky++ {
+							iy := oy*s - pad + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < k; kx++ {
+								ix := ox*s - pad + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								off := ((b*h+iy)*w+ix)*c + ch
+								if id[off] > best {
+									best = id[off]
+									bi = off
+								}
+							}
+						}
+						if bi >= 0 {
+							od[bi] += gd[gbase+ch]
+						}
+					}
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// AvgPool computes average pooling over valid (unpadded) cells.
+func AvgPool(p *Pool, in *Tensor, k, s, pad int) (*Tensor, error) {
+	if in.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: AvgPool requires NHWC input, got %v", in.shape)
+	}
+	n, h, w, c := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	oh := ConvOutSize(h, k, s, pad)
+	ow := ConvOutSize(w, k, s, pad)
+	out := New(n, oh, ow, c)
+	id, od := in.data, out.data
+	rows := n * oh
+	p.For(rows, 4, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			b := r / oh
+			oy := r % oh
+			for ox := 0; ox < ow; ox++ {
+				obase := ((b*oh+oy)*ow + ox) * c
+				var cnt float32
+				// Count once per window; same for all channels.
+				for ky := 0; ky < k; ky++ {
+					iy := oy*s - pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*s - pad + kx
+						if ix >= 0 && ix < w {
+							cnt++
+						}
+					}
+				}
+				if cnt == 0 {
+					continue
+				}
+				for ky := 0; ky < k; ky++ {
+					iy := oy*s - pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*s - pad + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						ibase := ((b*h+iy)*w + ix) * c
+						for ch := 0; ch < c; ch++ {
+							od[obase+ch] += id[ibase+ch]
+						}
+					}
+				}
+				inv := 1 / cnt
+				for ch := 0; ch < c; ch++ {
+					od[obase+ch] *= inv
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// AvgPoolGrad distributes gradOut uniformly over each window's valid
+// input cells.
+func AvgPoolGrad(p *Pool, inShape []int, gradOut *Tensor, k, s, pad int) (*Tensor, error) {
+	n, h, w, c := inShape[0], inShape[1], inShape[2], inShape[3]
+	oh, ow := gradOut.shape[1], gradOut.shape[2]
+	out := New(inShape...)
+	gd, od := gradOut.data, out.data
+	p.For(n, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gbase := ((b*oh+oy)*ow + ox) * c
+					var cnt float32
+					for ky := 0; ky < k; ky++ {
+						iy := oy*s - pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*s - pad + kx
+							if ix >= 0 && ix < w {
+								cnt++
+							}
+						}
+					}
+					if cnt == 0 {
+						continue
+					}
+					inv := 1 / cnt
+					for ky := 0; ky < k; ky++ {
+						iy := oy*s - pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*s - pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							ibase := ((b*h+iy)*w + ix) * c
+							for ch := 0; ch < c; ch++ {
+								od[ibase+ch] += gd[gbase+ch] * inv
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out, nil
+}

@@ -1,0 +1,232 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveConv2D is a reference convolution used to validate the kernel.
+func naiveConv2D(in, f *Tensor, spec ConvSpec) *Tensor {
+	n, h, w, cin := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	kh, kw, _, cout := f.Dim(0), f.Dim(1), f.Dim(2), f.Dim(3)
+	oh := ConvOutSize(h, kh, spec.StrideH, spec.PadH)
+	ow := ConvOutSize(w, kw, spec.StrideW, spec.PadW)
+	out := New(n, oh, ow, cout)
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for co := 0; co < cout; co++ {
+					var s float32
+					for ky := 0; ky < kh; ky++ {
+						for kx := 0; kx < kw; kx++ {
+							iy := oy*spec.StrideH - spec.PadH + ky
+							ix := ox*spec.StrideW - spec.PadW + kx
+							if iy < 0 || iy >= h || ix < 0 || ix >= w {
+								continue
+							}
+							for c := 0; c < cin; c++ {
+								s += in.At(b, iy, ix, c) * f.At(ky, kx, c, co)
+							}
+						}
+					}
+					out.Set(s, b, oy, ox, co)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestConv2DMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := NewPool(2)
+	cases := []struct {
+		n, h, w, cin, kh, kw, cout int
+		spec                       ConvSpec
+	}{
+		{1, 5, 5, 1, 3, 3, 2, ConvSpec{1, 1, 0, 0}},
+		{2, 8, 8, 3, 3, 3, 4, ConvSpec{1, 1, 1, 1}},
+		{1, 9, 9, 2, 3, 3, 3, ConvSpec{2, 2, 1, 1}},
+		{2, 11, 11, 1, 5, 5, 2, ConvSpec{2, 2, 2, 2}},
+		{1, 12, 12, 2, 4, 4, 2, ConvSpec{4, 4, 0, 0}},
+	}
+	for _, c := range cases {
+		in := RandNormal(rng, 0, 1, c.n, c.h, c.w, c.cin)
+		f := RandNormal(rng, 0, 1, c.kh, c.kw, c.cin, c.cout)
+		got, err := Conv2D(p, in, f, c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveConv2D(in, f, c.spec)
+		if !AllClose(got, want, 1e-4, 1e-4) {
+			t.Fatalf("conv mismatch %+v (max diff %g)", c, MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestConv2DChannelMismatch(t *testing.T) {
+	p := NewPool(1)
+	if _, err := Conv2D(p, New(1, 4, 4, 3), New(3, 3, 2, 4), ConvSpec{}); err == nil {
+		t.Fatal("expected channel mismatch error")
+	}
+}
+
+// Gradient checks: compare BackFilter/BackInput against finite
+// differences of a scalar loss L = Σ conv(in, f).
+func TestConv2DGradientsFiniteDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewPool(1)
+	spec := ConvSpec{2, 2, 1, 1}
+	in := RandNormal(rng, 0, 0.5, 1, 6, 6, 2)
+	f := RandNormal(rng, 0, 0.5, 3, 3, 2, 2)
+	out, err := Conv2D(p, in, f, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gradOut := Ones(out.Shape()...)
+
+	gf, err := Conv2DBackFilter(p, in, gradOut, 3, 3, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, err := Conv2DBackInput(p, f, gradOut, 6, 6, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loss := func() float64 {
+		o, _ := Conv2D(p, in, f, spec)
+		var s float64
+		for _, v := range o.Data() {
+			s += float64(v)
+		}
+		return s
+	}
+	const eps = 1e-2
+	// Spot-check a handful of coordinates in each gradient.
+	for _, i := range []int{0, 3, 7, len(f.Data()) - 1} {
+		orig := f.Data()[i]
+		f.Data()[i] = orig + eps
+		lp := loss()
+		f.Data()[i] = orig - eps
+		lm := loss()
+		f.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if d := num - float64(gf.Data()[i]); d > 1e-2 || d < -1e-2 {
+			t.Fatalf("filter grad[%d]: analytic %g numeric %g", i, gf.Data()[i], num)
+		}
+	}
+	for _, i := range []int{0, 5, 20, len(in.Data()) - 1} {
+		orig := in.Data()[i]
+		in.Data()[i] = orig + eps
+		lp := loss()
+		in.Data()[i] = orig - eps
+		lm := loss()
+		in.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if d := num - float64(gi.Data()[i]); d > 1e-2 || d < -1e-2 {
+			t.Fatalf("input grad[%d]: analytic %g numeric %g", i, gi.Data()[i], num)
+		}
+	}
+}
+
+func TestMaxPoolKnown(t *testing.T) {
+	p := NewPool(1)
+	in := FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4, 1)
+	out, err := MaxPool(p, in, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{6, 8, 14, 16}
+	for i := range want {
+		if out.Data()[i] != want[i] {
+			t.Fatalf("MaxPool = %v want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestMaxPoolGradRoutesToArgmax(t *testing.T) {
+	p := NewPool(1)
+	in := FromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 2, 2, 1)
+	gradOut := FromSlice([]float32{10}, 1, 1, 1, 1)
+	g, err := MaxPoolGrad(p, in, gradOut, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 0, 0, 10}
+	for i := range want {
+		if g.Data()[i] != want[i] {
+			t.Fatalf("MaxPoolGrad = %v want %v", g.Data(), want)
+		}
+	}
+}
+
+func TestAvgPoolKnownAndGrad(t *testing.T) {
+	p := NewPool(1)
+	in := FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4, 1)
+	out, err := AvgPool(p, in, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{3.5, 5.5, 11.5, 13.5}
+	for i := range want {
+		if out.Data()[i] != want[i] {
+			t.Fatalf("AvgPool = %v want %v", out.Data(), want)
+		}
+	}
+	gradOut := FromSlice([]float32{4, 4, 4, 4}, 1, 2, 2, 1)
+	g, err := AvgPoolGrad(p, in.Shape(), gradOut, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.Data() {
+		if v != 1 {
+			t.Fatalf("AvgPoolGrad should spread 4 over 4 cells: %v", g.Data())
+		}
+	}
+}
+
+func TestPoolingWithPadding(t *testing.T) {
+	p := NewPool(1)
+	rng := rand.New(rand.NewSource(6))
+	in := RandNormal(rng, 0, 1, 2, 7, 7, 3)
+	out, err := MaxPool(p, in, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameShape(out.Shape(), []int{2, 4, 4, 3}) {
+		t.Fatalf("padded maxpool shape %v", out.Shape())
+	}
+	out2, err := AvgPool(p, in, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameShape(out2.Shape(), []int{2, 4, 4, 3}) {
+		t.Fatalf("padded avgpool shape %v", out2.Shape())
+	}
+}
+
+func TestConvOutSize(t *testing.T) {
+	if ConvOutSize(224, 11, 4, 2) != 55 {
+		t.Fatal("AlexNet conv1 output size should be 55")
+	}
+	if ConvOutSize(4, 2, 2, 0) != 2 {
+		t.Fatal("basic out size")
+	}
+	if SamePad(3) != 1 || SamePad(5) != 2 || SamePad(7) != 3 {
+		t.Fatal("SamePad")
+	}
+}

@@ -1,0 +1,130 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = op(A) · op(B) for 2-D tensors, where op is an
+// optional transpose. The destination is freshly allocated. The kernel
+// parallelizes over output rows through the pool.
+func MatMul(p *Pool, a, b *Tensor, transA, transB bool) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: MatMul requires rank-2 inputs, got %v and %v", a.shape, b.shape)
+	}
+	m, ka := a.shape[0], a.shape[1]
+	if transA {
+		m, ka = ka, m
+	}
+	kb, n := b.shape[0], b.shape[1]
+	if transB {
+		kb, n = n, kb
+	}
+	if ka != kb {
+		return nil, fmt.Errorf("tensor: MatMul inner dimensions disagree: %v (transA=%v) × %v (transB=%v)", a.shape, transA, b.shape, transB)
+	}
+	out := New(m, n)
+	matmulInto(p, out.data, a.data, b.data, m, n, ka, a.shape[1], b.shape[1], transA, transB)
+	return out, nil
+}
+
+// matmulInto writes op(A)·op(B) into dst (len m*n). lda and ldb are the
+// row strides of the *stored* A and B.
+func matmulInto(p *Pool, dst, a, b []float32, m, n, k, lda, ldb int, transA, transB bool) {
+	// Choose a grain so each chunk is a meaningful amount of work:
+	// roughly 64k multiply-adds per chunk minimum.
+	grain := 1 + 65536/(n*k+1)
+	switch {
+	case !transA && !transB:
+		p.For(m, grain, func(lo, hi int) {
+			matmulRows(dst, a, b, lo, hi, n, k, lda, ldb)
+		})
+	case !transA && transB:
+		// B stored as (n, k): C[i,j] = Σ a[i,l]·b[j,l] — dot of rows.
+		p.For(m, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ai := a[i*lda : i*lda+k]
+				ri := dst[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					bj := b[j*ldb : j*ldb+k]
+					var s float32
+					for l := 0; l < k; l++ {
+						s += ai[l] * bj[l]
+					}
+					ri[j] = s
+				}
+			}
+		})
+	case transA && !transB:
+		// A stored as (k, m): C[i,j] = Σ a[l,i]·b[l,j].
+		p.For(m, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ri := dst[i*n : (i+1)*n]
+				for x := range ri {
+					ri[x] = 0
+				}
+				for l := 0; l < k; l++ {
+					av := a[l*lda+i]
+					bl := b[l*ldb : l*ldb+n]
+					for j := 0; j < n; j++ {
+						ri[j] += av * bl[j]
+					}
+				}
+			}
+		})
+	default: // transA && transB
+		p.For(m, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ri := dst[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					var s float32
+					for l := 0; l < k; l++ {
+						s += a[l*lda+i] * b[j*ldb+l]
+					}
+					ri[j] = s
+				}
+			}
+		})
+	}
+}
+
+// matmulRows computes rows [lo,hi) of C = A·B with 4-row register
+// blocking: each pass over a B row feeds four accumulator rows,
+// quartering memory traffic on B.
+func matmulRows(dst, a, b []float32, lo, hi, n, k, lda, ldb int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		r0 := dst[i*n : (i+1)*n]
+		r1 := dst[(i+1)*n : (i+2)*n]
+		r2 := dst[(i+2)*n : (i+3)*n]
+		r3 := dst[(i+3)*n : (i+4)*n]
+		for x := 0; x < n; x++ {
+			r0[x], r1[x], r2[x], r3[x] = 0, 0, 0, 0
+		}
+		a0 := a[i*lda : i*lda+k]
+		a1 := a[(i+1)*lda : (i+1)*lda+k]
+		a2 := a[(i+2)*lda : (i+2)*lda+k]
+		a3 := a[(i+3)*lda : (i+3)*lda+k]
+		for l := 0; l < k; l++ {
+			bl := b[l*ldb : l*ldb+n]
+			av0, av1, av2, av3 := a0[l], a1[l], a2[l], a3[l]
+			for j, bv := range bl {
+				r0[j] += av0 * bv
+				r1[j] += av1 * bv
+				r2[j] += av2 * bv
+				r3[j] += av3 * bv
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		ri := dst[i*n : (i+1)*n]
+		for x := range ri {
+			ri[x] = 0
+		}
+		ai := a[i*lda : i*lda+k]
+		for l := 0; l < k; l++ {
+			av := ai[l]
+			bl := b[l*ldb : l*ldb+n]
+			for j, bv := range bl {
+				ri[j] += av * bv
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatMul(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPool(1)
+	a := RandNormal(rng, 0, 1, m, k)
+	bb := RandNormal(rng, 0, 1, k, n)
+	b.SetBytes(int64(2 * m * k * n)) // MACs as "bytes" => shows MFLOP/s*2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(p, a, bb, false, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B)    { benchMatMul(b, 128, 128, 128) }
+func BenchmarkMatMul512(b *testing.B)    { benchMatMul(b, 512, 512, 512) }
+func BenchmarkMatMulSkinny(b *testing.B) { benchMatMul(b, 8, 64, 256) }

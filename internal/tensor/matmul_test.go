@@ -1,0 +1,129 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatMul is an obviously-correct reference implementation.
+func naiveMatMul(a, b *Tensor, transA, transB bool) *Tensor {
+	get := func(t *Tensor, i, j int, tr bool) float32 {
+		if tr {
+			return t.At(j, i)
+		}
+		return t.At(i, j)
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	if transA {
+		m, k = k, m
+	}
+	n := b.Dim(1)
+	if transB {
+		n = b.Dim(0)
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for l := 0; l < k; l++ {
+				s += get(a, i, l, transA) * get(b, l, j, transB)
+			}
+			out.Set(s, i, j)
+		}
+	}
+	return out
+}
+
+func TestMatMulKnown(t *testing.T) {
+	p := NewPool(1)
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	out, err := MatMul(p, a, b, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{58, 64, 139, 154}
+	for i := range want {
+		if out.Data()[i] != want[i] {
+			t.Fatalf("MatMul = %v want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestMatMulAllTransposeCombos(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPool(1)
+	m, k, n := 5, 7, 3
+	for _, ta := range []bool{false, true} {
+		for _, tb := range []bool{false, true} {
+			ashape := []int{m, k}
+			if ta {
+				ashape = []int{k, m}
+			}
+			bshape := []int{k, n}
+			if tb {
+				bshape = []int{n, k}
+			}
+			a := RandNormal(rng, 0, 1, ashape...)
+			b := RandNormal(rng, 0, 1, bshape...)
+			got, err := MatMul(p, a, b, ta, tb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveMatMul(a, b, ta, tb)
+			if !AllClose(got, want, 1e-4, 1e-4) {
+				t.Fatalf("transA=%v transB=%v mismatch (max diff %g)", ta, tb, MaxAbsDiff(got, want))
+			}
+		}
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandNormal(rng, 0, 1, 64, 32)
+	b := RandNormal(rng, 0, 1, 32, 48)
+	s, _ := MatMul(NewPool(1), a, b, false, false)
+	q, _ := MatMul(NewPool(8), a, b, false, false)
+	if !AllClose(s, q, 1e-6, 1e-6) {
+		t.Fatal("parallel matmul differs from serial")
+	}
+}
+
+func TestMatMulShapeErrors(t *testing.T) {
+	p := NewPool(1)
+	if _, err := MatMul(p, New(2, 3), New(4, 5), false, false); err == nil {
+		t.Fatal("expected inner-dimension error")
+	}
+	if _, err := MatMul(p, New(2), New(2, 2), false, false); err == nil {
+		t.Fatal("expected rank error")
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ for random sizes.
+func TestMatMulTransposeIdentityQuick(t *testing.T) {
+	p := NewPool(2)
+	rng := rand.New(rand.NewSource(3))
+	f := func(m0, k0, n0 uint8) bool {
+		m, k, n := int(m0%6)+1, int(k0%6)+1, int(n0%6)+1
+		a := RandNormal(rng, 0, 1, m, k)
+		b := RandNormal(rng, 0, 1, k, n)
+		ab, err := MatMul(p, a, b, false, false)
+		if err != nil {
+			return false
+		}
+		abT, err := Transpose(p, ab, []int{1, 0})
+		if err != nil {
+			return false
+		}
+		// Bᵀ·Aᵀ computed with transpose flags on the stored tensors.
+		bTaT, err := MatMul(p, b, a, true, true)
+		if err != nil {
+			return false
+		}
+		return AllClose(abT, bTaT, 1e-4, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,318 @@
+package tensor
+
+import "fmt"
+
+// Transpose permutes the axes of a tensor. perm must be a permutation
+// of [0,rank).
+func Transpose(p *Pool, in *Tensor, perm []int) (*Tensor, error) {
+	rank := in.Rank()
+	if len(perm) != rank {
+		return nil, fmt.Errorf("tensor: Transpose perm %v does not match rank %d", perm, rank)
+	}
+	seen := make([]bool, rank)
+	outShape := make([]int, rank)
+	for i, a := range perm {
+		if a < 0 || a >= rank || seen[a] {
+			return nil, fmt.Errorf("tensor: Transpose perm %v is not a permutation", perm)
+		}
+		seen[a] = true
+		outShape[i] = in.shape[a]
+	}
+	out := New(outShape...)
+	if rank == 2 && perm[0] == 1 && perm[1] == 0 {
+		// Fast common case.
+		r, c := in.shape[0], in.shape[1]
+		id, od := in.data, out.data
+		p.For(r, 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for j := 0; j < c; j++ {
+					od[j*r+i] = id[i*c+j]
+				}
+			}
+		})
+		return out, nil
+	}
+	// Stride of output position per input axis.
+	ostByIn := make([]int, rank)
+	ost := Strides(outShape)
+	for i, a := range perm {
+		ostByIn[a] = ost[i]
+	}
+	id, od := in.data, out.data
+	idx := make([]int, rank)
+	opos := 0
+	for pos := 0; pos < len(id); pos++ {
+		od[opos] = id[pos]
+		for i := rank - 1; i >= 0; i-- {
+			idx[i]++
+			opos += ostByIn[i]
+			if idx[i] < in.shape[i] {
+				break
+			}
+			idx[i] = 0
+			opos -= ostByIn[i] * in.shape[i]
+		}
+	}
+	return out, nil
+}
+
+// Tile repeats a tensor multiples[i] times along each axis.
+func Tile(p *Pool, in *Tensor, multiples []int) (*Tensor, error) {
+	rank := in.Rank()
+	if len(multiples) != rank {
+		return nil, fmt.Errorf("tensor: Tile multiples %v does not match rank %d", multiples, rank)
+	}
+	outShape := make([]int, rank)
+	for i := range outShape {
+		if multiples[i] < 1 {
+			return nil, fmt.Errorf("tensor: Tile multiple must be >= 1, got %v", multiples)
+		}
+		outShape[i] = in.shape[i] * multiples[i]
+	}
+	out := New(outShape...)
+	ist := Strides(in.shape)
+	ost := Strides(outShape)
+	id, od := in.data, out.data
+	total := out.Size()
+	p.For(total/max(1, outShape[rank-1]), 256, func(lo, hi int) {
+		// Iterate over output rows (all but last axis), copying with
+		// wrapped last axis.
+		lastIn := in.shape[rank-1]
+		lastOut := outShape[rank-1]
+		for row := lo; row < hi; row++ {
+			// Decompose row into leading output indices.
+			rem := row
+			ibase := 0
+			for i := 0; i < rank-1; i++ {
+				d := rem / (ost[i] / lastOut)
+				rem %= ost[i] / lastOut
+				ibase += (d % in.shape[i]) * ist[i]
+			}
+			orow := od[row*lastOut : (row+1)*lastOut]
+			irow := id[ibase : ibase+lastIn]
+			for j := 0; j < lastOut; j++ {
+				orow[j] = irow[j%lastIn]
+			}
+		}
+	})
+	return out, nil
+}
+
+// TileGradReduce sums a gradient of the tiled shape back to the
+// original shape (the adjoint of Tile).
+func TileGradReduce(p *Pool, grad *Tensor, origShape []int) *Tensor {
+	out := New(origShape...)
+	ist := Strides(origShape)
+	rank := len(origShape)
+	gd, od := grad.data, out.data
+	idx := make([]int, rank)
+	for pos := 0; pos < len(gd); pos++ {
+		off := 0
+		for i := 0; i < rank; i++ {
+			off += (idx[i] % origShape[i]) * ist[i]
+		}
+		od[off] += gd[pos]
+		for i := rank - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < grad.shape[i] {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return out
+}
+
+// Concat joins tensors along the given axis. All inputs must agree on
+// every other dimension.
+func Concat(p *Pool, axis int, ins ...*Tensor) (*Tensor, error) {
+	if len(ins) == 0 {
+		return nil, fmt.Errorf("tensor: Concat requires at least one input")
+	}
+	rank := ins[0].Rank()
+	if axis < 0 {
+		axis += rank
+	}
+	if axis < 0 || axis >= rank {
+		return nil, fmt.Errorf("tensor: Concat axis %d out of range for rank %d", axis, rank)
+	}
+	outShape := append([]int(nil), ins[0].shape...)
+	concatDim := 0
+	for _, t := range ins {
+		if t.Rank() != rank {
+			return nil, fmt.Errorf("tensor: Concat rank mismatch")
+		}
+		for i := range t.shape {
+			if i != axis && t.shape[i] != outShape[i] {
+				return nil, fmt.Errorf("tensor: Concat shape mismatch %v vs %v on axis %d", t.shape, outShape, i)
+			}
+		}
+		concatDim += t.shape[axis]
+	}
+	outShape[axis] = concatDim
+	out := New(outShape...)
+	// outer = product of dims before axis; inner = product after.
+	outer := 1
+	for i := 0; i < axis; i++ {
+		outer *= outShape[i]
+	}
+	inner := 1
+	for i := axis + 1; i < rank; i++ {
+		inner *= outShape[i]
+	}
+	rowOut := concatDim * inner
+	off := 0
+	for _, t := range ins {
+		rowIn := t.shape[axis] * inner
+		td := t.data
+		for o := 0; o < outer; o++ {
+			copy(out.data[o*rowOut+off:o*rowOut+off+rowIn], td[o*rowIn:(o+1)*rowIn])
+		}
+		off += rowIn
+	}
+	return out, nil
+}
+
+// SliceTensor extracts a contiguous region: out[i...] =
+// in[begin[0]+i0, begin[1]+i1, ...] with the given size per axis. A
+// size of -1 means "to the end of that axis".
+func SliceTensor(p *Pool, in *Tensor, begin, size []int) (*Tensor, error) {
+	rank := in.Rank()
+	if len(begin) != rank || len(size) != rank {
+		return nil, fmt.Errorf("tensor: Slice begin/size must match rank %d", rank)
+	}
+	outShape := make([]int, rank)
+	for i := range outShape {
+		s := size[i]
+		if s == -1 {
+			s = in.shape[i] - begin[i]
+		}
+		if begin[i] < 0 || s < 0 || begin[i]+s > in.shape[i] {
+			return nil, fmt.Errorf("tensor: Slice [%v:%v] out of bounds for %v", begin, size, in.shape)
+		}
+		outShape[i] = s
+	}
+	out := New(outShape...)
+	ist := Strides(in.shape)
+	copySlice(in.data, out.data, in.shape, outShape, begin, ist, 0, 0, 0)
+	return out, nil
+}
+
+func copySlice(id, od []float32, inShape, outShape, begin, ist []int, axis, ioff, ooff int) {
+	if axis == len(outShape)-1 {
+		base := ioff + begin[axis]
+		copy(od[ooff:ooff+outShape[axis]], id[base:base+outShape[axis]])
+		return
+	}
+	ostride := 1
+	for i := axis + 1; i < len(outShape); i++ {
+		ostride *= outShape[i]
+	}
+	for i := 0; i < outShape[axis]; i++ {
+		copySlice(id, od, inShape, outShape, begin, ist, axis+1,
+			ioff+(begin[axis]+i)*ist[axis], ooff+i*ostride)
+	}
+}
+
+// SliceGradPad places grad back into a zero tensor of the original
+// shape at the slice position (the adjoint of SliceTensor).
+func SliceGradPad(p *Pool, grad *Tensor, origShape, begin []int) *Tensor {
+	out := New(origShape...)
+	ist := Strides(origShape)
+	addSlice(out.data, grad.data, origShape, grad.shape, begin, ist, 0, 0, 0)
+	return out
+}
+
+func addSlice(od, gd []float32, origShape, gShape, begin, ist []int, axis, ooff, goff int) {
+	if axis == len(gShape)-1 {
+		base := ooff + begin[axis]
+		for j := 0; j < gShape[axis]; j++ {
+			od[base+j] += gd[goff+j]
+		}
+		return
+	}
+	gstride := 1
+	for i := axis + 1; i < len(gShape); i++ {
+		gstride *= gShape[i]
+	}
+	for i := 0; i < gShape[axis]; i++ {
+		addSlice(od, gd, origShape, gShape, begin, ist, axis+1,
+			ooff+(begin[axis]+i)*ist[axis], goff+i*gstride)
+	}
+}
+
+// Pad zero-pads each axis with before[i] leading and after[i] trailing
+// zeros.
+func Pad(p *Pool, in *Tensor, before, after []int) (*Tensor, error) {
+	rank := in.Rank()
+	if len(before) != rank || len(after) != rank {
+		return nil, fmt.Errorf("tensor: Pad before/after must match rank %d", rank)
+	}
+	outShape := make([]int, rank)
+	for i := range outShape {
+		if before[i] < 0 || after[i] < 0 {
+			return nil, fmt.Errorf("tensor: Pad amounts must be non-negative")
+		}
+		outShape[i] = in.shape[i] + before[i] + after[i]
+	}
+	out := New(outShape...)
+	ost := Strides(outShape)
+	addSliceSet(out.data, in.data, outShape, in.shape, before, ost, 0, 0, 0)
+	return out, nil
+}
+
+func addSliceSet(od, id []float32, outShape, inShape, begin, ost []int, axis, ooff, ioff int) {
+	if axis == len(inShape)-1 {
+		base := ooff + begin[axis]
+		copy(od[base:base+inShape[axis]], id[ioff:ioff+inShape[axis]])
+		return
+	}
+	istride := 1
+	for i := axis + 1; i < len(inShape); i++ {
+		istride *= inShape[i]
+	}
+	for i := 0; i < inShape[axis]; i++ {
+		addSliceSet(od, id, outShape, inShape, begin, ost, axis+1,
+			ooff+(begin[axis]+i)*ost[axis], ioff+i*istride)
+	}
+}
+
+// GatherRows selects rows of params (axis 0) by integer indices stored
+// as float32 values: out[i, ...] = params[indices[i], ...]. The index
+// tensor may have any shape; its shape replaces axis 0 of params.
+func GatherRows(p *Pool, params, indices *Tensor) (*Tensor, error) {
+	if params.Rank() < 1 {
+		return nil, fmt.Errorf("tensor: GatherRows requires rank >= 1 params")
+	}
+	rowLen := params.Size() / params.shape[0]
+	outShape := append(append([]int(nil), indices.shape...), params.shape[1:]...)
+	out := New(outShape...)
+	pd, idd, od := params.data, indices.data, out.data
+	n := indices.Size()
+	for i := 0; i < n; i++ {
+		r := int(idd[i])
+		if r < 0 || r >= params.shape[0] {
+			return nil, fmt.Errorf("tensor: GatherRows index %d out of range [0,%d)", r, params.shape[0])
+		}
+		copy(od[i*rowLen:(i+1)*rowLen], pd[r*rowLen:(r+1)*rowLen])
+	}
+	return out, nil
+}
+
+// ScatterAddRows accumulates grad rows back into a zero tensor of
+// paramShape at the indexed rows (the adjoint of GatherRows).
+func ScatterAddRows(p *Pool, grad, indices *Tensor, paramShape []int) *Tensor {
+	out := New(paramShape...)
+	rowLen := out.Size() / paramShape[0]
+	gd, idd, od := grad.data, indices.data, out.data
+	n := indices.Size()
+	for i := 0; i < n; i++ {
+		r := int(idd[i])
+		dst := od[r*rowLen : (r+1)*rowLen]
+		src := gd[i*rowLen : (i+1)*rowLen]
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+	return out
+}

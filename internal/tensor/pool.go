@@ -1,0 +1,118 @@
+package tensor
+
+import "time"
+
+// Pool models an intra-operation worker pool, the analogue of the Eigen
+// thread pool TensorFlow used on CPUs when the paper was written.
+//
+// The reproduction environment has a single physical core, so real
+// threads cannot exhibit parallel speedup. Instead the pool executes
+// every chunk serially and *measures* each chunk, then reports the
+// makespan the kernel would have had under static scheduling across
+// Workers threads: max over workers of the summed chunk times. Kernels
+// whose trip count is below the parallel grain refuse to split and run
+// (and are accounted) serially, which reproduces the paper's
+// observation that small, skinny tensors do not parallelize.
+//
+// A Pool is not safe for concurrent use; the executor runs operations
+// sequentially (TensorFlow's inter-op parallelism is outside the scope
+// of the intra-op study in Fig. 6).
+type Pool struct {
+	workers int
+
+	// Accumulators for the operation currently executing. ResetOp
+	// clears them; OpTime folds them into a simulated duration.
+	simPar  time.Duration // modeled parallel time of For regions
+	realPar time.Duration // measured serial time of For regions
+	regions int           // number of For regions that actually split
+}
+
+// NewPool returns a pool modeling n workers. n < 1 is treated as 1.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the modeled worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// SetWorkers changes the modeled worker count.
+func (p *Pool) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.workers = n
+}
+
+// ResetOp clears the per-operation accumulators. The executor calls it
+// before running each operation.
+func (p *Pool) ResetOp() {
+	p.simPar = 0
+	p.realPar = 0
+	p.regions = 0
+}
+
+// OpTime converts the measured wall time of an operation into its
+// simulated duration: serial (non-For) time is kept as-is, while each
+// For region contributes its modeled makespan instead of its measured
+// serial time.
+func (p *Pool) OpTime(wall time.Duration) time.Duration {
+	d := wall - p.realPar + p.simPar
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Regions reports how many For regions split during the current
+// operation (used by tests).
+func (p *Pool) Regions() int { return p.regions }
+
+// For executes fn over [0,n) in per-worker chunks. grain is the minimum
+// number of iterations that justifies splitting: if n < grain*2 or the
+// pool has one worker, the loop runs as a single serial chunk and its
+// time counts fully toward the operation (no modeled speedup).
+//
+// When the loop does split, it is divided into exactly Workers
+// contiguous chunks; chunk i is assigned to worker i. Each chunk runs
+// serially and is timed; the modeled parallel contribution is the
+// maximum chunk time (workers run disjoint chunks concurrently in the
+// model).
+func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := p.workers
+	if w == 1 || n < grain*2 {
+		fn(0, n)
+		return
+	}
+	chunks := w
+	if c := n / grain; c < chunks {
+		chunks = c // keep every chunk at least grain iterations
+	}
+	if chunks < 2 {
+		fn(0, n)
+		return
+	}
+	p.regions++
+	var maxChunk, sum time.Duration
+	for i := 0; i < chunks; i++ {
+		lo := i * n / chunks
+		hi := (i + 1) * n / chunks
+		t0 := time.Now()
+		fn(lo, hi)
+		d := time.Since(t0)
+		sum += d
+		if d > maxChunk {
+			maxChunk = d
+		}
+	}
+	p.realPar += sum
+	p.simPar += maxChunk
+}

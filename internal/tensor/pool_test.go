@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPoolSerialWhenOneWorker(t *testing.T) {
+	p := NewPool(1)
+	var calls int
+	p.For(100, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("one worker should get a single chunk, got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("expected 1 call, got %d", calls)
+	}
+	if p.Regions() != 0 {
+		t.Fatal("serial execution must not count as a split region")
+	}
+}
+
+func TestPoolCoversRangeExactlyOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 4, 8} {
+		p := NewPool(w)
+		seen := make([]int, 1000)
+		p.For(1000, 10, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d index %d covered %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestPoolRefusesToSplitSmallLoops(t *testing.T) {
+	p := NewPool(8)
+	p.ResetOp()
+	calls := 0
+	p.For(10, 100, func(lo, hi int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("small loop should not split, got %d chunks", calls)
+	}
+	if p.Regions() != 0 {
+		t.Fatal("small loop must not count as parallel region")
+	}
+}
+
+func TestPoolChunkCountRespectsGrain(t *testing.T) {
+	p := NewPool(8)
+	p.ResetOp()
+	chunks := 0
+	// 40 items, grain 10 → at most 4 chunks even with 8 workers.
+	p.For(40, 10, func(lo, hi int) {
+		chunks++
+		if hi-lo < 10 {
+			t.Fatalf("chunk smaller than grain: [%d,%d)", lo, hi)
+		}
+	})
+	if chunks != 4 {
+		t.Fatalf("expected 4 chunks, got %d", chunks)
+	}
+}
+
+func TestPoolSimulatedSpeedup(t *testing.T) {
+	// A busy-loop workload long enough to measure. The simulated time
+	// with w workers should be roughly serial/w.
+	work := func(lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			for j := 0; j < 2000; j++ {
+				s += float64(i*j) * 1e-9
+			}
+		}
+		_ = s
+	}
+	measure := func(w int) time.Duration {
+		p := NewPool(w)
+		p.ResetOp()
+		t0 := time.Now()
+		p.For(400, 1, work)
+		return p.OpTime(time.Since(t0))
+	}
+	t1 := measure(1)
+	t4 := measure(4)
+	if t4 >= t1 {
+		t.Fatalf("4 workers should model speedup: t1=%v t4=%v", t1, t4)
+	}
+	// Ideal is 4×; allow generous slack because chunk measurements on
+	// a loaded single-core host are noisy.
+	ratio := float64(t1) / float64(t4)
+	if ratio < 1.5 || ratio > 12 {
+		t.Fatalf("speedup ratio %v out of plausible range for 4 workers", ratio)
+	}
+}
+
+func TestPoolOpTimeNeverNegative(t *testing.T) {
+	p := NewPool(4)
+	p.ResetOp()
+	p.For(1000, 1, func(lo, hi int) {})
+	if d := p.OpTime(0); d < 0 {
+		t.Fatalf("OpTime must clamp at zero, got %v", d)
+	}
+}
+
+func TestPoolSetWorkers(t *testing.T) {
+	p := NewPool(0)
+	if p.Workers() != 1 {
+		t.Fatal("worker floor is 1")
+	}
+	p.SetWorkers(6)
+	if p.Workers() != 6 {
+		t.Fatal("SetWorkers")
+	}
+	p.SetWorkers(-3)
+	if p.Workers() != 1 {
+		t.Fatal("SetWorkers floor")
+	}
+}
+
+func TestPoolZeroIterations(t *testing.T) {
+	p := NewPool(4)
+	called := false
+	p.For(0, 1, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("For(0) must not invoke fn")
+	}
+}

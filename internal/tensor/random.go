@@ -1,0 +1,31 @@
+package tensor
+
+import "math/rand"
+
+// FillNormal fills t with samples from N(mean, std²) using rng.
+func FillNormal(t *Tensor, rng *rand.Rand, mean, std float64) {
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64()*std + mean)
+	}
+}
+
+// FillUniform fills t with samples from U[lo, hi).
+func FillUniform(t *Tensor, rng *rand.Rand, lo, hi float64) {
+	for i := range t.data {
+		t.data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+}
+
+// RandNormal returns a fresh tensor of N(mean, std²) samples.
+func RandNormal(rng *rand.Rand, mean, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	FillNormal(t, rng, mean, std)
+	return t
+}
+
+// RandUniform returns a fresh tensor of U[lo, hi) samples.
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	FillUniform(t, rng, lo, hi)
+	return t
+}

@@ -1,0 +1,60 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFillNormalStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(20000)
+	FillNormal(x, rng, 3, 2)
+	var sum, sum2 float64
+	for _, v := range x.Data() {
+		sum += float64(v)
+		sum2 += float64(v) * float64(v)
+	}
+	n := float64(x.Size())
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-3) > 0.1 {
+		t.Fatalf("normal mean = %v want 3", mean)
+	}
+	if math.Abs(std-2) > 0.1 {
+		t.Fatalf("normal std = %v want 2", std)
+	}
+}
+
+func TestFillUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := RandUniform(rng, -2, 5, 5000)
+	lo, hi := x.Data()[0], x.Data()[0]
+	for _, v := range x.Data() {
+		if v < -2 || v >= 5 {
+			t.Fatalf("uniform sample %v outside [-2,5)", v)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	// With 5000 samples, the extremes should approach the bounds.
+	if lo > -1.5 || hi < 4.5 {
+		t.Fatalf("uniform samples poorly spread: [%v, %v]", lo, hi)
+	}
+}
+
+func TestRandHelpersShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandNormal(rng, 0, 1, 2, 3, 4)
+	if !SameShape(a.Shape(), []int{2, 3, 4}) {
+		t.Fatalf("RandNormal shape %v", a.Shape())
+	}
+	b := RandUniform(rng, 0, 1, 7)
+	if b.Size() != 7 {
+		t.Fatalf("RandUniform size %d", b.Size())
+	}
+}

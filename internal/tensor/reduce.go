@@ -1,0 +1,208 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// normAxes validates reduction axes against a rank, sorts out
+// duplicates, and returns a lookup set.
+func normAxes(rank int, axes []int) (map[int]bool, error) {
+	set := make(map[int]bool, len(axes))
+	for _, a := range axes {
+		if a < 0 {
+			a += rank
+		}
+		if a < 0 || a >= rank {
+			return nil, fmt.Errorf("tensor: reduction axis out of range for rank %d", rank)
+		}
+		set[a] = true
+	}
+	return set, nil
+}
+
+// ReducedShape returns the shape after reducing the given axes. When
+// keepDims is true the reduced axes remain with length 1; otherwise
+// they are removed (a full reduction yields a scalar shape).
+func ReducedShape(shape, axes []int, keepDims bool) ([]int, error) {
+	set, err := normAxes(len(shape), axes)
+	if err != nil {
+		return nil, err
+	}
+	if len(axes) == 0 { // reduce all
+		if keepDims {
+			out := make([]int, len(shape))
+			for i := range out {
+				out[i] = 1
+			}
+			return out, nil
+		}
+		return []int{}, nil
+	}
+	var out []int
+	for i, d := range shape {
+		if set[i] {
+			if keepDims {
+				out = append(out, 1)
+			}
+			continue
+		}
+		out = append(out, d)
+	}
+	if out == nil {
+		out = []int{}
+	}
+	return out, nil
+}
+
+// Reduce applies a sum/max reduction over the given axes (empty axes =
+// all). kind is "sum", "mean" or "max".
+func Reduce(p *Pool, in *Tensor, axes []int, keepDims bool, kind string) (*Tensor, error) {
+	outShape, err := ReducedShape(in.shape, axes, keepDims)
+	if err != nil {
+		return nil, err
+	}
+	set, _ := normAxes(in.Rank(), axes)
+	reduceAll := len(axes) == 0
+	out := New(outShape...)
+	if kind == "max" {
+		out.Fill(negInf)
+	}
+	// Build strides of the output aligned to the input's index space:
+	// reduced axes contribute stride 0.
+	ost := make([]int, in.Rank())
+	{
+		full := make([]int, 0, in.Rank())
+		for i, d := range in.shape {
+			if reduceAll || set[i] {
+				full = append(full, 1)
+			} else {
+				full = append(full, d)
+			}
+		}
+		fs := Strides(full)
+		for i := range ost {
+			ost[i] = fs[i]
+			if reduceAll || set[i] {
+				ost[i] = 0
+			}
+		}
+	}
+	id, od := in.data, out.data
+	rank := in.Rank()
+	idx := make([]int, rank)
+	oo := 0
+	var count float64
+	if kind == "mean" {
+		count = float64(in.Size()) / float64(max(1, out.Size()))
+	}
+	for pos := 0; pos < len(id); pos++ {
+		switch kind {
+		case "sum", "mean":
+			od[oo] += id[pos]
+		case "max":
+			if id[pos] > od[oo] {
+				od[oo] = id[pos]
+			}
+		}
+		for i := rank - 1; i >= 0; i-- {
+			idx[i]++
+			oo += ost[i]
+			if idx[i] < in.shape[i] {
+				break
+			}
+			idx[i] = 0
+			oo -= ost[i] * in.shape[i]
+		}
+	}
+	if kind == "mean" && count > 0 {
+		inv := float32(1 / count)
+		for i := range od {
+			od[i] *= inv
+		}
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Softmax computes row-wise softmax over the last axis.
+func Softmax(p *Pool, in *Tensor) *Tensor {
+	c := in.shape[len(in.shape)-1]
+	rows := in.Size() / c
+	out := New(in.shape...)
+	id, od := in.data, out.data
+	p.For(rows, 64, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := id[r*c : (r+1)*c]
+			orow := od[r*c : (r+1)*c]
+			m := row[0]
+			for _, v := range row {
+				if v > m {
+					m = v
+				}
+			}
+			var sum float32
+			for j, v := range row {
+				e := float32(math.Exp(float64(v - m)))
+				orow[j] = e
+				sum += e
+			}
+			inv := 1 / sum
+			for j := range orow {
+				orow[j] *= inv
+			}
+		}
+	})
+	return out
+}
+
+// LogSumExp computes log(Σ exp(x)) over the last axis, one value per
+// row, returned with the last axis removed.
+func LogSumExp(p *Pool, in *Tensor) *Tensor {
+	c := in.shape[len(in.shape)-1]
+	rows := in.Size() / c
+	out := New(in.shape[:len(in.shape)-1]...)
+	id, od := in.data, out.data
+	p.For(rows, 64, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := id[r*c : (r+1)*c]
+			m := row[0]
+			for _, v := range row {
+				if v > m {
+					m = v
+				}
+			}
+			var sum float64
+			for _, v := range row {
+				sum += math.Exp(float64(v - m))
+			}
+			od[r] = m + float32(math.Log(sum))
+		}
+	})
+	return out
+}
+
+// ArgMax returns the index of the maximum along the last axis, stored
+// as float32 values, with the last axis removed.
+func ArgMax(in *Tensor) *Tensor {
+	c := in.shape[len(in.shape)-1]
+	rows := in.Size() / c
+	out := New(in.shape[:len(in.shape)-1]...)
+	for r := 0; r < rows; r++ {
+		row := in.data[r*c : (r+1)*c]
+		bi, bv := 0, row[0]
+		for j, v := range row {
+			if v > bv {
+				bv, bi = v, j
+			}
+		}
+		out.data[r] = float32(bi)
+	}
+	return out
+}

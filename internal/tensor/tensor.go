@@ -1,0 +1,211 @@
+// Package tensor provides the dense numeric substrate for the Fathom
+// reproduction: a row-major float32 tensor, broadcasting, the compute
+// kernels that back the operation library (matrix multiplication,
+// convolution, pooling, reductions), and a virtual thread pool that
+// models intra-operation parallelism (see Pool).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense, row-major float32 array with an explicit shape.
+// A scalar is represented by an empty shape and a single element.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := checkedSize(shape)
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is not
+// copied; it must have exactly Size(shape) elements.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := checkedSize(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (size %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Scalar returns a 0-dimensional tensor holding v.
+func Scalar(v float32) *Tensor {
+	return &Tensor{shape: []int{}, data: []float32{v}}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor of ones.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+func checkedSize(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// SizeOf returns the element count of a shape.
+func SizeOf(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// SameShape reports whether two shapes are identical.
+func SameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShapeString formats a shape like "[4 8 8 3]".
+func ShapeString(s []int) string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Shape returns the tensor's shape. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Data returns the underlying storage. Mutations are visible to every
+// view of the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Size returns the number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Dim returns the length of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float32, len(t.data))
+	copy(d, t.data)
+	return &Tensor{shape: append([]int(nil), t.shape...), data: d}
+}
+
+// Reshape returns a view with a new shape sharing the same storage.
+// The new shape must have the same element count.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if SizeOf(shape) != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (size %d) to %v", t.shape, len(t.data), shape))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to zero.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match rank of shape %v", idx, t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Strides returns the row-major strides of the shape.
+func Strides(shape []int) []int {
+	s := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= shape[i]
+	}
+	return s
+}
+
+// String renders small tensors fully and large ones as a summary.
+func (t *Tensor) String() string {
+	if len(t.data) <= 16 {
+		return fmt.Sprintf("Tensor%s%v", ShapeString(t.shape), t.data)
+	}
+	return fmt.Sprintf("Tensor%s[%g %g ... %g]", ShapeString(t.shape), t.data[0], t.data[1], t.data[len(t.data)-1])
+}
+
+// AllClose reports whether a and b have identical shapes and every pair
+// of elements differs by at most atol + rtol*|b|.
+func AllClose(a, b *Tensor, rtol, atol float64) bool {
+	if !SameShape(a.shape, b.shape) {
+		return false
+	}
+	for i := range a.data {
+		x, y := float64(a.data[i]), float64(b.data[i])
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return false
+		}
+		if math.Abs(x-y) > atol+rtol*math.Abs(y) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference
+// between two same-shaped tensors.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if !SameShape(a.shape, b.shape) {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	m := 0.0
+	for i := range a.data {
+		d := math.Abs(float64(a.data[i]) - float64(b.data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
