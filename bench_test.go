@@ -114,6 +114,7 @@ func benchStep(b *testing.B, name string, mode core.Mode) {
 	if err := m.Step(s, mode); err != nil { // warm the plan cache
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := m.Step(s, mode); err != nil {

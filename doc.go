@@ -7,4 +7,22 @@
 // the characterization toolkit that regenerates every table and figure
 // of the paper's evaluation. See DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
+//
+// # Execution architecture
+//
+// The runtime compiles each fetch set into an execution plan
+// (runtime.Plan): the schedule is topologically sorted once, liveness
+// analysis assigns every operation output a slot in a size-bucketed
+// buffer arena (tensor.Arena), and operations implementing
+// graph.IntoOp write their results into those preassigned slots, so
+// steady-state steps run with near-zero heap allocation. Tensors
+// returned from Session.Run are copied out of arena memory, so results
+// stay valid across steps.
+//
+// The two hottest kernels are blocked for cache behavior:
+// tensor.MatMul dispatches large products to a tiled GEMM that packs A
+// and B panels into contiguous scratch ahead of a 4-row register-
+// blocked microkernel, and tensor.Conv2D lowers large unit-stride
+// convolutions to im2col + packed matmul (1×1 convolutions go straight
+// to GEMM; small or strided shapes keep the direct loop).
 package repro

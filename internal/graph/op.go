@@ -99,6 +99,22 @@ type Op interface {
 	Forward(ctx *ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error)
 }
 
+// IntoOp is implemented by operations that can write their result into
+// a caller-provided destination tensor instead of allocating one — the
+// fast path compiled execution plans use to run steady-state steps
+// without heap allocation (see the runtime package).
+//
+// Contract: out has the statically inferred output shape, holds
+// arbitrary stale data, and never aliases any input; ForwardInto must
+// fully overwrite it (zeroing first if it accumulates) and must return
+// exactly the values Forward would. Ops that may return a view of an
+// input (Identity, Reshape, inference-mode Dropout) must not implement
+// IntoOp.
+type IntoOp interface {
+	Op
+	ForwardInto(ctx *ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error
+}
+
 // GradOp is implemented by differentiable operations. Grad emits new
 // graph nodes computing the gradient with respect to each input given
 // the upstream gradient node; a nil entry means "no gradient flows to

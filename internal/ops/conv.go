@@ -37,6 +37,11 @@ func (o conv2DOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.
 	return tensor.Conv2D(ctx.Pool, in[0], in[1], o.spec)
 }
 
+// ForwardInto implements graph.IntoOp.
+func (o conv2DOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.Conv2DInto(ctx.Pool, out, in[0], in[1], o.spec)
+}
+
 func convFlops(x, f, out []int) int64 {
 	// 2 × output cells × filter window × input channels.
 	cells := int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(out[3])
@@ -77,6 +82,11 @@ func (o conv2DBackFilterOp) InferShape(in [][]int) ([]int, error) {
 func (o conv2DBackFilterOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.Conv2DBackFilter(ctx.Pool, in[0], in[1], o.kh, o.kw, o.spec)
 }
+
+// ForwardInto implements graph.IntoOp.
+func (o conv2DBackFilterOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.Conv2DBackFilterInto(ctx.Pool, out, in[0], in[1], o.kh, o.kw, o.spec)
+}
 func (o conv2DBackFilterOp) Cost(in [][]int, out []int) (int64, int64) {
 	cells := int64(in[1][0]) * int64(in[1][1]) * int64(in[1][2]) * int64(in[1][3])
 	return 2 * cells * int64(o.kh) * int64(o.kw) * int64(in[0][3]), defaultBytes(in, out)
@@ -97,6 +107,11 @@ func (o conv2DBackInputOp) InferShape(in [][]int) ([]int, error) {
 }
 func (o conv2DBackInputOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.Conv2DBackInput(ctx.Pool, in[0], in[1], o.h, o.w, o.spec)
+}
+
+// ForwardInto implements graph.IntoOp.
+func (o conv2DBackInputOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.Conv2DBackInputInto(ctx.Pool, out, in[0], in[1], o.h, o.w, o.spec)
 }
 func (o conv2DBackInputOp) Cost(in [][]int, out []int) (int64, int64) {
 	cells := int64(in[1][0]) * int64(in[1][1]) * int64(in[1][2]) * int64(in[1][3])
@@ -126,6 +141,11 @@ func (o maxPoolOp) InferShape(in [][]int) ([]int, error) {
 func (o maxPoolOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.MaxPool(ctx.Pool, in[0], o.k, o.s, o.pad)
 }
+
+// ForwardInto implements graph.IntoOp.
+func (o maxPoolOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.MaxPoolInto(ctx.Pool, out, in[0], o.k, o.s, o.pad)
+}
 func (o maxPoolOp) Grad(g *graph.Graph, n *graph.Node, grad *graph.Node) ([]*graph.Node, error) {
 	return []*graph.Node{g.MustApply(maxPoolGradOp{o.k, o.s, o.pad}, n.Inputs()[0], grad)}, nil
 }
@@ -142,6 +162,11 @@ func (o maxPoolGradOp) InferShape(in [][]int) ([]int, error) {
 }
 func (o maxPoolGradOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.MaxPoolGrad(ctx.Pool, in[0], in[1], o.k, o.s, o.pad)
+}
+
+// ForwardInto implements graph.IntoOp.
+func (o maxPoolGradOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.MaxPoolGradInto(ctx.Pool, out, in[0], in[1], o.k, o.s, o.pad)
 }
 
 // MaxPool applies k×k max pooling with stride s and padding pad.
@@ -170,6 +195,11 @@ func (o avgPoolOp) InferShape(in [][]int) ([]int, error) {
 func (o avgPoolOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.AvgPool(ctx.Pool, in[0], o.k, o.s, o.pad)
 }
+
+// ForwardInto implements graph.IntoOp.
+func (o avgPoolOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.AvgPoolInto(ctx.Pool, out, in[0], o.k, o.s, o.pad)
+}
 func (o avgPoolOp) Grad(g *graph.Graph, n *graph.Node, grad *graph.Node) ([]*graph.Node, error) {
 	return []*graph.Node{g.MustApply(avgPoolGradOp{o.k, o.s, o.pad, copyShape(n.Inputs()[0].Shape())}, grad)}, nil
 }
@@ -189,6 +219,11 @@ func (o avgPoolGradOp) InferShape(in [][]int) ([]int, error) {
 }
 func (o avgPoolGradOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.AvgPoolGrad(ctx.Pool, o.inShape, in[0], o.k, o.s, o.pad)
+}
+
+// ForwardInto implements graph.IntoOp.
+func (o avgPoolGradOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.AvgPoolGradInto(ctx.Pool, out, in[0], o.k, o.s, o.pad)
 }
 
 // AvgPool applies k×k average pooling with stride s and padding pad.

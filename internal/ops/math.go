@@ -36,33 +36,41 @@ func (o binOp) InferShape(in [][]int) ([]int, error) {
 	return tensor.BroadcastShapes(in[0], in[1])
 }
 
-func (o binOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	var fn func(a, b float32) float32
+func (o binOp) fn() func(a, b float32) float32 {
 	switch o.kind {
 	case binAdd:
-		fn = func(a, b float32) float32 { return a + b }
+		return func(a, b float32) float32 { return a + b }
 	case binSub:
-		fn = func(a, b float32) float32 { return a - b }
+		return func(a, b float32) float32 { return a - b }
 	case binMul:
-		fn = func(a, b float32) float32 { return a * b }
+		return func(a, b float32) float32 { return a * b }
 	case binDiv:
-		fn = func(a, b float32) float32 { return a / b }
+		return func(a, b float32) float32 { return a / b }
 	case binMaximum:
-		fn = func(a, b float32) float32 {
+		return func(a, b float32) float32 {
 			if a > b {
 				return a
 			}
 			return b
 		}
 	case binMinimum:
-		fn = func(a, b float32) float32 {
+		return func(a, b float32) float32 {
 			if a < b {
 				return a
 			}
 			return b
 		}
 	}
-	return tensor.BinaryOp(ctx.Pool, in[0], in[1], fn)
+	panic("ops: unhandled binary kind")
+}
+
+func (o binOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.BinaryOp(ctx.Pool, in[0], in[1], o.fn())
+}
+
+// ForwardInto implements graph.IntoOp.
+func (o binOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.BinaryOpInto(ctx.Pool, out, in[0], in[1], o.fn())
 }
 
 func (o binOp) Cost(in [][]int, out []int) (int64, int64) {
@@ -143,13 +151,20 @@ func (lessEqualOp) InferShape(in [][]int) ([]int, error) {
 	}
 	return tensor.BroadcastShapes(in[0], in[1])
 }
+func lessEqualFn(a, b float32) float32 {
+	if a <= b {
+		return 1
+	}
+	return 0
+}
+
 func (lessEqualOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	return tensor.BinaryOp(ctx.Pool, in[0], in[1], func(a, b float32) float32 {
-		if a <= b {
-			return 1
-		}
-		return 0
-	})
+	return tensor.BinaryOp(ctx.Pool, in[0], in[1], lessEqualFn)
+}
+
+// ForwardInto implements graph.IntoOp.
+func (lessEqualOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.BinaryOpInto(ctx.Pool, out, in[0], in[1], lessEqualFn)
 }
 
 // LessEqual returns the 0/1 mask of a <= b (no gradient).
@@ -165,13 +180,20 @@ func (equalOp) InferShape(in [][]int) ([]int, error) {
 	}
 	return tensor.BroadcastShapes(in[0], in[1])
 }
+func equalFn(a, b float32) float32 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
 func (equalOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	return tensor.BinaryOp(ctx.Pool, in[0], in[1], func(a, b float32) float32 {
-		if a == b {
-			return 1
-		}
-		return 0
-	})
+	return tensor.BinaryOp(ctx.Pool, in[0], in[1], equalFn)
+}
+
+// ForwardInto implements graph.IntoOp.
+func (equalOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.BinaryOpInto(ctx.Pool, out, in[0], in[1], equalFn)
 }
 
 // Equal returns the 0/1 mask of a == b (no gradient).
@@ -206,32 +228,40 @@ func (o unOp) InferShape(in [][]int) ([]int, error) {
 	return copyShape(in[0]), nil
 }
 
-func (o unOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	var fn func(x float32) float32
+func (o unOp) fn() func(x float32) float32 {
 	switch o.kind {
 	case unNeg:
-		fn = func(x float32) float32 { return -x }
+		return func(x float32) float32 { return -x }
 	case unExp:
-		fn = func(x float32) float32 { return float32(math.Exp(float64(x))) }
+		return func(x float32) float32 { return float32(math.Exp(float64(x))) }
 	case unLog:
-		fn = func(x float32) float32 { return float32(math.Log(float64(x))) }
+		return func(x float32) float32 { return float32(math.Log(float64(x))) }
 	case unSqrt:
-		fn = func(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+		return func(x float32) float32 { return float32(math.Sqrt(float64(x))) }
 	case unSquare:
-		fn = func(x float32) float32 { return x * x }
+		return func(x float32) float32 { return x * x }
 	case unTanh:
-		fn = func(x float32) float32 { return float32(math.Tanh(float64(x))) }
+		return func(x float32) float32 { return float32(math.Tanh(float64(x))) }
 	case unSigmoid:
-		fn = func(x float32) float32 { return float32(1 / (1 + math.Exp(-float64(x)))) }
+		return func(x float32) float32 { return float32(1 / (1 + math.Exp(-float64(x)))) }
 	case unRelu:
-		fn = func(x float32) float32 {
+		return func(x float32) float32 {
 			if x > 0 {
 				return x
 			}
 			return 0
 		}
 	}
-	return tensor.UnaryOp(ctx.Pool, in[0], fn), nil
+	panic("ops: unhandled unary kind")
+}
+
+func (o unOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.UnaryOp(ctx.Pool, in[0], o.fn()), nil
+}
+
+// ForwardInto implements graph.IntoOp.
+func (o unOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.UnaryOpInto(ctx.Pool, out, in[0], o.fn())
 }
 
 func (o unOp) Cost(in [][]int, out []int) (int64, int64) {
@@ -308,13 +338,20 @@ func (reluGradOp) InferShape(in [][]int) ([]int, error) {
 	}
 	return copyShape(in[0]), nil
 }
+func reluGradFn(gv, xv float32) float32 {
+	if xv > 0 {
+		return gv
+	}
+	return 0
+}
+
 func (reluGradOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	return tensor.BinaryOp(ctx.Pool, in[0], in[1], func(gv, xv float32) float32 {
-		if xv > 0 {
-			return gv
-		}
-		return 0
-	})
+	return tensor.BinaryOp(ctx.Pool, in[0], in[1], reluGradFn)
+}
+
+// ForwardInto implements graph.IntoOp.
+func (reluGradOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.BinaryOpInto(ctx.Pool, out, in[0], in[1], reluGradFn)
 }
 
 // ---- Pow with constant exponent (class C) ----
@@ -329,11 +366,20 @@ func (o powOp) InferShape(in [][]int) ([]int, error) {
 	}
 	return copyShape(in[0]), nil
 }
-func (o powOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+func (o powOp) fn() func(x float32) float32 {
 	e := float64(o.e)
-	return tensor.UnaryOp(ctx.Pool, in[0], func(x float32) float32 {
+	return func(x float32) float32 {
 		return float32(math.Pow(float64(x), e))
-	}), nil
+	}
+}
+
+func (o powOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.UnaryOp(ctx.Pool, in[0], o.fn()), nil
+}
+
+// ForwardInto implements graph.IntoOp.
+func (o powOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.UnaryOpInto(ctx.Pool, out, in[0], o.fn())
 }
 func (o powOp) Grad(g *graph.Graph, n *graph.Node, grad *graph.Node) ([]*graph.Node, error) {
 	x := n.Inputs()[0]
@@ -357,9 +403,9 @@ func (o huberOp) InferShape(in [][]int) ([]int, error) {
 	}
 	return copyShape(in[0]), nil
 }
-func (o huberOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+func (o huberOp) fn() func(x float32) float32 {
 	d := o.delta
-	return tensor.UnaryOp(ctx.Pool, in[0], func(x float32) float32 {
+	return func(x float32) float32 {
 		a := x
 		if a < 0 {
 			a = -a
@@ -368,7 +414,16 @@ func (o huberOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.T
 			return 0.5 * x * x
 		}
 		return d * (a - 0.5*d)
-	}), nil
+	}
+}
+
+func (o huberOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.UnaryOp(ctx.Pool, in[0], o.fn()), nil
+}
+
+// ForwardInto implements graph.IntoOp.
+func (o huberOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.UnaryOpInto(ctx.Pool, out, in[0], o.fn())
 }
 func (o huberOp) Grad(g *graph.Graph, n *graph.Node, grad *graph.Node) ([]*graph.Node, error) {
 	// d/dx Huber = clamp(x, -δ, δ): the DQN error-clipping trick.

@@ -45,6 +45,11 @@ func (o matMulOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.
 	return tensor.MatMul(ctx.Pool, in[0], in[1], o.transA, o.transB)
 }
 
+// ForwardInto implements graph.IntoOp.
+func (o matMulOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.MatMulInto(ctx.Pool, out, in[0], in[1], o.transA, o.transB)
+}
+
 func (o matMulOp) Cost(in [][]int, out []int) (int64, int64) {
 	m, k, n, err := o.dims(in)
 	if err != nil {

@@ -38,6 +38,11 @@ func (o reduceOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.
 	return tensor.Reduce(ctx.Pool, in[0], o.axes, o.keepDims, o.kind)
 }
 
+// ForwardInto implements graph.IntoOp.
+func (o reduceOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.ReduceInto(ctx.Pool, out, in[0], o.axes, o.keepDims, o.kind)
+}
+
 func (o reduceOp) Cost(in [][]int, out []int) (int64, int64) {
 	return int64(tensor.SizeOf(in[0])), defaultBytes(in, out)
 }
@@ -156,6 +161,11 @@ func (o sumToOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.T
 	return tensor.ReduceGradToShape(ctx.Pool, in[0], o.target), nil
 }
 
+// ForwardInto implements graph.IntoOp.
+func (o sumToOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.ReduceGradToShapeInto(ctx.Pool, out, in[0])
+}
+
 // SumTo reduces x to the given shape (the adjoint of broadcasting).
 func SumTo(x *graph.Node, shape []int) *graph.Node {
 	return sumToShape(x.Graph(), x, shape)
@@ -200,6 +210,11 @@ func (softmaxOp) InferShape(in [][]int) ([]int, error) {
 }
 func (softmaxOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.Softmax(ctx.Pool, in[0]), nil
+}
+
+// ForwardInto implements graph.IntoOp.
+func (softmaxOp) ForwardInto(ctx *graph.ExecContext, in []*tensor.Tensor, out *tensor.Tensor) error {
+	return tensor.SoftmaxInto(ctx.Pool, out, in[0])
 }
 func (softmaxOp) Grad(g *graph.Graph, n *graph.Node, grad *graph.Node) ([]*graph.Node, error) {
 	return []*graph.Node{g.MustApply(softmaxGradOp{}, n, grad)}, nil

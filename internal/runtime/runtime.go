@@ -4,6 +4,28 @@
 // a CPU whose op timings come from measured kernels under the virtual
 // thread pool, and a modeled GPU using a roofline cost model (the
 // substitution for the paper's GTX 960; see DESIGN.md §4.2).
+//
+// # Compiled execution plans
+//
+// The first Run of a fetch set compiles it into a Plan: the transitive
+// dependencies in topological order, plus a static buffer assignment.
+// Compilation performs liveness analysis over the schedule — tracking
+// which operation last reads each intermediate, and which values may
+// alias which buffers through view-producing operations — and assigns
+// every operation that implements graph.IntoOp a destination slot in a
+// size-bucketed buffer arena (tensor.Arena). Two intermediates with
+// disjoint lifetimes share one buffer, and because plans are cached on
+// the session, steady-state steps execute with near-zero heap
+// allocation: operations write into their preassigned slots through
+// the ForwardInto fast path (see IntoRunner).
+//
+// Tensors returned from Run never alias arena memory: any fetch whose
+// value may reach an arena slot is deep-copied on the way out
+// (copy-on-fetch), so callers can hold results across subsequent Runs.
+// Operations that cannot run into a preassigned buffer (views such as
+// Reshape, stateful random ops) keep the allocating Forward path, and
+// the liveness analysis conservatively treats their outputs as aliases
+// of every input.
 package runtime
 
 import (
@@ -33,6 +55,15 @@ type Device interface {
 	Run(ctx *graph.ExecContext, n *graph.Node, in []*tensor.Tensor) (*tensor.Tensor, time.Duration, error)
 }
 
+// IntoRunner is implemented by devices that support the
+// allocation-free fast path: executing a graph.IntoOp into a
+// plan-assigned destination buffer. Both built-in devices implement
+// it; plans fall back to the allocating Device.Run path when the
+// session's device does not.
+type IntoRunner interface {
+	RunInto(ctx *graph.ExecContext, n *graph.Node, in []*tensor.Tensor, out *tensor.Tensor) (time.Duration, error)
+}
+
 // CPUDevice executes kernels through the virtual thread pool and
 // reports the pool's simulated parallel time (measured chunk makespan;
 // see tensor.Pool).
@@ -48,6 +79,15 @@ func (CPUDevice) Run(ctx *graph.ExecContext, n *graph.Node, in []*tensor.Tensor)
 	out, err := n.Op().Forward(ctx, in)
 	wall := time.Since(t0)
 	return out, ctx.Pool.OpTime(wall), err
+}
+
+// RunInto implements IntoRunner.
+func (CPUDevice) RunInto(ctx *graph.ExecContext, n *graph.Node, in []*tensor.Tensor, out *tensor.Tensor) (time.Duration, error) {
+	ctx.Pool.ResetOp()
+	t0 := time.Now()
+	err := n.Op().(graph.IntoOp).ForwardInto(ctx, in, out)
+	wall := time.Since(t0)
+	return ctx.Pool.OpTime(wall), err
 }
 
 // GPUDevice executes kernels on the CPU for numerical correctness but
@@ -81,12 +121,8 @@ func NewGTX960() *GPUDevice {
 // Name implements Device.
 func (d *GPUDevice) Name() string { return "gpu" }
 
-// Run implements Device.
-func (d *GPUDevice) Run(ctx *graph.ExecContext, n *graph.Node, in []*tensor.Tensor) (*tensor.Tensor, time.Duration, error) {
-	out, err := n.Op().Forward(ctx, in)
-	if err != nil {
-		return nil, 0, err
-	}
+// modelTime computes the roofline duration for executing n.
+func (d *GPUDevice) modelTime(n *graph.Node) time.Duration {
 	inShapes := make([][]int, len(n.Inputs()))
 	for i, x := range n.Inputs() {
 		inShapes[i] = x.Shape()
@@ -113,11 +149,58 @@ func (d *GPUDevice) Run(ctx *graph.ExecContext, n *graph.Node, in []*tensor.Tens
 	if bt > t {
 		t = bt
 	}
-	return out, d.Launch + time.Duration(t*float64(time.Second)), nil
+	return d.Launch + time.Duration(t*float64(time.Second))
+}
+
+// Run implements Device.
+func (d *GPUDevice) Run(ctx *graph.ExecContext, n *graph.Node, in []*tensor.Tensor) (*tensor.Tensor, time.Duration, error) {
+	out, err := n.Op().Forward(ctx, in)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, d.modelTime(n), nil
+}
+
+// RunInto implements IntoRunner.
+func (d *GPUDevice) RunInto(ctx *graph.ExecContext, n *graph.Node, in []*tensor.Tensor, out *tensor.Tensor) (time.Duration, error) {
+	if err := n.Op().(graph.IntoOp).ForwardInto(ctx, in, out); err != nil {
+		return 0, err
+	}
+	return d.modelTime(n), nil
 }
 
 // Feeds maps placeholder nodes to their input tensors for one Run.
 type Feeds map[*graph.Node]*tensor.Tensor
+
+// planStep is one scheduled node of a compiled plan.
+type planStep struct {
+	node *graph.Node
+	kind graph.NodeKind
+	ins  []int            // value positions of the node's inputs
+	in   []*tensor.Tensor // reusable input gather buffer
+	out  *tensor.Tensor   // arena-backed destination (fast path only)
+	into graph.IntoOp     // non-nil iff out is set
+}
+
+// Plan is a compiled execution schedule for one fetch set: the
+// topological order of the transitive dependencies plus the static
+// arena-buffer assignment produced by liveness analysis. Plans are
+// cached per session and reused by every Run with the same fetches.
+type Plan struct {
+	steps     []planStep
+	values    []*tensor.Tensor // per-step results, reused across Runs
+	fetchPos  []int            // value position of each fetch
+	fetchCopy []bool           // fetch may alias arena memory → clone
+	slots     int              // arena slots assigned
+	buffers   int              // distinct arena buffers backing them
+}
+
+// Slots reports how many operation outputs were assigned arena slots.
+func (p *Plan) Slots() int { return p.slots }
+
+// Buffers reports how many distinct arena buffers back those slots;
+// slots minus buffers is the number of in-plan buffer reuses.
+func (p *Plan) Buffers() int { return p.buffers }
 
 // Session executes fetches against a graph on a device, accumulating
 // an operation trace on a simulated timeline.
@@ -131,7 +214,8 @@ type Session struct {
 	traceOn bool
 	trace   []Event
 
-	planCache map[string][]*graph.Node
+	arena     *tensor.Arena
+	planCache map[string]*Plan
 }
 
 // Option configures a Session.
@@ -160,7 +244,8 @@ func NewSession(g *graph.Graph, opts ...Option) *Session {
 			Pool: tensor.NewPool(1),
 			RNG:  rand.New(rand.NewSource(1)),
 		},
-		planCache: map[string][]*graph.Node{},
+		arena:     tensor.NewArena(),
+		planCache: map[string]*Plan{},
 	}
 	for _, o := range opts {
 		o(s)
@@ -173,6 +258,9 @@ func (s *Session) Context() *graph.ExecContext { return s.ctx }
 
 // Device returns the session's device.
 func (s *Session) Device() Device { return s.dev }
+
+// Arena exposes the session's buffer arena (stats, tests).
+func (s *Session) Arena() *tensor.Arena { return s.arena }
 
 // SetTraining sets the mode flag seen by mode-dependent ops.
 func (s *Session) SetTraining(v bool) { s.ctx.Training = v }
@@ -201,52 +289,198 @@ func planKey(fetches []*graph.Node) string {
 	return string(b)
 }
 
-// Run evaluates fetches given feeds, returning one tensor per fetch.
-func (s *Session) Run(fetches []*graph.Node, feeds Feeds) ([]*tensor.Tensor, error) {
+// Plan returns the compiled plan for a fetch set, compiling and
+// caching it if needed.
+func (s *Session) Plan(fetches []*graph.Node) *Plan {
 	key := planKey(fetches)
 	plan, ok := s.planCache[key]
 	if !ok {
-		plan = graph.Topo(fetches)
+		plan = s.compile(fetches)
 		s.planCache[key] = plan
 	}
+	return plan
+}
+
+// compile builds the execution plan: topological order, alias-aware
+// liveness analysis, and greedy arena-slot assignment.
+func (s *Session) compile(fetches []*graph.Node) *Plan {
+	order := graph.Topo(fetches)
+	n := len(order)
+	pos := make(map[*graph.Node]int, n)
+	for i, nd := range order {
+		pos[nd] = i
+	}
+
+	// lastUse[i]: the latest schedule position that reads node i's
+	// value (its own position if nothing does).
+	lastUse := make([]int, n)
+	for i := range order {
+		lastUse[i] = i
+	}
+	for i, nd := range order {
+		for _, in := range nd.Inputs() {
+			lastUse[pos[in]] = i
+		}
+	}
+
+	_, devOK := s.dev.(IntoRunner)
+
+	// aliases[i]: the arena slots node i's value may reference. An op
+	// with a ForwardInto fast path owns exactly its own slot (its
+	// output is always freshly written arena memory). Any other op is
+	// conservatively assumed to return a view of its inputs (Reshape,
+	// Identity, inference-mode Dropout do), so it propagates the union
+	// of their alias sets.
+	steps := make([]planStep, n)
+	aliases := make([][]int, n)
+	for i, nd := range order {
+		st := planStep{node: nd, kind: nd.Kind()}
+		if nd.Kind() == graph.KindOp {
+			ins := nd.Inputs()
+			st.ins = make([]int, len(ins))
+			st.in = make([]*tensor.Tensor, len(ins))
+			for j, in := range ins {
+				st.ins[j] = pos[in]
+			}
+			if io, ok := nd.Op().(graph.IntoOp); ok && devOK && tensor.SizeOf(nd.Shape()) > 0 {
+				st.into = io
+				aliases[i] = []int{i}
+			} else {
+				var set []int
+				for _, j := range st.ins {
+					for _, sl := range aliases[j] {
+						if !containsInt(set, sl) {
+							set = append(set, sl)
+						}
+					}
+				}
+				aliases[i] = set
+			}
+		}
+		steps[i] = st
+	}
+
+	// slotEnd[sl]: the schedule position after which slot sl's buffer
+	// is dead. A slot reachable from a fetch is pinned for the whole
+	// run (position n) and its fetch is cloned on the way out.
+	slotEnd := make(map[int]int)
+	for i := range order {
+		for _, sl := range aliases[i] {
+			if lastUse[i] > slotEnd[sl] {
+				slotEnd[sl] = lastUse[i]
+			}
+		}
+	}
+	fetchPos := make([]int, len(fetches))
+	fetchCopy := make([]bool, len(fetches))
+	for j, f := range fetches {
+		i := pos[f]
+		fetchPos[j] = i
+		fetchCopy[j] = len(aliases[i]) > 0
+		for _, sl := range aliases[i] {
+			slotEnd[sl] = n
+		}
+	}
+
+	// Greedy buffer assignment: walk the schedule, draw each slot's
+	// buffer from the arena, and return it as soon as the scan passes
+	// its last use, so later slots with disjoint lifetimes reuse it.
+	// A node's destination is drawn while all of its inputs' buffers
+	// are still checked out, so out never aliases an input.
+	releaseAt := make([][]int, n)
+	for sl, e := range slotEnd {
+		if e < n {
+			releaseAt[e] = append(releaseAt[e], sl)
+		}
+	}
+	bufs := make(map[int]*tensor.Tensor, len(slotEnd))
+	seen := make(map[*float32]bool)
+	plan := &Plan{steps: steps, values: make([]*tensor.Tensor, n), fetchPos: fetchPos, fetchCopy: fetchCopy}
+	for i := range order {
+		if steps[i].into != nil {
+			buf := s.arena.Get(tensor.SizeOf(order[i].Shape()))
+			t := tensor.FromSlice(buf, order[i].Shape()...)
+			bufs[i] = t
+			steps[i].out = t
+			plan.slots++
+			if d := t.Data(); !seen[&d[0]] {
+				seen[&d[0]] = true
+				plan.buffers++
+			}
+		}
+		for _, sl := range releaseAt[i] {
+			s.arena.Put(bufs[sl].Data())
+		}
+	}
+	return plan
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Run evaluates fetches given feeds, returning one tensor per fetch.
+// The returned tensors never alias plan buffers: they remain valid
+// across subsequent Runs.
+func (s *Session) Run(fetches []*graph.Node, feeds Feeds) ([]*tensor.Tensor, error) {
+	plan := s.Plan(fetches)
 	s.ctx.Step = s.step
-	values := make(map[*graph.Node]*tensor.Tensor, len(plan))
-	for _, n := range plan {
-		switch n.Kind() {
+	values := plan.values
+	for i := range plan.steps {
+		st := &plan.steps[i]
+		nd := st.node
+		switch st.kind {
 		case graph.KindConst, graph.KindVariable:
-			values[n] = n.Value()
+			values[i] = nd.Value()
 		case graph.KindPlaceholder:
-			v, ok := feeds[n]
+			v, ok := feeds[nd]
 			if !ok {
-				return nil, fmt.Errorf("runtime: missing feed for placeholder %q", n.Name())
+				return nil, fmt.Errorf("runtime: missing feed for placeholder %q", nd.Name())
 			}
-			if !tensor.SameShape(v.Shape(), n.Shape()) {
-				return nil, fmt.Errorf("runtime: feed for %q has shape %v, want %v", n.Name(), v.Shape(), n.Shape())
+			if !tensor.SameShape(v.Shape(), nd.Shape()) {
+				return nil, fmt.Errorf("runtime: feed for %q has shape %v, want %v", nd.Name(), v.Shape(), nd.Shape())
 			}
-			values[n] = v
+			values[i] = v
 		case graph.KindOp:
-			ins := make([]*tensor.Tensor, len(n.Inputs()))
-			for i, in := range n.Inputs() {
-				ins[i] = values[in]
+			in := st.in
+			for j, p := range st.ins {
+				in[j] = values[p]
 			}
-			out, dur, err := s.dev.Run(s.ctx, n, ins)
+			var out *tensor.Tensor
+			var dur time.Duration
+			var err error
+			if st.into != nil {
+				dur, err = s.dev.(IntoRunner).RunInto(s.ctx, nd, in, st.out)
+				out = st.out
+			} else {
+				out, dur, err = s.dev.Run(s.ctx, nd, in)
+			}
 			if err != nil {
-				return nil, fmt.Errorf("runtime: %v: %w", n, err)
+				return nil, fmt.Errorf("runtime: %v: %w", nd, err)
 			}
 			if s.traceOn {
 				s.trace = append(s.trace, Event{
-					Node: n, Op: n.OpName(), Class: n.Op().Class(),
+					Node: nd, Op: nd.OpName(), Class: nd.Op().Class(),
 					Start: s.clock, Dur: dur, Step: s.step,
 				})
 			}
 			s.clock += dur
-			values[n] = out
+			values[i] = out
 		}
 	}
 	s.step++
 	out := make([]*tensor.Tensor, len(fetches))
-	for i, f := range fetches {
-		out[i] = values[f]
+	for j := range fetches {
+		v := values[plan.fetchPos[j]]
+		if plan.fetchCopy[j] {
+			v = v.Clone()
+		}
+		out[j] = v
 	}
 	return out, nil
 }

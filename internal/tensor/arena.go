@@ -1,0 +1,99 @@
+package tensor
+
+// Arena is a size-bucketed recycler of float32 buffers, the storage
+// substrate for compiled execution plans: the runtime's planner runs
+// liveness analysis over a topological schedule and assigns every
+// operation output a buffer from an arena, so that tensors with
+// disjoint lifetimes share storage and steady-state steps perform
+// near-zero heap allocation.
+//
+// Buffers are grouped into power-of-two size classes. Get returns a
+// buffer whose length is exactly the requested element count but whose
+// capacity is the bucket size; Put recycles a buffer obtained from Get
+// into its bucket. Buffers are handed out dirty — callers must fully
+// overwrite (or Zero) them before reading.
+//
+// An Arena is not safe for concurrent use; like Pool, it is owned by a
+// single session whose operations execute sequentially.
+type Arena struct {
+	buckets map[int][][]float32
+
+	// Stats.
+	liveBuffers  int   // buffers created and not currently in a bucket
+	totalBuffers int   // buffers ever created
+	totalFloats  int64 // elements ever allocated from the heap
+	reuses       int   // Gets served from a bucket instead of the heap
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{buckets: map[int][][]float32{}}
+}
+
+// arenaMinBucket is the smallest size class; tiny tensors (scalars,
+// biases) all share it rather than fragmenting into many buckets.
+const arenaMinBucket = 64
+
+// bucketFor returns the size class for a buffer of n elements: the
+// smallest power of two >= max(n, arenaMinBucket).
+func bucketFor(n int) int {
+	b := arenaMinBucket
+	for b < n {
+		b <<= 1
+	}
+	return b
+}
+
+// Get returns a buffer of exactly n elements (n >= 0), recycling one
+// from the matching size class when available. The contents are
+// unspecified.
+func (a *Arena) Get(n int) []float32 {
+	b := bucketFor(n)
+	a.liveBuffers++
+	if free := a.buckets[b]; len(free) > 0 {
+		buf := free[len(free)-1]
+		a.buckets[b] = free[:len(free)-1]
+		a.reuses++
+		return buf[:n]
+	}
+	a.totalBuffers++
+	a.totalFloats += int64(b)
+	return make([]float32, b)[:n]
+}
+
+// Put returns a buffer obtained from Get to its size class. Passing a
+// buffer the arena did not create corrupts the bucket invariants; the
+// capacity must be a size class.
+func (a *Arena) Put(buf []float32) {
+	if buf == nil {
+		return
+	}
+	b := cap(buf)
+	a.liveBuffers--
+	a.buckets[b] = append(a.buckets[b], buf[:b])
+}
+
+// ArenaStats summarizes arena usage.
+type ArenaStats struct {
+	// LiveBuffers is the number of buffers currently checked out.
+	LiveBuffers int
+	// TotalBuffers is the number of distinct buffers ever allocated.
+	TotalBuffers int
+	// TotalBytes is the heap footprint of all buffers ever allocated.
+	TotalBytes int64
+	// Reuses counts Gets served by recycling instead of allocation.
+	Reuses int
+}
+
+// Stats reports usage counters.
+func (a *Arena) Stats() ArenaStats {
+	return ArenaStats{
+		LiveBuffers:  a.liveBuffers,
+		TotalBuffers: a.totalBuffers,
+		TotalBytes:   a.totalFloats * elemSize,
+		Reuses:       a.reuses,
+	}
+}
+
+// elemSize is the storage size of one element in bytes.
+const elemSize = 4

@@ -1,0 +1,68 @@
+package tensor
+
+import "testing"
+
+func TestArenaGetPutRecycles(t *testing.T) {
+	a := NewArena()
+	b1 := a.Get(100)
+	if len(b1) != 100 {
+		t.Fatalf("Get(100) length %d", len(b1))
+	}
+	if cap(b1) != 128 {
+		t.Fatalf("Get(100) capacity %d, want bucket 128", cap(b1))
+	}
+	a.Put(b1)
+	b2 := a.Get(120) // same bucket
+	if &b1[0] != &b2[0] {
+		t.Fatal("second Get in the same bucket must recycle the buffer")
+	}
+	if len(b2) != 120 {
+		t.Fatalf("recycled length %d, want 120", len(b2))
+	}
+	st := a.Stats()
+	if st.TotalBuffers != 1 || st.Reuses != 1 || st.LiveBuffers != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestArenaBucketsAreSizeClasses(t *testing.T) {
+	cases := map[int]int{0: 64, 1: 64, 64: 64, 65: 128, 128: 128, 1000: 1024, 1 << 20: 1 << 20}
+	for n, want := range cases {
+		if got := bucketFor(n); got != want {
+			t.Fatalf("bucketFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestArenaDistinctBucketsDoNotMix(t *testing.T) {
+	a := NewArena()
+	small := a.Get(10)
+	big := a.Get(1000)
+	a.Put(small)
+	b := a.Get(1000) // must not get the small buffer
+	if cap(b) < 1000 {
+		t.Fatalf("got %d-cap buffer from wrong bucket", cap(b))
+	}
+	a.Put(big)
+	a.Put(b)
+	if st := a.Stats(); st.LiveBuffers != 0 {
+		t.Fatalf("live buffers %d after returning all", st.LiveBuffers)
+	}
+}
+
+func TestArenaPutNilIsNoop(t *testing.T) {
+	a := NewArena()
+	a.Put(nil)
+	if st := a.Stats(); st.LiveBuffers != 0 {
+		t.Fatalf("nil Put must not change stats: %+v", st)
+	}
+}
+
+func TestArenaZeroSizeGet(t *testing.T) {
+	a := NewArena()
+	b := a.Get(0)
+	if len(b) != 0 || cap(b) != arenaMinBucket {
+		t.Fatalf("Get(0): len %d cap %d", len(b), cap(b))
+	}
+	a.Put(b)
+}

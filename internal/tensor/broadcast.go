@@ -64,6 +64,26 @@ func BinaryOp(p *Pool, a, b *Tensor, fn func(x, y float32) float32) (*Tensor, er
 		return nil, err
 	}
 	out := New(shape...)
+	binaryOpInto(p, out, a, b, shape, fn)
+	return out, nil
+}
+
+// BinaryOpInto applies fn elementwise over broadcast inputs into out,
+// which must have the broadcast shape. out is fully overwritten and
+// must not alias a or b.
+func BinaryOpInto(p *Pool, out, a, b *Tensor, fn func(x, y float32) float32) error {
+	shape, err := BroadcastShapes(a.shape, b.shape)
+	if err != nil {
+		return err
+	}
+	if !SameShape(out.shape, shape) {
+		return fmt.Errorf("tensor: BinaryOpInto destination %v, want %v", out.shape, shape)
+	}
+	binaryOpInto(p, out, a, b, shape, fn)
+	return nil
+}
+
+func binaryOpInto(p *Pool, out, a, b *Tensor, shape []int, fn func(x, y float32) float32) {
 	// Fast path: identical shapes, flat loop.
 	if SameShape(a.shape, b.shape) {
 		ad, bd, od := a.data, b.data, out.data
@@ -72,7 +92,7 @@ func BinaryOp(p *Pool, a, b *Tensor, fn func(x, y float32) float32) (*Tensor, er
 				od[i] = fn(ad[i], bd[i])
 			}
 		})
-		return out, nil
+		return
 	}
 	// Fast path: b is scalar.
 	if b.Size() == 1 {
@@ -83,7 +103,7 @@ func BinaryOp(p *Pool, a, b *Tensor, fn func(x, y float32) float32) (*Tensor, er
 				od[i] = fn(ad[i], s)
 			}
 		})
-		return out, nil
+		return
 	}
 	// Fast path: a is scalar.
 	if a.Size() == 1 {
@@ -94,7 +114,7 @@ func BinaryOp(p *Pool, a, b *Tensor, fn func(x, y float32) float32) (*Tensor, er
 				od[i] = fn(s, bd[i])
 			}
 		})
-		return out, nil
+		return
 	}
 	// Fast path: trailing broadcast a[..,C] op b[C] (bias add pattern).
 	if len(b.shape) == 1 && len(a.shape) >= 1 && a.shape[len(a.shape)-1] == b.shape[0] && SameShape(shape, a.shape) {
@@ -109,7 +129,7 @@ func BinaryOp(p *Pool, a, b *Tensor, fn func(x, y float32) float32) (*Tensor, er
 				}
 			}
 		})
-		return out, nil
+		return
 	}
 	// General case: strided iteration.
 	sa := broadcastStrides(a.shape, shape)
@@ -147,19 +167,32 @@ func BinaryOp(p *Pool, a, b *Tensor, fn func(x, y float32) float32) (*Tensor, er
 			}
 		}
 	})
-	return out, nil
 }
 
 // UnaryOp applies fn elementwise into a new tensor.
 func UnaryOp(p *Pool, a *Tensor, fn func(x float32) float32) *Tensor {
 	out := New(a.shape...)
+	unaryOpInto(p, out, a, fn)
+	return out
+}
+
+// UnaryOpInto applies fn elementwise into out, which must have a's
+// shape. out is fully overwritten and must not alias a.
+func UnaryOpInto(p *Pool, out, a *Tensor, fn func(x float32) float32) error {
+	if !SameShape(out.shape, a.shape) {
+		return fmt.Errorf("tensor: UnaryOpInto destination %v, want %v", out.shape, a.shape)
+	}
+	unaryOpInto(p, out, a, fn)
+	return nil
+}
+
+func unaryOpInto(p *Pool, out, a *Tensor, fn func(x float32) float32) {
 	ad, od := a.data, out.data
 	p.For(len(od), 16384, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			od[i] = fn(ad[i])
 		}
 	})
-	return out
 }
 
 // ReduceGradToShape sums grad (of the broadcast output shape) down to
@@ -171,6 +204,28 @@ func ReduceGradToShape(p *Pool, grad *Tensor, shape []int) *Tensor {
 		return grad.Clone()
 	}
 	out := New(shape...)
+	reduceGradToShapeInto(p, out, grad)
+	return out
+}
+
+// ReduceGradToShapeInto is ReduceGradToShape into a preallocated out
+// (whose shape is the reduction target); out is reinitialized and must
+// not alias grad.
+func ReduceGradToShapeInto(p *Pool, out, grad *Tensor) error {
+	if b, err := BroadcastShapes(out.shape, grad.shape); err != nil || !SameShape(b, grad.shape) {
+		return fmt.Errorf("tensor: ReduceGradToShapeInto target %v does not broadcast to %v", out.shape, grad.shape)
+	}
+	if SameShape(grad.shape, out.shape) {
+		copy(out.data, grad.data)
+		return nil
+	}
+	out.Zero()
+	reduceGradToShapeInto(p, out, grad)
+	return nil
+}
+
+func reduceGradToShapeInto(p *Pool, out, grad *Tensor) {
+	shape := out.shape
 	st := broadcastStrides(shape, grad.shape)
 	rank := len(grad.shape)
 	gd, od := grad.data, out.data
@@ -188,5 +243,4 @@ func ReduceGradToShape(p *Pool, grad *Tensor, shape []int) *Tensor {
 			oo -= st[i] * grad.shape[i]
 		}
 	}
-	return out
 }

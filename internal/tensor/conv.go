@@ -33,20 +33,83 @@ func (c ConvSpec) check() ConvSpec {
 }
 
 // Conv2D computes a 2-D convolution: input (N,H,W,Cin) with filter
-// (KH,KW,Cin,Cout) producing (N,OH,OW,Cout). Parallelized over N*OH.
+// (KH,KW,Cin,Cout) producing (N,OH,OW,Cout). See Conv2DInto for the
+// kernel dispatch strategy.
 func Conv2D(p *Pool, in, filter *Tensor, spec ConvSpec) (*Tensor, error) {
 	spec = spec.check()
+	if err := conv2DCheck(in, filter); err != nil {
+		return nil, err
+	}
+	oh := ConvOutSize(in.shape[1], filter.shape[0], spec.StrideH, spec.PadH)
+	ow := ConvOutSize(in.shape[2], filter.shape[1], spec.StrideW, spec.PadW)
+	out := New(in.shape[0], oh, ow, filter.shape[3])
+	conv2DInto(p, out, in, filter, spec)
+	return out, nil
+}
+
+// Conv2DInto computes the convolution into out, which must have the
+// inferred output shape. out may hold arbitrary data; it is fully
+// overwritten and must not alias in or filter.
+//
+// The kernel is chosen by a size heuristic:
+//   - 1×1 unit-stride unpadded convolutions are a pure matrix product
+//     and dispatch straight to the tiled MatMul kernel;
+//   - large unit-stride convolutions lower to im2col: input patches are
+//     gathered into a row-major patch matrix (in row blocks bounded by
+//     the scratch budget) and multiplied against the filter viewed as a
+//     (KH·KW·Cin, Cout) matrix with the packed matmul kernel;
+//   - small or strided convolutions keep the direct loop, whose gather
+//     cost would dominate the im2col matrix assembly.
+func Conv2DInto(p *Pool, out, in, filter *Tensor, spec ConvSpec) error {
+	spec = spec.check()
+	if err := conv2DCheck(in, filter); err != nil {
+		return err
+	}
+	oh := ConvOutSize(in.shape[1], filter.shape[0], spec.StrideH, spec.PadH)
+	ow := ConvOutSize(in.shape[2], filter.shape[1], spec.StrideW, spec.PadW)
+	want := []int{in.shape[0], oh, ow, filter.shape[3]}
+	if !SameShape(out.shape, want) {
+		return fmt.Errorf("tensor: Conv2DInto destination %v, want %v", out.shape, want)
+	}
+	conv2DInto(p, out, in, filter, spec)
+	return nil
+}
+
+func conv2DCheck(in, filter *Tensor) error {
 	if in.Rank() != 4 || filter.Rank() != 4 {
-		return nil, fmt.Errorf("tensor: Conv2D requires NHWC input and KHKWCinCout filter, got %v and %v", in.shape, filter.shape)
+		return fmt.Errorf("tensor: Conv2D requires NHWC input and KHKWCinCout filter, got %v and %v", in.shape, filter.shape)
 	}
+	if in.shape[3] != filter.shape[2] {
+		return fmt.Errorf("tensor: Conv2D channel mismatch: input %v filter %v", in.shape, filter.shape)
+	}
+	return nil
+}
+
+// im2colMinWork is the per-output-cell multiply count (KH·KW·Cin·Cout)
+// above which patch gathering is amortized and the im2col path wins.
+const im2colMinWork = 2048
+
+func conv2DInto(p *Pool, out, in, filter *Tensor, spec ConvSpec) {
+	kh, kw, cin, cout := filter.shape[0], filter.shape[1], filter.shape[2], filter.shape[3]
+	unit := spec.StrideH == 1 && spec.StrideW == 1
+	switch {
+	case kh == 1 && kw == 1 && unit && spec.PadH == 0 && spec.PadW == 0:
+		// A 1×1 convolution is exactly (N·H·W, Cin)·(Cin, Cout).
+		rows := in.shape[0] * in.shape[1] * in.shape[2]
+		matmulInto(p, out.data, in.data, filter.data, rows, cout, cin, cin, cout, false, false)
+	case unit && kh*kw*cin*cout >= im2colMinWork:
+		conv2DIm2col(p, out, in, filter, spec)
+	default:
+		conv2DDirect(p, out, in, filter, spec)
+	}
+}
+
+// conv2DDirect is the straightforward gather-multiply-accumulate loop,
+// parallelized over N·OH output rows.
+func conv2DDirect(p *Pool, out, in, filter *Tensor, spec ConvSpec) {
 	n, h, w, cin := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
-	kh, kw, fcin, cout := filter.shape[0], filter.shape[1], filter.shape[2], filter.shape[3]
-	if cin != fcin {
-		return nil, fmt.Errorf("tensor: Conv2D channel mismatch: input %v filter %v", in.shape, filter.shape)
-	}
-	oh := ConvOutSize(h, kh, spec.StrideH, spec.PadH)
-	ow := ConvOutSize(w, kw, spec.StrideW, spec.PadW)
-	out := New(n, oh, ow, cout)
+	kh, kw, cout := filter.shape[0], filter.shape[1], filter.shape[3]
+	oh, ow := out.shape[1], out.shape[2]
 	id, fd, od := in.data, filter.data, out.data
 	rows := n * oh
 	grain := 1 + 32768/(ow*cout*kh*kw*cin+1)
@@ -57,6 +120,9 @@ func Conv2D(p *Pool, in, filter *Tensor, spec ConvSpec) (*Tensor, error) {
 			for ox := 0; ox < ow; ox++ {
 				obase := ((b*oh+oy)*ow + ox) * cout
 				acc := od[obase : obase+cout]
+				for co := range acc {
+					acc[co] = 0
+				}
 				iy0 := oy*spec.StrideH - spec.PadH
 				ix0 := ox*spec.StrideW - spec.PadW
 				for ky := 0; ky < kh; ky++ {
@@ -83,20 +149,106 @@ func Conv2D(p *Pool, in, filter *Tensor, spec ConvSpec) (*Tensor, error) {
 			}
 		}
 	})
-	return out, nil
+}
+
+// im2colScratchCap bounds the patch-matrix scratch to about 1 MB of
+// float32s; larger outputs are processed in row blocks.
+const im2colScratchCap = 1 << 18
+
+// conv2DIm2col lowers the convolution to matrix multiplication: each
+// output position's receptive field becomes one row of a patch matrix,
+// multiplied against the filter reshaped to (KH·KW·Cin, Cout). The
+// NHWC output layout makes the product land directly in out.
+func conv2DIm2col(p *Pool, out, in, filter *Tensor, spec ConvSpec) {
+	kh, kw, cin, cout := filter.shape[0], filter.shape[1], filter.shape[2], filter.shape[3]
+	oh, ow := out.shape[1], out.shape[2]
+	rows := out.shape[0] * oh * ow
+	kk := kh * kw * cin
+	blockRows := im2colScratchCap / kk
+	if blockRows < 1 {
+		blockRows = 1
+	}
+	if blockRows > rows {
+		blockRows = rows
+	}
+	col := p.scratchBuf(scratchIm2col, blockRows*kk)
+	for r0 := 0; r0 < rows; r0 += blockRows {
+		r1 := min(rows, r0+blockRows)
+		im2colRows(p, col, in, r0, r1, kh, kw, oh, ow, spec)
+		matmulInto(p, out.data[r0*cout:r1*cout], col, filter.data,
+			r1-r0, cout, kk, kk, cout, false, false)
+	}
+}
+
+// im2colRows fills col (row-major (r1-r0)×(KH·KW·Cin)) with the
+// receptive fields of global output rows [r0, r1). Out-of-image taps
+// are written as zeros, so every row is fully overwritten.
+func im2colRows(p *Pool, col []float32, in *Tensor, r0, r1, kh, kw, oh, ow int, spec ConvSpec) {
+	h, w, cin := in.shape[1], in.shape[2], in.shape[3]
+	kk := kh * kw * cin
+	id := in.data
+	p.For(r1-r0, 16, func(lo, hi int) {
+		for rr := lo; rr < hi; rr++ {
+			r := r0 + rr
+			ox := r % ow
+			oy := (r / ow) % oh
+			b := r / (ow * oh)
+			row := col[rr*kk : (rr+1)*kk]
+			iy0 := oy*spec.StrideH - spec.PadH
+			ix0 := ox*spec.StrideW - spec.PadW
+			pos := 0
+			for ky := 0; ky < kh; ky++ {
+				iy := iy0 + ky
+				if iy < 0 || iy >= h {
+					for z := 0; z < kw*cin; z++ {
+						row[pos+z] = 0
+					}
+					pos += kw * cin
+					continue
+				}
+				ibase := (b*h + iy) * w
+				for kx := 0; kx < kw; kx++ {
+					ix := ix0 + kx
+					if ix < 0 || ix >= w {
+						for z := 0; z < cin; z++ {
+							row[pos+z] = 0
+						}
+					} else {
+						src := (ibase + ix) * cin
+						copy(row[pos:pos+cin], id[src:src+cin])
+					}
+					pos += cin
+				}
+			}
+		}
+	})
 }
 
 // Conv2DBackFilter computes the gradient of Conv2D with respect to the
 // filter: input (N,H,W,Cin), gradOut (N,OH,OW,Cout) → (KH,KW,Cin,Cout).
 // Parallelized over filter rows (each chunk owns disjoint output cells).
 func Conv2DBackFilter(p *Pool, in, gradOut *Tensor, kh, kw int, spec ConvSpec) (*Tensor, error) {
+	out := New(kh, kw, in.shape[3], gradOut.shape[3])
+	if err := Conv2DBackFilterInto(p, out, in, gradOut, kh, kw, spec); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Conv2DBackFilterInto accumulates the filter gradient into out after
+// zeroing it; out must have shape (kh, kw, Cin, Cout) and must not
+// alias in or gradOut.
+func Conv2DBackFilterInto(p *Pool, out, in, gradOut *Tensor, kh, kw int, spec ConvSpec) error {
 	spec = spec.check()
 	n, h, w, cin := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
 	gn, oh, ow, cout := gradOut.shape[0], gradOut.shape[1], gradOut.shape[2], gradOut.shape[3]
 	if n != gn {
-		return nil, fmt.Errorf("tensor: Conv2DBackFilter batch mismatch %v vs %v", in.shape, gradOut.shape)
+		return fmt.Errorf("tensor: Conv2DBackFilter batch mismatch %v vs %v", in.shape, gradOut.shape)
 	}
-	out := New(kh, kw, cin, cout)
+	if !SameShape(out.shape, []int{kh, kw, cin, cout}) {
+		return fmt.Errorf("tensor: Conv2DBackFilterInto destination %v, want %v", out.shape, []int{kh, kw, cin, cout})
+	}
+	out.Zero()
 	id, gd, od := in.data, gradOut.data, out.data
 	grain := 1 // kh is small; each row is heavy
 	p.For(kh, grain, func(lo, hi int) {
@@ -130,20 +282,34 @@ func Conv2DBackFilter(p *Pool, in, gradOut *Tensor, kh, kw int, spec ConvSpec) (
 			}
 		}
 	})
-	return out, nil
+	return nil
 }
 
 // Conv2DBackInput computes the gradient of Conv2D with respect to the
 // input: filter (KH,KW,Cin,Cout), gradOut (N,OH,OW,Cout) → (N,H,W,Cin).
 // Parallelized over batch entries (disjoint output regions).
 func Conv2DBackInput(p *Pool, filter, gradOut *Tensor, h, w int, spec ConvSpec) (*Tensor, error) {
+	out := New(gradOut.shape[0], h, w, filter.shape[2])
+	if err := Conv2DBackInputInto(p, out, filter, gradOut, h, w, spec); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Conv2DBackInputInto accumulates the input gradient into out after
+// zeroing it; out must have shape (N, h, w, Cin) and must not alias
+// filter or gradOut.
+func Conv2DBackInputInto(p *Pool, out, filter, gradOut *Tensor, h, w int, spec ConvSpec) error {
 	spec = spec.check()
 	kh, kw, cin, cout := filter.shape[0], filter.shape[1], filter.shape[2], filter.shape[3]
 	n, oh, ow, gcout := gradOut.shape[0], gradOut.shape[1], gradOut.shape[2], gradOut.shape[3]
 	if cout != gcout {
-		return nil, fmt.Errorf("tensor: Conv2DBackInput channel mismatch filter %v gradOut %v", filter.shape, gradOut.shape)
+		return fmt.Errorf("tensor: Conv2DBackInput channel mismatch filter %v gradOut %v", filter.shape, gradOut.shape)
 	}
-	out := New(n, h, w, cin)
+	if !SameShape(out.shape, []int{n, h, w, cin}) {
+		return fmt.Errorf("tensor: Conv2DBackInputInto destination %v, want %v", out.shape, []int{n, h, w, cin})
+	}
+	out.Zero()
 	fd, gd, od := filter.data, gradOut.data, out.data
 	p.For(n, 1, func(lo, hi int) {
 		for b := lo; b < hi; b++ {
@@ -179,7 +345,7 @@ func Conv2DBackInput(p *Pool, filter, gradOut *Tensor, h, w int, spec ConvSpec) 
 			}
 		}
 	})
-	return out, nil
+	return nil
 }
 
 // MaxPool computes max pooling over (N,H,W,C) with window k and stride
@@ -188,10 +354,35 @@ func MaxPool(p *Pool, in *Tensor, k, s, pad int) (*Tensor, error) {
 	if in.Rank() != 4 {
 		return nil, fmt.Errorf("tensor: MaxPool requires NHWC input, got %v", in.shape)
 	}
+	oh := ConvOutSize(in.shape[1], k, s, pad)
+	ow := ConvOutSize(in.shape[2], k, s, pad)
+	out := New(in.shape[0], oh, ow, in.shape[3])
+	if err := MaxPoolInto(p, out, in, k, s, pad); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// poolOutCheck validates a pooling destination against the inferred
+// output shape.
+func poolOutCheck(name string, out, in *Tensor, k, s, pad int) error {
+	if in.Rank() != 4 {
+		return fmt.Errorf("tensor: %s requires NHWC input, got %v", name, in.shape)
+	}
+	want := []int{in.shape[0], ConvOutSize(in.shape[1], k, s, pad), ConvOutSize(in.shape[2], k, s, pad), in.shape[3]}
+	if !SameShape(out.shape, want) {
+		return fmt.Errorf("tensor: %s destination %v, want %v", name, out.shape, want)
+	}
+	return nil
+}
+
+// MaxPoolInto computes max pooling into out, fully overwriting it.
+func MaxPoolInto(p *Pool, out, in *Tensor, k, s, pad int) error {
+	if err := poolOutCheck("MaxPoolInto", out, in, k, s, pad); err != nil {
+		return err
+	}
 	n, h, w, c := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
-	oh := ConvOutSize(h, k, s, pad)
-	ow := ConvOutSize(w, k, s, pad)
-	out := New(n, oh, ow, c)
+	oh, ow := out.shape[1], out.shape[2]
 	id, od := in.data, out.data
 	rows := n * oh
 	p.For(rows, 4, func(lo, hi int) {
@@ -223,7 +414,7 @@ func MaxPool(p *Pool, in *Tensor, k, s, pad int) (*Tensor, error) {
 			}
 		}
 	})
-	return out, nil
+	return nil
 }
 
 const negInf = float32(-3.4e38)
@@ -231,9 +422,25 @@ const negInf = float32(-3.4e38)
 // MaxPoolGrad routes gradOut back to the argmax input cell of each
 // pooling window (ties go to the first maximum, matching MaxPool).
 func MaxPoolGrad(p *Pool, in, gradOut *Tensor, k, s, pad int) (*Tensor, error) {
+	out := New(in.shape...)
+	if err := MaxPoolGradInto(p, out, in, gradOut, k, s, pad); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MaxPoolGradInto accumulates the pooling gradient into out after
+// zeroing it; out must have the input's shape.
+func MaxPoolGradInto(p *Pool, out, in, gradOut *Tensor, k, s, pad int) error {
+	if !SameShape(out.shape, in.shape) {
+		return fmt.Errorf("tensor: MaxPoolGradInto destination %v, want %v", out.shape, in.shape)
+	}
+	if err := poolOutCheck("MaxPoolGradInto", gradOut, in, k, s, pad); err != nil {
+		return err
+	}
 	n, h, w, c := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
 	oh, ow := gradOut.shape[1], gradOut.shape[2]
-	out := New(in.shape...)
+	out.Zero()
 	id, gd, od := in.data, gradOut.data, out.data
 	// Pooling windows can overlap when s < k, so parallelize over batch
 	// entries only (disjoint input regions).
@@ -270,7 +477,7 @@ func MaxPoolGrad(p *Pool, in, gradOut *Tensor, k, s, pad int) (*Tensor, error) {
 			}
 		}
 	})
-	return out, nil
+	return nil
 }
 
 // AvgPool computes average pooling over valid (unpadded) cells.
@@ -278,10 +485,23 @@ func AvgPool(p *Pool, in *Tensor, k, s, pad int) (*Tensor, error) {
 	if in.Rank() != 4 {
 		return nil, fmt.Errorf("tensor: AvgPool requires NHWC input, got %v", in.shape)
 	}
+	oh := ConvOutSize(in.shape[1], k, s, pad)
+	ow := ConvOutSize(in.shape[2], k, s, pad)
+	out := New(in.shape[0], oh, ow, in.shape[3])
+	if err := AvgPoolInto(p, out, in, k, s, pad); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AvgPoolInto computes average pooling into out after zeroing it.
+func AvgPoolInto(p *Pool, out, in *Tensor, k, s, pad int) error {
+	if err := poolOutCheck("AvgPoolInto", out, in, k, s, pad); err != nil {
+		return err
+	}
 	n, h, w, c := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
-	oh := ConvOutSize(h, k, s, pad)
-	ow := ConvOutSize(w, k, s, pad)
-	out := New(n, oh, ow, c)
+	oh, ow := out.shape[1], out.shape[2]
+	out.Zero()
 	id, od := in.data, out.data
 	rows := n * oh
 	p.For(rows, 4, func(lo, hi int) {
@@ -330,15 +550,31 @@ func AvgPool(p *Pool, in *Tensor, k, s, pad int) (*Tensor, error) {
 			}
 		}
 	})
-	return out, nil
+	return nil
 }
 
 // AvgPoolGrad distributes gradOut uniformly over each window's valid
 // input cells.
 func AvgPoolGrad(p *Pool, inShape []int, gradOut *Tensor, k, s, pad int) (*Tensor, error) {
-	n, h, w, c := inShape[0], inShape[1], inShape[2], inShape[3]
-	oh, ow := gradOut.shape[1], gradOut.shape[2]
 	out := New(inShape...)
+	if err := AvgPoolGradInto(p, out, gradOut, k, s, pad); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AvgPoolGradInto accumulates the average-pooling gradient into out
+// (whose shape is the original input shape) after zeroing it.
+func AvgPoolGradInto(p *Pool, out, gradOut *Tensor, k, s, pad int) error {
+	if out.Rank() != 4 || gradOut.Rank() != 4 {
+		return fmt.Errorf("tensor: AvgPoolGradInto wants NHWC tensors, got %v and %v", out.shape, gradOut.shape)
+	}
+	if err := poolOutCheck("AvgPoolGradInto", gradOut, out, k, s, pad); err != nil {
+		return err
+	}
+	n, h, w, c := out.shape[0], out.shape[1], out.shape[2], out.shape[3]
+	oh, ow := gradOut.shape[1], gradOut.shape[2]
+	out.Zero()
 	gd, od := gradOut.data, out.data
 	p.For(n, 1, func(lo, hi int) {
 		for b := lo; b < hi; b++ {
@@ -382,5 +618,5 @@ func AvgPoolGrad(p *Pool, inShape []int, gradOut *Tensor, k, s, pad int) (*Tenso
 			}
 		}
 	})
-	return out, nil
+	return nil
 }

@@ -64,6 +64,128 @@ func TestConv2DMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestConv2DIm2colMatchesDirect forces both kernel paths on shapes
+// large enough to engage the im2col heuristic and checks they agree
+// (and match the naive reference).
+func TestConv2DIm2colMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewPool(2)
+	cases := []struct {
+		n, h, w, cin, kh, kw, cout int
+		spec                       ConvSpec
+	}{
+		{2, 9, 9, 16, 3, 3, 16, ConvSpec{1, 1, 1, 1}}, // SAME, padded taps
+		{1, 7, 5, 8, 3, 3, 32, ConvSpec{1, 1, 0, 0}},  // VALID, non-square
+		{1, 6, 6, 24, 5, 5, 12, ConvSpec{1, 1, 2, 2}}, // window > half image
+	}
+	for _, c := range cases {
+		if c.kh*c.kw*c.cin*c.cout < im2colMinWork {
+			t.Fatalf("case %+v does not engage the im2col path", c)
+		}
+		in := RandNormal(rng, 0, 1, c.n, c.h, c.w, c.cin)
+		f := RandNormal(rng, 0, 1, c.kh, c.kw, c.cin, c.cout)
+		oh := ConvOutSize(c.h, c.kh, 1, c.spec.PadH)
+		ow := ConvOutSize(c.w, c.kw, 1, c.spec.PadW)
+		viaIm2col := Full(99, c.n, oh, ow, c.cout) // dirty, like an arena buffer
+		conv2DIm2col(p, viaIm2col, in, f, c.spec)
+		viaDirect := New(c.n, oh, ow, c.cout)
+		conv2DDirect(p, viaDirect, in, f, c.spec)
+		if !AllClose(viaIm2col, viaDirect, 1e-4, 1e-4) {
+			t.Fatalf("im2col vs direct mismatch %+v (max diff %g)", c, MaxAbsDiff(viaIm2col, viaDirect))
+		}
+		want := naiveConv2D(in, f, c.spec)
+		if !AllClose(viaIm2col, want, 1e-4, 1e-4) {
+			t.Fatalf("im2col vs naive mismatch %+v (max diff %g)", c, MaxAbsDiff(viaIm2col, want))
+		}
+	}
+}
+
+// TestConv2D1x1MatMulPath checks the pointwise-convolution fast path.
+func TestConv2D1x1MatMulPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := NewPool(1)
+	in := RandNormal(rng, 0, 1, 2, 6, 6, 8)
+	f := RandNormal(rng, 0, 1, 1, 1, 8, 16)
+	got, err := Conv2D(p, in, f, ConvSpec{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveConv2D(in, f, ConvSpec{1, 1, 0, 0})
+	if !AllClose(got, want, 1e-4, 1e-4) {
+		t.Fatalf("1x1 path mismatch (max diff %g)", MaxAbsDiff(got, want))
+	}
+}
+
+// TestConvIntoVariantsOverwriteDirtyDestinations feeds dirty buffers
+// (as arena slots are) to every Into kernel and checks full overwrite.
+func TestConvIntoVariantsOverwriteDirtyDestinations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := NewPool(1)
+	in := RandNormal(rng, 0, 1, 1, 6, 6, 2)
+	f := RandNormal(rng, 0, 1, 3, 3, 2, 3)
+	spec := ConvSpec{1, 1, 1, 1}
+	out, err := Conv2D(p, in, f, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := Full(99, out.Shape()...)
+	if err := Conv2DInto(p, dirty, in, f, spec); err != nil {
+		t.Fatal(err)
+	}
+	if !AllClose(dirty, out, 0, 0) {
+		t.Fatal("Conv2DInto must fully overwrite a dirty destination")
+	}
+
+	grad := RandNormal(rng, 0, 1, out.Shape()...)
+	gf, err := Conv2DBackFilter(p, in, grad, 3, 3, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty = Full(99, 3, 3, 2, 3)
+	if err := Conv2DBackFilterInto(p, dirty, in, grad, 3, 3, spec); err != nil {
+		t.Fatal(err)
+	}
+	if !AllClose(dirty, gf, 0, 0) {
+		t.Fatal("Conv2DBackFilterInto must zero before accumulating")
+	}
+
+	gi, err := Conv2DBackInput(p, f, grad, 6, 6, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty = Full(99, 1, 6, 6, 2)
+	if err := Conv2DBackInputInto(p, dirty, f, grad, 6, 6, spec); err != nil {
+		t.Fatal(err)
+	}
+	if !AllClose(dirty, gi, 0, 0) {
+		t.Fatal("Conv2DBackInputInto must zero before accumulating")
+	}
+
+	mp, err := MaxPool(p, in, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty = Full(99, mp.Shape()...)
+	if err := MaxPoolInto(p, dirty, in, 2, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !AllClose(dirty, mp, 0, 0) {
+		t.Fatal("MaxPoolInto must fully overwrite a dirty destination")
+	}
+
+	ap, err := AvgPool(p, in, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty = Full(99, ap.Shape()...)
+	if err := AvgPoolInto(p, dirty, in, 2, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !AllClose(dirty, ap, 0, 0) {
+		t.Fatal("AvgPoolInto must zero before accumulating")
+	}
+}
+
 func TestConv2DChannelMismatch(t *testing.T) {
 	p := NewPool(1)
 	if _, err := Conv2D(p, New(1, 4, 4, 3), New(3, 3, 2, 4), ConvSpec{}); err == nil {

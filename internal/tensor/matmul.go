@@ -6,8 +6,33 @@ import "fmt"
 // optional transpose. The destination is freshly allocated. The kernel
 // parallelizes over output rows through the pool.
 func MatMul(p *Pool, a, b *Tensor, transA, transB bool) (*Tensor, error) {
+	m, n, _, err := matmulDims(a, b, transA, transB)
+	if err != nil {
+		return nil, err
+	}
+	out := New(m, n)
+	matmulInto(p, out.data, a.data, b.data, m, n, matmulK(a, transA), a.shape[1], b.shape[1], transA, transB)
+	return out, nil
+}
+
+// MatMulInto computes op(A)·op(B) into out, which must have the result
+// shape (m, n). out may hold arbitrary data; it is fully overwritten
+// and never read before being written, so it must not alias a or b.
+func MatMulInto(p *Pool, out, a, b *Tensor, transA, transB bool) error {
+	m, n, k, err := matmulDims(a, b, transA, transB)
+	if err != nil {
+		return err
+	}
+	if out.Rank() != 2 || out.shape[0] != m || out.shape[1] != n {
+		return fmt.Errorf("tensor: MatMulInto destination %v, want [%d %d]", out.shape, m, n)
+	}
+	matmulInto(p, out.data, a.data, b.data, m, n, k, a.shape[1], b.shape[1], transA, transB)
+	return nil
+}
+
+func matmulDims(a, b *Tensor, transA, transB bool) (m, n, k int, err error) {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		return nil, fmt.Errorf("tensor: MatMul requires rank-2 inputs, got %v and %v", a.shape, b.shape)
+		return 0, 0, 0, fmt.Errorf("tensor: MatMul requires rank-2 inputs, got %v and %v", a.shape, b.shape)
 	}
 	m, ka := a.shape[0], a.shape[1]
 	if transA {
@@ -18,16 +43,42 @@ func MatMul(p *Pool, a, b *Tensor, transA, transB bool) (*Tensor, error) {
 		kb, n = n, kb
 	}
 	if ka != kb {
-		return nil, fmt.Errorf("tensor: MatMul inner dimensions disagree: %v (transA=%v) × %v (transB=%v)", a.shape, transA, b.shape, transB)
+		return 0, 0, 0, fmt.Errorf("tensor: MatMul inner dimensions disagree: %v (transA=%v) × %v (transB=%v)", a.shape, transA, b.shape, transB)
 	}
-	out := New(m, n)
-	matmulInto(p, out.data, a.data, b.data, m, n, ka, a.shape[1], b.shape[1], transA, transB)
-	return out, nil
+	return m, n, ka, nil
 }
 
+func matmulK(a *Tensor, transA bool) int {
+	if transA {
+		return a.shape[0]
+	}
+	return a.shape[1]
+}
+
+// Cache-blocking parameters for the packed kernel (float32 elements):
+// a packed A panel is blockM×blockK (64 KB), a packed B panel is
+// blockK×blockN (128 KB) — together they sit comfortably in a 2016-era
+// L2 cache while C microtile rows stream from L1.
+const (
+	blockM = 64
+	blockK = 256
+	blockN = 128
+
+	// blockedMinWork is the m·n·k multiply-add count above which the
+	// packed, tiled kernel beats the streaming kernels (packing has a
+	// fixed per-panel cost that small products never amortize).
+	blockedMinWork = 1 << 20
+)
+
 // matmulInto writes op(A)·op(B) into dst (len m*n). lda and ldb are the
-// row strides of the *stored* A and B.
+// row strides of the *stored* A and B. Large products dispatch to the
+// tiled, packed kernel; small ones keep the streaming kernels whose
+// setup cost is near zero.
 func matmulInto(p *Pool, dst, a, b []float32, m, n, k, lda, ldb int, transA, transB bool) {
+	if int64(m)*int64(n)*int64(k) >= blockedMinWork {
+		matmulBlocked(p, dst, a, b, m, n, k, lda, ldb, transA, transB)
+		return
+	}
 	// Choose a grain so each chunk is a meaningful amount of work:
 	// roughly 64k multiply-adds per chunk minimum.
 	grain := 1 + 65536/(n*k+1)
@@ -82,6 +133,168 @@ func matmulInto(p *Pool, dst, a, b []float32, m, n, k, lda, ldb int, transA, tra
 				}
 			}
 		})
+	}
+}
+
+// matmulBlocked is the tiled GEMM: it walks the output in blockN-wide
+// column panels and blockK-deep reduction slabs, packing the active A
+// and B panels into contiguous, cache-resident scratch so the
+// register-tiled microkernel reads them independently of the operands'
+// transpose state. Chunks of the row loop execute serially under the
+// virtual pool, so the per-pool scratch panels are shared safely.
+func matmulBlocked(p *Pool, dst, a, b []float32, m, n, k, lda, ldb int, transA, transB bool) {
+	packA := p.scratchBuf(scratchPackA, blockM*blockK)
+	packB := p.scratchBuf(scratchPackB, blockK*blockN)
+	for jc := 0; jc < n; jc += blockN {
+		nc := min(blockN, n-jc)
+		for pc := 0; pc < k; pc += blockK {
+			kc := min(blockK, k-pc)
+			// B is packed once per panel, outside the row-parallel
+			// region: workers share the packed panel rather than each
+			// repacking it.
+			packPanelB(packB, b, pc, kc, jc, nc, ldb, transB)
+			grain := 1 + 65536/(nc*kc+1)
+			p.For(m, grain, func(lo, hi int) {
+				for ic := lo; ic < hi; ic += blockM {
+					mc := min(blockM, hi-ic)
+					packPanelA(packA, a, ic, mc, pc, kc, lda, transA)
+					matmulMicro(dst, packA, packB, ic, mc, jc, nc, kc, n, pc == 0)
+				}
+			})
+		}
+	}
+}
+
+// packPanelA copies op(A)[ic:ic+mc, pc:pc+kc] into pa, row-major mc×kc.
+func packPanelA(pa, a []float32, ic, mc, pc, kc, lda int, transA bool) {
+	if !transA {
+		for r := 0; r < mc; r++ {
+			base := (ic+r)*lda + pc
+			copy(pa[r*kc:r*kc+kc], a[base:base+kc])
+		}
+		return
+	}
+	// A stored (k, m): transpose while packing.
+	for l := 0; l < kc; l++ {
+		col := a[(pc+l)*lda+ic : (pc+l)*lda+ic+mc]
+		for r, v := range col {
+			pa[r*kc+l] = v
+		}
+	}
+}
+
+// packPanelB copies op(B)[pc:pc+kc, jc:jc+nc] into pb, row-major kc×nc.
+func packPanelB(pb, b []float32, pc, kc, jc, nc, ldb int, transB bool) {
+	if !transB {
+		for l := 0; l < kc; l++ {
+			base := (pc+l)*ldb + jc
+			copy(pb[l*nc:l*nc+nc], b[base:base+nc])
+		}
+		return
+	}
+	// B stored (n, k): transpose while packing.
+	for j := 0; j < nc; j++ {
+		row := b[(jc+j)*ldb+pc : (jc+j)*ldb+pc+kc]
+		for l, v := range row {
+			pb[l*nc+j] = v
+		}
+	}
+}
+
+// matmulMicro accumulates C[ic:ic+mc, jc:jc+nc] += packA·packB with
+// 4×2 register tiling — the extension of matmulRows' 4-row blocking:
+// eight scalar accumulators live in registers across the whole K loop,
+// so the inner loop performs six loads and no stores per eight
+// multiply-adds (4×4 tiling spills accumulators on amd64's sixteen
+// vector registers and measures slower). When first is true the C
+// microtile starts from zero instead of its current contents.
+func matmulMicro(dst, pa, pb []float32, ic, mc, jc, nc, kc, ldc int, first bool) {
+	i := 0
+	for ; i+4 <= mc; i += 4 {
+		a0 := pa[i*kc : i*kc+kc]
+		a1 := pa[(i+1)*kc : (i+1)*kc+kc]
+		a2 := pa[(i+2)*kc : (i+2)*kc+kc]
+		a3 := pa[(i+3)*kc : (i+3)*kc+kc]
+		o0 := (ic + i) * ldc
+		r0 := dst[o0+jc : o0+jc+nc]
+		r1 := dst[o0+ldc+jc : o0+ldc+jc+nc]
+		r2 := dst[o0+2*ldc+jc : o0+2*ldc+jc+nc]
+		r3 := dst[o0+3*ldc+jc : o0+3*ldc+jc+nc]
+		j := 0
+		for ; j+2 <= nc; j += 2 {
+			var c00, c01, c10, c11, c20, c21, c30, c31 float32
+			if !first {
+				c00, c01 = r0[j], r0[j+1]
+				c10, c11 = r1[j], r1[j+1]
+				c20, c21 = r2[j], r2[j+1]
+				c30, c31 = r3[j], r3[j+1]
+			}
+			bo := j
+			for l := 0; l < kc; l++ {
+				b0, b1 := pb[bo], pb[bo+1]
+				c00 += a0[l] * b0
+				c01 += a0[l] * b1
+				c10 += a1[l] * b0
+				c11 += a1[l] * b1
+				c20 += a2[l] * b0
+				c21 += a2[l] * b1
+				c30 += a3[l] * b0
+				c31 += a3[l] * b1
+				bo += nc
+			}
+			r0[j], r0[j+1] = c00, c01
+			r1[j], r1[j+1] = c10, c11
+			r2[j], r2[j+1] = c20, c21
+			r3[j], r3[j+1] = c30, c31
+		}
+		if j < nc {
+			var s0, s1, s2, s3 float32
+			if !first {
+				s0, s1, s2, s3 = r0[j], r1[j], r2[j], r3[j]
+			}
+			bo := j
+			for l := 0; l < kc; l++ {
+				bv := pb[bo]
+				s0 += a0[l] * bv
+				s1 += a1[l] * bv
+				s2 += a2[l] * bv
+				s3 += a3[l] * bv
+				bo += nc
+			}
+			r0[j], r1[j], r2[j], r3[j] = s0, s1, s2, s3
+		}
+	}
+	for ; i < mc; i++ {
+		ai := pa[i*kc : i*kc+kc]
+		o := (ic + i) * ldc
+		ri := dst[o+jc : o+jc+nc]
+		j := 0
+		for ; j+2 <= nc; j += 2 {
+			var c0, c1 float32
+			if !first {
+				c0, c1 = ri[j], ri[j+1]
+			}
+			bo := j
+			for l := 0; l < kc; l++ {
+				av := ai[l]
+				c0 += av * pb[bo]
+				c1 += av * pb[bo+1]
+				bo += nc
+			}
+			ri[j], ri[j+1] = c0, c1
+		}
+		if j < nc {
+			var s float32
+			if !first {
+				s = ri[j]
+			}
+			bo := j
+			for l := 0; l < kc; l++ {
+				s += ai[l] * pb[bo]
+				bo += nc
+			}
+			ri[j] = s
+		}
 	}
 }
 

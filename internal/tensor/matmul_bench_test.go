@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -11,6 +12,7 @@ func benchMatMul(b *testing.B, m, k, n int) {
 	a := RandNormal(rng, 0, 1, m, k)
 	bb := RandNormal(rng, 0, 1, k, n)
 	b.SetBytes(int64(2 * m * k * n)) // MACs as "bytes" => shows MFLOP/s*2
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := MatMul(p, a, bb, false, false); err != nil {
@@ -19,6 +21,68 @@ func benchMatMul(b *testing.B, m, k, n int) {
 	}
 }
 
+// BenchmarkMatMul sweeps square sizes across the streaming→blocked
+// dispatch threshold; the tiled/packed kernel's win should grow with
+// size as the working set falls out of cache.
+func BenchmarkMatMul(b *testing.B) {
+	for _, s := range []int{64, 128, 256, 384, 512} {
+		b.Run(fmt.Sprintf("%dx%dx%d", s, s, s), func(b *testing.B) { benchMatMul(b, s, s, s) })
+	}
+}
+
 func BenchmarkMatMul128(b *testing.B)    { benchMatMul(b, 128, 128, 128) }
 func BenchmarkMatMul512(b *testing.B)    { benchMatMul(b, 512, 512, 512) }
 func BenchmarkMatMulSkinny(b *testing.B) { benchMatMul(b, 8, 64, 256) }
+
+// BenchmarkMatMulInto measures the allocation-free fast path compiled
+// plans use.
+func BenchmarkMatMulInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPool(1)
+	const s = 256
+	a := RandNormal(rng, 0, 1, s, s)
+	bb := RandNormal(rng, 0, 1, s, s)
+	out := New(s, s)
+	b.SetBytes(int64(2 * s * s * s))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MatMulInto(p, out, a, bb, false, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConv2D measures the convolution kernel at a VGG-like layer
+// shape (unit stride, SAME padding) where the im2col path engages, and
+// an AlexNet-conv1-like strided shape kept on the direct path.
+func BenchmarkConv2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name            string
+		n, h, w, cin    int
+		kh, kw, cout    int
+		stride, padding int
+	}{
+		{"vgg_56x56x64", 1, 56, 56, 64, 3, 3, 64, 1, 1},
+		{"alexnet_conv1", 1, 64, 64, 3, 11, 11, 24, 4, 2},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			p := NewPool(1)
+			in := RandNormal(rng, 0, 1, c.n, c.h, c.w, c.cin)
+			f := RandNormal(rng, 0, 1, c.kh, c.kw, c.cin, c.cout)
+			spec := ConvSpec{StrideH: c.stride, StrideW: c.stride, PadH: c.padding, PadW: c.padding}
+			oh := ConvOutSize(c.h, c.kh, c.stride, c.padding)
+			ow := ConvOutSize(c.w, c.kw, c.stride, c.padding)
+			b.SetBytes(2 * int64(c.n) * int64(oh) * int64(ow) * int64(c.cout) * int64(c.kh*c.kw*c.cin))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Conv2D(p, in, f, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

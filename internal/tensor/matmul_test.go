@@ -100,6 +100,107 @@ func TestMatMulShapeErrors(t *testing.T) {
 	}
 }
 
+// TestMatMulBlockedMatchesStreaming drives the tiled/packed kernel at
+// sizes past blockedMinWork — with odd dimensions so partial panels in
+// every blocking loop are exercised — and compares it against the
+// streaming kernels on the identical operands.
+func TestMatMulBlockedMatchesStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := NewPool(1)
+	m, k, n := 131, 157, 101 // m·n·k > blockedMinWork, nothing divides a block
+	if int64(m)*int64(n)*int64(k) < blockedMinWork {
+		t.Fatal("test sizes must engage the blocked kernel")
+	}
+	for _, ta := range []bool{false, true} {
+		for _, tb := range []bool{false, true} {
+			ashape := []int{m, k}
+			if ta {
+				ashape = []int{k, m}
+			}
+			bshape := []int{k, n}
+			if tb {
+				bshape = []int{n, k}
+			}
+			a := RandNormal(rng, 0, 1, ashape...)
+			b := RandNormal(rng, 0, 1, bshape...)
+			got := New(m, n)
+			matmulBlocked(p, got.data, a.data, b.data, m, n, k, a.shape[1], b.shape[1], ta, tb)
+			want := New(m, n)
+			matmulStreamingForTest(p, want.data, a.data, b.data, m, n, k, a.shape[1], b.shape[1], ta, tb)
+			if !AllClose(got, want, 1e-3, 1e-3) {
+				t.Fatalf("transA=%v transB=%v: blocked kernel diverges (max diff %g)", ta, tb, MaxAbsDiff(got, want))
+			}
+		}
+	}
+}
+
+// matmulStreamingForTest runs the small-size kernels regardless of the
+// dispatch threshold.
+func matmulStreamingForTest(p *Pool, dst, a, b []float32, m, n, k, lda, ldb int, ta, tb bool) {
+	switch {
+	case !ta && !tb:
+		matmulRows(dst, a, b, 0, m, n, k, lda, ldb)
+	case !ta && tb:
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float32
+				for l := 0; l < k; l++ {
+					s += a[i*lda+l] * b[j*ldb+l]
+				}
+				dst[i*n+j] = s
+			}
+		}
+	case ta && !tb:
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float32
+				for l := 0; l < k; l++ {
+					s += a[l*lda+i] * b[l*ldb+j]
+				}
+				dst[i*n+j] = s
+			}
+		}
+	default:
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float32
+				for l := 0; l < k; l++ {
+					s += a[l*lda+i] * b[j*ldb+l]
+				}
+				dst[i*n+j] = s
+			}
+		}
+	}
+}
+
+func TestMatMulIntoOverwritesDirtyDestination(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewPool(1)
+	a := RandNormal(rng, 0, 1, 6, 8)
+	b := RandNormal(rng, 0, 1, 8, 5)
+	want, err := MatMul(p, a, b, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := Full(99, 6, 5) // dirty, as arena buffers are
+	if err := MatMulInto(p, dst, a, b, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !AllClose(dst, want, 0, 0) {
+		t.Fatal("MatMulInto must fully overwrite the destination")
+	}
+}
+
+func TestMatMulIntoShapeErrors(t *testing.T) {
+	p := NewPool(1)
+	if err := MatMulInto(p, New(2, 2), New(2, 3), New(3, 4), false, false); err == nil {
+		t.Fatal("expected destination shape error")
+	}
+	if err := MatMulInto(p, New(2, 2), New(2, 3), New(4, 4), false, false); err == nil {
+		t.Fatal("expected inner-dimension error")
+	}
+}
+
 // Property: (A·B)ᵀ == Bᵀ·Aᵀ for random sizes.
 func TestMatMulTransposeIdentityQuick(t *testing.T) {
 	p := NewPool(2)

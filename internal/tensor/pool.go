@@ -25,6 +25,31 @@ type Pool struct {
 	simPar  time.Duration // modeled parallel time of For regions
 	realPar time.Duration // measured serial time of For regions
 	regions int           // number of For regions that actually split
+
+	// Persistent kernel scratch buffers (see scratchBuf). They survive
+	// across operations so steady-state kernels allocate nothing.
+	scratch [scratchSlots][]float32
+}
+
+// Scratch slot assignments for the pool's kernel workspaces. Kernels
+// may nest (Conv2D's im2col path calls the matmul kernel), so each
+// concern owns a distinct slot.
+const (
+	scratchPackA  = iota // matmul: packed A panel
+	scratchPackB         // matmul: packed B panel
+	scratchIm2col        // conv: im2col patch matrix
+	scratchSlots
+)
+
+// scratchBuf returns the pool's persistent workspace for a slot, grown
+// to at least n elements. Contents are unspecified. Chunks of a For
+// region execute serially (see above), so a single buffer per slot is
+// safe even under modeled parallelism.
+func (p *Pool) scratchBuf(slot, n int) []float32 {
+	if cap(p.scratch[slot]) < n {
+		p.scratch[slot] = make([]float32, n)
+	}
+	return p.scratch[slot][:n]
 }
 
 // NewPool returns a pool modeling n workers. n < 1 is treated as 1.
@@ -102,6 +127,11 @@ func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
 	}
 	p.regions++
 	var maxChunk, sum time.Duration
+	// Chunk boundaries i*n/chunks are strictly increasing because
+	// chunks <= n/grain <= n, which also keeps every chunk at least
+	// grain iterations (floor(n/chunks) >= grain); no chunk is ever
+	// empty. TestPoolChunkAccounting pins both invariants across a
+	// sweep of (n, grain, workers).
 	for i := 0; i < chunks; i++ {
 		lo := i * n / chunks
 		hi := (i + 1) * n / chunks

@@ -124,6 +124,65 @@ func TestPoolSetWorkers(t *testing.T) {
 	}
 }
 
+// TestPoolChunkAccounting sweeps (n, grain, workers) combinations and
+// asserts the chunking invariants around the n/grain clamp: every
+// index covered exactly once, no empty chunk ever invokes fn, and when
+// the loop splits every chunk holds at least grain iterations. Small n
+// close to grain*2 exercises the clamped-boundary edge case.
+func TestPoolChunkAccounting(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 4, 7, 8, 16} {
+		for _, grain := range []int{1, 2, 3, 5, 10, 100} {
+			for n := 0; n <= 64; n++ {
+				p := NewPool(w)
+				p.ResetOp()
+				seen := make([]int, n)
+				chunks := 0
+				p.For(n, grain, func(lo, hi int) {
+					chunks++
+					if hi <= lo {
+						t.Fatalf("w=%d grain=%d n=%d: empty chunk [%d,%d)", w, grain, n, lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						seen[i]++
+					}
+				})
+				for i, c := range seen {
+					if c != 1 {
+						t.Fatalf("w=%d grain=%d n=%d: index %d covered %d times", w, grain, n, i, c)
+					}
+				}
+				if p.Regions() > 0 && chunks < 2 {
+					t.Fatalf("w=%d grain=%d n=%d: split region with %d chunks", w, grain, n, chunks)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolScratchBufPersistsAndGrows(t *testing.T) {
+	p := NewPool(2)
+	b1 := p.scratchBuf(scratchPackA, 100)
+	if len(b1) != 100 {
+		t.Fatalf("scratch length %d, want 100", len(b1))
+	}
+	b1[0] = 42
+	b2 := p.scratchBuf(scratchPackA, 50)
+	if len(b2) != 50 || b2[0] != 42 {
+		t.Fatal("scratch must be reused, not reallocated, when shrinking")
+	}
+	b3 := p.scratchBuf(scratchPackA, 200)
+	if len(b3) != 200 {
+		t.Fatalf("scratch length %d, want 200", len(b3))
+	}
+	// Distinct slots must not share storage.
+	a := p.scratchBuf(scratchPackA, 8)
+	b := p.scratchBuf(scratchPackB, 8)
+	a[0], b[0] = 1, 2
+	if a[0] != 1 {
+		t.Fatal("scratch slots must be independent")
+	}
+}
+
 func TestPoolZeroIterations(t *testing.T) {
 	p := NewPool(4)
 	called := false

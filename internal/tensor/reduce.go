@@ -62,11 +62,30 @@ func Reduce(p *Pool, in *Tensor, axes []int, keepDims bool, kind string) (*Tenso
 	if err != nil {
 		return nil, err
 	}
+	out := New(outShape...)
+	if err := ReduceInto(p, out, in, axes, keepDims, kind); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReduceInto applies the reduction into out, which must have the
+// reduced shape. out is reinitialized first, so it may hold arbitrary
+// data but must not alias in.
+func ReduceInto(p *Pool, out, in *Tensor, axes []int, keepDims bool, kind string) error {
+	outShape, err := ReducedShape(in.shape, axes, keepDims)
+	if err != nil {
+		return err
+	}
+	if !SameShape(out.shape, outShape) {
+		return fmt.Errorf("tensor: ReduceInto destination %v, want %v", out.shape, outShape)
+	}
 	set, _ := normAxes(in.Rank(), axes)
 	reduceAll := len(axes) == 0
-	out := New(outShape...)
 	if kind == "max" {
 		out.Fill(negInf)
+	} else {
+		out.Zero()
 	}
 	// Build strides of the output aligned to the input's index space:
 	// reduced axes contribute stride 0.
@@ -121,7 +140,7 @@ func Reduce(p *Pool, in *Tensor, axes []int, keepDims bool, kind string) (*Tenso
 			od[i] *= inv
 		}
 	}
-	return out, nil
+	return nil
 }
 
 func max(a, b int) int {
@@ -133,9 +152,24 @@ func max(a, b int) int {
 
 // Softmax computes row-wise softmax over the last axis.
 func Softmax(p *Pool, in *Tensor) *Tensor {
+	out := New(in.shape...)
+	softmaxInto(p, out, in)
+	return out
+}
+
+// SoftmaxInto computes row-wise softmax into out, which must have in's
+// shape; it is fully overwritten and must not alias in.
+func SoftmaxInto(p *Pool, out, in *Tensor) error {
+	if !SameShape(out.shape, in.shape) {
+		return fmt.Errorf("tensor: SoftmaxInto destination %v, want %v", out.shape, in.shape)
+	}
+	softmaxInto(p, out, in)
+	return nil
+}
+
+func softmaxInto(p *Pool, out, in *Tensor) {
 	c := in.shape[len(in.shape)-1]
 	rows := in.Size() / c
-	out := New(in.shape...)
 	id, od := in.data, out.data
 	p.For(rows, 64, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
@@ -159,7 +193,6 @@ func Softmax(p *Pool, in *Tensor) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // LogSumExp computes log(Σ exp(x)) over the last axis, one value per
