@@ -7,11 +7,16 @@
 package repro
 
 import (
+	"context"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/runtime"
+	"repro/internal/serve"
+	"repro/internal/tensor"
 
 	_ "repro/internal/models/all"
 )
@@ -111,13 +116,13 @@ func benchStep(b *testing.B, name string, mode core.Mode) {
 		b.Fatal(err)
 	}
 	s := runtime.NewSession(m.Graph(), runtime.WithSeed(1))
-	if err := m.Step(s, mode); err != nil { // warm the plan cache
+	if err := core.Step(m, s, mode); err != nil { // warm the plan cache
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := m.Step(s, mode); err != nil {
+		if err := core.Step(m, s, mode); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -133,4 +138,83 @@ func BenchmarkStepInference(b *testing.B) {
 	for _, name := range experiments.Workloads() {
 		b.Run(name, func(b *testing.B) { benchStep(b, name, core.ModeInference) })
 	}
+}
+
+// ---- serving engine benchmarks ----
+
+// benchServe measures the engine end to end: concurrent clients
+// submitting single-example requests through the micro-batching queue
+// and session pool. Reported ns/op is per request.
+func benchServe(b *testing.B, name string, sessions, maxBatch, clients int) {
+	m, err := core.New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 1, Batch: maxBatch}); err != nil {
+		b.Fatal(err)
+	}
+	e, err := serve.New(m, serve.Options{
+		Sessions: sessions, MaxBatch: maxBatch, MaxDelay: 500 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	sig := m.Signature(core.ModeInference)
+	example := map[string]*tensor.Tensor{}
+	for _, in := range sig.Inputs {
+		example[in.Name] = tensor.New(in.ExampleShape()...)
+	}
+	ctx := context.Background()
+	// Warm every worker session's plan cache: enough concurrent
+	// requests that each worker executes at least one batch.
+	var warm sync.WaitGroup
+	for i := 0; i < sessions*maxBatch; i++ {
+		warm.Add(1)
+		go func() {
+			defer warm.Done()
+			if _, err := e.Infer(ctx, example); err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	warm.Wait()
+	if b.Failed() {
+		b.FailNow()
+	}
+	e.ResetStats() // exclude the compile-cost warmup from fill/p99
+	b.ResetTimer()
+	// Exactly `clients` concurrent submitters sharing b.N requests
+	// (RunParallel's SetParallelism would multiply by GOMAXPROCS and
+	// measure a different load).
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		n := b.N / clients
+		if c < b.N%clients {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if _, err := e.Infer(ctx, example); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	s := e.Stats()
+	b.ReportMetric(s.MeanBatchFill, "fill")
+	b.ReportMetric(float64(s.P99Latency.Microseconds()), "p99-µs")
+}
+
+func BenchmarkServeAlexnet(b *testing.B) { benchServe(b, "alexnet", 2, 8, 8) }
+func BenchmarkServeMemnet(b *testing.B)  { benchServe(b, "memnet", 2, 8, 8) }
+func BenchmarkServeUnbatched(b *testing.B) {
+	// MaxBatch 1 isolates the cost of the queue + pool without
+	// coalescing — the baseline dynamic batching must beat.
+	benchServe(b, "memnet", 2, 1, 8)
 }

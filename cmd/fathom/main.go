@@ -1,29 +1,36 @@
-// Command fathom runs the Fathom workload suite and regenerates the
-// paper's tables and figures.
+// Command fathom runs the Fathom workload suite, regenerates the
+// paper's tables and figures, and serves workloads over HTTP.
 //
 // Usage:
 //
 //	fathom list                         # registered workloads (Table II)
 //	fathom run   -model alexnet ...     # profile one workload
+//	fathom serve -model alexnet ...     # HTTP/JSON inference serving
 //	fathom table1 | table2              # the paper's tables
 //	fathom fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | overhead
 //	fathom all                          # everything, optionally to -out
 //
 // Common flags: -preset ref|small|tiny, -steps N, -warmup N, -seed N,
 // -workers N, -device cpu|gpu, -mode training|inference, -out DIR.
+// Serving flags: -addr, -sessions, -maxbatch, -maxdelay.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	_ "repro/internal/models/all"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -40,8 +47,12 @@ func main() {
 	workers := fs.Int("workers", 1, "modeled intra-op workers")
 	device := fs.String("device", "cpu", "cpu or gpu (modeled)")
 	mode := fs.String("mode", "training", "training or inference")
-	model := fs.String("model", "", "workload name (run, fig6)")
+	model := fs.String("model", "", "workload name (run, fig6); comma-separated list (serve)")
 	outDir := fs.String("out", "", "directory for CSV outputs (optional)")
+	addr := fs.String("addr", "localhost:7711", "listen address (serve)")
+	sessions := fs.Int("sessions", 2, "worker sessions per served model (serve)")
+	maxBatch := fs.Int("maxbatch", 8, "micro-batch window: max coalesced requests per run (serve)")
+	maxDelay := fs.Duration("maxdelay", 2*time.Millisecond, "max wait for a micro-batch to fill (serve)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -98,6 +109,64 @@ func main() {
 			*model, md, *device, st, *workers,
 			res.SimTime/time.Duration(st), res.WallTime/time.Duration(st))
 		fmt.Println(res.Profile)
+	case "serve":
+		if *model == "" {
+			fatal(fmt.Errorf("serve requires -model (comma-separated workload names)"))
+		}
+		dev, err := core.NewDevice(*device)
+		if err != nil {
+			fatal(err)
+		}
+		srv := serve.NewServer()
+		seen := map[string]bool{}
+		for _, name := range strings.Split(*model, ",") {
+			name = strings.TrimSpace(name)
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			m, err := core.New(name)
+			if err != nil {
+				fatal(err)
+			}
+			// Build the graph's batch axis at the micro-batch window so
+			// coalesced requests fill one compiled-plan run.
+			if err := m.Setup(core.Config{Preset: preset, Seed: *seed, Batch: *maxBatch}); err != nil {
+				fatal(fmt.Errorf("setup %s: %w", name, err))
+			}
+			eng, err := serve.New(m, serve.Options{
+				Sessions: *sessions,
+				MaxBatch: *maxBatch,
+				MaxDelay: *maxDelay,
+				Seed:     *seed,
+				Device:   dev,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer eng.Close()
+			srv.Register(eng)
+			sig := eng.Signature()
+			fmt.Printf("serving %-10s  inputs %v  outputs %v  maxbatch %d\n",
+				name, sig.InputNames(), sig.OutputNames(), eng.MaxBatch())
+		}
+		fmt.Printf("\nlistening on http://%s\n", *addr)
+		fmt.Printf("  POST /v1/models/%s:infer   {\"inputs\": {...}}\n", srv.Names()[0])
+		fmt.Println("  GET  /v1/models  /healthz  /stats")
+		httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		errc := make(chan error, 1)
+		go func() { errc <- httpSrv.ListenAndServe() }()
+		select {
+		case err := <-errc:
+			fatal(err)
+		case <-ctx.Done():
+			fmt.Println("\nshutting down")
+			shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(shctx)
+		}
 	case "table1":
 		emit(experiments.Table1())
 	case "table2":
@@ -166,6 +235,7 @@ func usage() {
 commands:
   list       registered workloads
   run        profile one workload        (-model, -mode, -device, -workers)
+  serve      HTTP/JSON inference serving (-model a,b -addr -sessions -maxbatch -maxdelay)
   table1     architecture-survey table
   table2     workload inventory
   fig1       op-time stationarity
@@ -178,5 +248,7 @@ commands:
   ablation   optimizer-pass and kernel-fusion ablations
   all        everything
 
-flags: -preset ref|small|tiny  -steps N  -warmup N  -seed N  -out DIR`)
+flags: -preset ref|small|tiny  -steps N  -warmup N  -seed N  -out DIR
+serve: exposes POST /v1/models/<name>:infer, GET /v1/models, /healthz, /stats;
+       requests carry one example per call and are dynamically micro-batched`)
 }

@@ -25,4 +25,20 @@
 // blocked microkernel, and tensor.Conv2D lowers large unit-stride
 // convolutions to im2col + packed matmul (1×1 convolutions go straight
 // to GEMM; small or strided shapes keep the direct loop).
+//
+// # Serving architecture
+//
+// The standard model interface is request-driven: every workload
+// publishes a core.Signature per mode (named input placeholders and
+// named output nodes, each with an explicit batch axis) and implements
+// the core.Inferencer / core.Trainer capabilities; self-feeding
+// profile steps go through the core.Step adapter. On top of that
+// contract, internal/serve provides the concurrent serving subsystem:
+// serve.Engine owns a pool of single-goroutine runtime.Sessions over
+// one shared graph, coalesces concurrent single-example requests into
+// dynamic micro-batches (MaxBatch/MaxDelay) executed as one compiled-
+// plan run each, supports context cancellation, and keeps an atomic
+// stats block (throughput, p50/p99 latency, batch fill). serve.Server
+// and `fathom serve` expose any registered workload over HTTP/JSON
+// (POST /v1/models/<name>:infer, GET /v1/models, /healthz, /stats).
 package repro

@@ -50,7 +50,7 @@ func main() {
 	fmt.Printf("deepq learning %s (replay + target network + RMSProp)\n\n", game.Name())
 	screen := make([]float32, ale.Width*ale.Height)
 	for step := 0; step <= 120; step++ {
-		if err := m.Step(sess, core.ModeTraining); err != nil {
+		if err := core.Step(m, sess, core.ModeTraining); err != nil {
 			panic(err)
 		}
 		if step%40 == 0 {
@@ -62,7 +62,7 @@ func main() {
 	}
 	fmt.Println("switching to greedy policy evaluation (inference):")
 	for i := 0; i < 10; i++ {
-		if err := m.Step(sess, core.ModeInference); err != nil {
+		if err := core.Step(m, sess, core.ModeInference); err != nil {
 			panic(err)
 		}
 	}

@@ -1,0 +1,137 @@
+// Serving: stand up the concurrent inference engine on the alexnet
+// workload, expose it over HTTP/JSON, and hammer it with concurrent
+// clients — the "heavy traffic" path. Demonstrates the request-driven
+// side of the standard model interface: discovery via the signature
+// endpoint, single-example requests, dynamic micro-batching, and the
+// engine's throughput/latency/batch-fill stats.
+//
+// The same server is reachable from the command line:
+//
+//	fathom serve -model alexnet -preset tiny -maxbatch 8
+//	curl -s localhost:7711/v1/models/alexnet | jq
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+
+	_ "repro/internal/models/all"
+)
+
+const (
+	clients   = 8
+	perClient = 4
+	maxBatch  = 8
+)
+
+type jsonTensor struct {
+	Shape []int     `json:"shape"`
+	Data  []float32 `json:"data"`
+}
+
+func main() {
+	// Build the workload with its batch axis widened to the
+	// micro-batch window, then start the engine and HTTP server.
+	m, err := core.New("alexnet")
+	check(err)
+	check(m.Setup(core.Config{Preset: core.PresetTiny, Seed: 1, Batch: maxBatch}))
+	eng, err := serve.New(m, serve.Options{Sessions: 2, MaxBatch: maxBatch, MaxDelay: 5 * time.Millisecond})
+	check(err)
+	defer eng.Close()
+
+	srv := serve.NewServer()
+	srv.Register(eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving alexnet at %s\n\n", base)
+
+	// Discover the request contract from the signature endpoint.
+	var sig struct {
+		Inputs []struct {
+			Name         string `json:"name"`
+			ExampleShape []int  `json:"example_shape"`
+		} `json:"inputs"`
+		Outputs []struct {
+			Name string `json:"name"`
+		} `json:"outputs"`
+	}
+	getJSON(base+"/v1/models/alexnet", &sig)
+	fmt.Printf("signature: input %s %v -> output %s\n\n",
+		sig.Inputs[0].Name, sig.Inputs[0].ExampleShape, sig.Outputs[0].Name)
+
+	// Concurrent clients, each posting single-example requests drawn
+	// from the synthetic ImageNet substitute.
+	side := sig.Inputs[0].ExampleShape[0]
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			data := dataset.NewImageNet(10, side, int64(c+1))
+			for k := 0; k < perClient; k++ {
+				images, labels := data.Batch(1)
+				img := images.Reshape(side, side, 3)
+				body, _ := json.Marshal(map[string]any{
+					"inputs": map[string]jsonTensor{
+						"images": {Shape: img.Shape(), Data: img.Data()},
+					},
+				})
+				resp, err := http.Post(base+"/v1/models/alexnet:infer", "application/json", bytes.NewReader(body))
+				check(err)
+				if resp.StatusCode != http.StatusOK {
+					msg, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					panic(fmt.Sprintf("infer returned %d: %s", resp.StatusCode, msg))
+				}
+				var out struct {
+					Outputs map[string]jsonTensor `json:"outputs"`
+				}
+				check(json.NewDecoder(resp.Body).Decode(&out))
+				resp.Body.Close()
+				probs := out.Outputs["probs"].Data
+				best, bestP := 0, float32(0)
+				for i, p := range probs {
+					if p > bestP {
+						best, bestP = i, p
+					}
+				}
+				fmt.Printf("client %d req %d: true class %d -> predicted %d (p=%.3f)\n",
+					c, k, int(labels.At(0)), best, bestP)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	s := eng.Stats()
+	fmt.Printf("\n%d requests from %d clients in %v\n", s.Requests, clients, elapsed.Round(time.Millisecond))
+	fmt.Printf("engine: %v\n", s)
+	fmt.Printf("micro-batching coalesced %d requests into %d runs (mean fill %.2f)\n",
+		s.Requests, s.Batches, s.MeanBatchFill)
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	check(err)
+	defer resp.Body.Close()
+	check(json.NewDecoder(resp.Body).Decode(v))
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

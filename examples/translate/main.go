@@ -31,7 +31,7 @@ func main() {
 	fmt.Printf("  uniform baseline: per-token cross-entropy = ln(V) ≈ 3.69\n")
 	var avg float64
 	for i := 1; i <= 400; i++ {
-		if err := m.Step(sess, core.ModeTraining); err != nil {
+		if err := core.Step(m, sess, core.ModeTraining); err != nil {
 			panic(err)
 		}
 		avg += rep.LastLoss()
@@ -42,7 +42,7 @@ func main() {
 	}
 	fmt.Println("\nswitching to inference (forward translation pass):")
 	for i := 0; i < 3; i++ {
-		if err := m.Step(sess, core.ModeInference); err != nil {
+		if err := core.Step(m, sess, core.ModeInference); err != nil {
 			panic(err)
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/profiling"
 	"repro/internal/runtime"
+	"repro/internal/tensor"
 )
 
 // Mode selects the phase a step executes.
@@ -85,6 +86,19 @@ func ParsePreset(s string) (Preset, error) {
 type Config struct {
 	Preset Preset
 	Seed   int64
+	// Batch, when positive, overrides the preset's batch (minibatch)
+	// size. Serving engines use it to build a graph whose batch axis
+	// matches their micro-batching window (see internal/serve).
+	Batch int
+}
+
+// BatchOr resolves the batch override: the configured Batch if
+// positive, else the preset default def.
+func (c Config) BatchOr(def int) int {
+	if c.Batch > 0 {
+		return c.Batch
+	}
+	return def
 }
 
 // Meta is a workload's Table-II row.
@@ -100,6 +114,12 @@ type Meta struct {
 }
 
 // Model is the standard interface every Fathom workload implements.
+// It is deliberately request-driven: a workload describes its named
+// inputs and outputs through Signature, and the capability interfaces
+// (Inferencer, Trainer) execute against those. Self-feeding
+// profile-style stepping — the original Step behavior — lives in the
+// package-level Step adapter, which drives the same methods from the
+// workload's synthetic dataset.
 type Model interface {
 	// Name returns the canonical workload name (e.g. "seq2seq").
 	Name() string
@@ -109,16 +129,87 @@ type Model interface {
 	Setup(cfg Config) error
 	// Graph returns the built graph (after Setup).
 	Graph() *graph.Graph
-	// Step executes one update step (training) or one batched
-	// inference (inference) against the session, feeding itself from
-	// its synthetic dataset.
-	Step(s *runtime.Session, mode Mode) error
+	// Signature returns the workload's explicit I/O contract for the
+	// mode (after Setup): the placeholders a request must feed and
+	// the nodes an execution returns, in fetch order.
+	Signature(mode Mode) Signature
+}
+
+// Inferencer is the serving capability: execute one forward pass over
+// the inference signature, feeding the named inputs and returning the
+// named outputs. Implementations must be stateless with respect to the
+// model value (all per-run state lives in the session), so one model
+// may be shared by many sessions on concurrent goroutines — the
+// property serve.Engine's session pool relies on.
+type Inferencer interface {
+	Infer(s *runtime.Session, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error)
+}
+
+// Trainer is the training capability: execute one optimizer update,
+// drawing a minibatch from the workload's synthetic dataset, and
+// report the step's loss.
+type Trainer interface {
+	TrainStep(s *runtime.Session) (float64, error)
+}
+
+// Sampler provides one synthetic batch of the workload's inference
+// inputs, keyed by signature input name. The Step adapter uses it to
+// preserve the original self-feeding inference behavior on top of
+// Inferencer.
+type Sampler interface {
+	Sample() map[string]*tensor.Tensor
+}
+
+// InferenceStepper is implemented by workloads whose self-driven
+// inference step is more than Infer on a sampled batch — deepq's
+// greedy policy evaluation acts in its emulator. Step prefers it over
+// the Sampler+Inferencer path.
+type InferenceStepper interface {
+	InferStep(s *runtime.Session) error
+}
+
+// BatchCoupled is implemented by workloads whose graphs couple
+// examples across the batch axis even at inference — residual's
+// primitive-op batch normalization computes statistics over the whole
+// batch — so per-example outputs depend on what shares the batch.
+// Serving engines must not coalesce requests from different callers
+// into one execution for such workloads.
+type BatchCoupled interface {
+	BatchCoupled() bool
 }
 
 // LossReporter is implemented by workloads that can report the loss
 // of their most recent training step (used by convergence tests).
 type LossReporter interface {
 	LastLoss() float64
+}
+
+// Step executes one self-feeding step — one optimizer update
+// (training) or one batched inference (inference) drawn from the
+// workload's synthetic dataset — by driving the model's Trainer /
+// Inferencer capabilities. It is the adapter that preserves the
+// original monolithic Step contract for the profiling tooling
+// (experiments, fathom run) on top of the request-driven interface.
+func Step(m Model, s *runtime.Session, mode Mode) error {
+	if mode == ModeTraining {
+		tr, ok := m.(Trainer)
+		if !ok {
+			return fmt.Errorf("core: workload %s does not support training", m.Name())
+		}
+		_, err := tr.TrainStep(s)
+		return err
+	}
+	if st, ok := m.(InferenceStepper); ok {
+		s.SetTraining(false)
+		return st.InferStep(s)
+	}
+	smp, okS := m.(Sampler)
+	inf, okI := m.(Inferencer)
+	if !okS || !okI {
+		return fmt.Errorf("core: workload %s does not support self-feeding inference", m.Name())
+	}
+	_, err := inf.Infer(s, smp.Sample())
+	return err
 }
 
 // registry of workload factories.
@@ -185,9 +276,11 @@ func NewDevice(name string) (runtime.Device, error) {
 	return nil, fmt.Errorf("core: unknown device %q", name)
 }
 
-// Run sets up the model (if not already set up by the caller) and
-// executes warmup + measured steps under tracing, returning the
-// profile. The model must have been Setup by the caller.
+// Run executes warmup + measured self-feeding steps under tracing and
+// returns the profile. Run never calls Setup: the model must already
+// have been Setup by the caller (SetupAndRun is the convenience path
+// that does both). Each run drives the model through the Step adapter
+// on a fresh traced session.
 func Run(m Model, opt RunOptions) (*RunResult, error) {
 	if opt.Steps <= 0 {
 		opt.Steps = 1
@@ -210,14 +303,14 @@ func Run(m Model, opt RunOptions) (*RunResult, error) {
 		runtime.WithTrace(),
 	)
 	for i := 0; i < opt.Warmup; i++ {
-		if err := m.Step(sess, opt.Mode); err != nil {
+		if err := Step(m, sess, opt.Mode); err != nil {
 			return nil, fmt.Errorf("core: %s warmup step: %w", m.Name(), err)
 		}
 	}
 	sess.ResetTrace()
 	t0 := time.Now()
 	for i := 0; i < opt.Steps; i++ {
-		if err := m.Step(sess, opt.Mode); err != nil {
+		if err := Step(m, sess, opt.Mode); err != nil {
 			return nil, fmt.Errorf("core: %s step %d: %w", m.Name(), i, err)
 		}
 	}

@@ -16,6 +16,7 @@ type toy struct {
 	g     *graph.Graph
 	x     *graph.Node
 	y     *graph.Node
+	loss  *graph.Node
 	train *graph.Node
 	steps int
 }
@@ -31,23 +32,42 @@ func (t *toy) Setup(cfg Config) error {
 	t.x = g.Placeholder("x", 4, 8)
 	w := g.Variable("w", tensor.Ones(8, 2))
 	t.y = ops.MatMul(t.x, w)
-	loss := ops.Sum(ops.Square(t.y))
-	grads, err := graph.Gradients(loss, []*graph.Node{w})
+	t.loss = ops.Sum(ops.Square(t.y))
+	grads, err := graph.Gradients(t.loss, []*graph.Node{w})
 	if err != nil {
 		return err
 	}
 	t.train = ops.ApplySGD(w, grads[0], 1e-4)
 	return nil
 }
-func (t *toy) Step(s *runtime.Session, mode Mode) error {
-	t.steps++
-	feeds := runtime.Feeds{t.x: tensor.Ones(4, 8)}
+func (t *toy) Signature(mode Mode) Signature {
 	if mode == ModeTraining {
-		_, err := s.Run([]*graph.Node{t.train}, feeds)
-		return err
+		return Signature{
+			Inputs:  []IOSpec{In("x", t.x)},
+			Outputs: []IOSpec{ScalarOut("loss", t.loss)},
+		}
 	}
-	_, err := s.Run([]*graph.Node{t.y}, feeds)
-	return err
+	return Signature{
+		Inputs:  []IOSpec{In("x", t.x)},
+		Outputs: []IOSpec{Out("y", t.y)},
+	}
+}
+func (t *toy) Infer(s *runtime.Session, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	t.steps++
+	s.SetTraining(false)
+	return t.Signature(ModeInference).Run(s, feeds)
+}
+func (t *toy) TrainStep(s *runtime.Session) (float64, error) {
+	t.steps++
+	s.SetTraining(true)
+	out, err := s.Run([]*graph.Node{t.loss, t.train}, runtime.Feeds{t.x: tensor.Ones(4, 8)})
+	if err != nil {
+		return 0, err
+	}
+	return float64(out[0].Data()[0]), nil
+}
+func (t *toy) Sample() map[string]*tensor.Tensor {
+	return map[string]*tensor.Tensor{"x": tensor.Ones(4, 8)}
 }
 
 func TestModeAndPresetStrings(t *testing.T) {
@@ -179,6 +199,74 @@ func TestRunOnGPUDevice(t *testing.T) {
 func TestSetupAndRunUnknownModel(t *testing.T) {
 	if _, err := SetupAndRun("nonexistent", Config{}, RunOptions{}); err == nil {
 		t.Fatal("unknown model should error")
+	}
+}
+
+func TestSignatureShapesAndCapacity(t *testing.T) {
+	m := &toy{}
+	if err := m.Setup(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	sig := m.Signature(ModeInference)
+	in, ok := sig.Input("x")
+	if !ok {
+		t.Fatal("missing input x")
+	}
+	if got := in.ExampleShape(); len(got) != 1 || got[0] != 8 {
+		t.Fatalf("example shape = %v, want [8]", got)
+	}
+	if sig.BatchCapacity() != 4 {
+		t.Fatalf("capacity = %d, want 4", sig.BatchCapacity())
+	}
+	out, ok := sig.Output("y")
+	if !ok || out.BatchDim != 0 {
+		t.Fatal("missing batched output y")
+	}
+	loss, ok := m.Signature(ModeTraining).Output("loss")
+	if !ok || loss.BatchDim != BatchNone {
+		t.Fatal("training loss must be a whole-batch scalar")
+	}
+}
+
+func TestSignatureRunValidatesFeeds(t *testing.T) {
+	m := &toy{}
+	if err := m.Setup(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	s := runtime.NewSession(m.Graph())
+	sig := m.Signature(ModeInference)
+	if _, err := sig.Run(s, map[string]*tensor.Tensor{}); err == nil {
+		t.Fatal("missing input must error")
+	}
+	if _, err := sig.Run(s, map[string]*tensor.Tensor{
+		"x": tensor.Ones(4, 8), "bogus": tensor.Ones(1),
+	}); err == nil {
+		t.Fatal("unknown input must error")
+	}
+	out, err := sig.Run(s, map[string]*tensor.Tensor{"x": tensor.Ones(4, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, ok := out["y"]
+	if !ok || y.Dim(0) != 4 || y.Dim(1) != 2 {
+		t.Fatalf("output y = %v", out)
+	}
+}
+
+func TestStepAdapterDrivesCapabilities(t *testing.T) {
+	m := &toy{}
+	if err := m.Setup(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	s := runtime.NewSession(m.Graph())
+	if err := Step(m, s, ModeTraining); err != nil {
+		t.Fatal(err)
+	}
+	if err := Step(m, s, ModeInference); err != nil {
+		t.Fatal(err)
+	}
+	if m.steps != 2 {
+		t.Fatalf("adapter should have driven 2 steps, got %d", m.steps)
 	}
 }
 

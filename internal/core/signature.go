@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+// IOSpec names one tensor of a workload's request contract: an input
+// placeholder a caller must feed, or an output node the run returns.
+// BatchDim is the axis that indexes independent examples (0 for
+// batch-major image tensors, 1 for the time-major (T, B, …) layouts of
+// the recurrent workloads, BatchNone for whole-batch scalars such as a
+// mean loss). Serving systems use it to coalesce single-example
+// requests into one graph execution and split the results back apart.
+type IOSpec struct {
+	Name     string
+	Node     *graph.Node
+	BatchDim int
+}
+
+// BatchNone marks an IOSpec with no per-example axis (scalar losses).
+const BatchNone = -1
+
+// In declares a batch-major input (BatchDim 0).
+func In(name string, n *graph.Node) IOSpec { return IOSpec{Name: name, Node: n, BatchDim: 0} }
+
+// InAt declares an input whose example axis is dim.
+func InAt(name string, n *graph.Node, dim int) IOSpec {
+	return IOSpec{Name: name, Node: n, BatchDim: dim}
+}
+
+// Out declares a batch-major output (BatchDim 0).
+func Out(name string, n *graph.Node) IOSpec { return IOSpec{Name: name, Node: n, BatchDim: 0} }
+
+// OutAt declares an output whose example axis is dim.
+func OutAt(name string, n *graph.Node, dim int) IOSpec {
+	return IOSpec{Name: name, Node: n, BatchDim: dim}
+}
+
+// ScalarOut declares a whole-batch output with no example axis.
+func ScalarOut(name string, n *graph.Node) IOSpec {
+	return IOSpec{Name: name, Node: n, BatchDim: BatchNone}
+}
+
+// Shape returns the full graph shape of the spec's node.
+func (s IOSpec) Shape() []int { return s.Node.Shape() }
+
+// ExampleShape returns the shape of one example: the node shape with
+// the batch axis removed (nil slice for a scalar example).
+func (s IOSpec) ExampleShape() []int {
+	if s.BatchDim == BatchNone {
+		return s.Node.Shape()
+	}
+	full := s.Node.Shape()
+	out := make([]int, 0, len(full)-1)
+	for i, d := range full {
+		if i != s.BatchDim {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Signature is a workload's explicit I/O contract for one mode: the
+// named placeholders a request must feed and the named nodes an
+// execution returns, in fetch order. It is the request-driven half of
+// the standard model interface — where Step-style self-feeding drives
+// the graph from the workload's synthetic dataset, a Signature lets an
+// external caller (test, benchmark, serving engine) supply real inputs
+// and receive real outputs.
+type Signature struct {
+	Inputs  []IOSpec
+	Outputs []IOSpec
+}
+
+// Input returns the input spec with the given name.
+func (sig Signature) Input(name string) (IOSpec, bool) {
+	for _, s := range sig.Inputs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return IOSpec{}, false
+}
+
+// Output returns the output spec with the given name.
+func (sig Signature) Output(name string) (IOSpec, bool) {
+	for _, s := range sig.Outputs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return IOSpec{}, false
+}
+
+// BatchCapacity returns the number of examples one graph execution
+// carries: the extent of the first batched input's batch axis (1 if
+// the signature has no batched inputs).
+func (sig Signature) BatchCapacity() int {
+	for _, s := range sig.Inputs {
+		if s.BatchDim != BatchNone {
+			return s.Node.Shape()[s.BatchDim]
+		}
+	}
+	return 1
+}
+
+// Run executes the signature against a session: every input must be
+// fed (by name, with the exact placeholder shape), every output is
+// fetched, and the results come back keyed by output name. Unknown
+// feed names are rejected so request typos fail loudly. Run is how
+// workloads implement Inferencer; it works for any mode's signature.
+func (sig Signature) Run(s *runtime.Session, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	rf := make(runtime.Feeds, len(sig.Inputs))
+	for _, in := range sig.Inputs {
+		t, ok := feeds[in.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: missing input %q (signature inputs: %v)", in.Name, sig.InputNames())
+		}
+		rf[in.Node] = t
+	}
+	if len(feeds) > len(sig.Inputs) {
+		for name := range feeds {
+			if _, ok := sig.Input(name); !ok {
+				return nil, fmt.Errorf("core: unknown input %q (signature inputs: %v)", name, sig.InputNames())
+			}
+		}
+	}
+	fetches := make([]*graph.Node, len(sig.Outputs))
+	for i, out := range sig.Outputs {
+		fetches[i] = out.Node
+	}
+	vals, err := s.Run(fetches, rf)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*tensor.Tensor, len(vals))
+	for i, spec := range sig.Outputs {
+		out[spec.Name] = vals[i]
+	}
+	return out, nil
+}
+
+// RunInference executes one forward pass over m's inference signature
+// — the shared body of every workload's Inferencer implementation, so
+// inference semantics (mode flag, feed validation, output naming) live
+// in one place.
+func RunInference(m Model, s *runtime.Session, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	s.SetTraining(false)
+	return m.Signature(ModeInference).Run(s, feeds)
+}
+
+// InputNames returns the input names in declaration order.
+func (sig Signature) InputNames() []string {
+	out := make([]string, len(sig.Inputs))
+	for i, s := range sig.Inputs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// OutputNames returns the output names in fetch order.
+func (sig Signature) OutputNames() []string {
+	out := make([]string, len(sig.Outputs))
+	for i, s := range sig.Outputs {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/models/nn"
 	"repro/internal/ops"
 	"repro/internal/runtime"
+	"repro/internal/tensor"
 )
 
 func init() {
@@ -78,6 +79,7 @@ func (m *Model) LastLoss() float64 { return m.lastLoss }
 func (m *Model) Setup(cfg core.Config) error {
 	m.cfg = cfg
 	m.dims = dimsFor(cfg.Preset)
+	m.dims.batch = cfg.BatchOr(m.dims.batch)
 	d := m.dims
 	seed := cfg.Seed
 	if seed == 0 {
@@ -129,19 +131,39 @@ func (m *Model) Setup(cfg core.Config) error {
 	return err
 }
 
-// Step implements core.Model.
-func (m *Model) Step(s *runtime.Session, mode core.Mode) error {
-	images, labels := m.data.Batch(m.dims.batch)
-	feeds := runtime.Feeds{m.x: images, m.y: labels}
-	s.SetTraining(mode == core.ModeTraining)
+// Signature implements core.Model.
+func (m *Model) Signature(mode core.Mode) core.Signature {
 	if mode == core.ModeTraining {
-		out, err := s.Run([]*graph.Node{m.loss, m.trainOp}, feeds)
-		if err != nil {
-			return err
+		return core.Signature{
+			Inputs:  []core.IOSpec{core.In("images", m.x), core.In("labels", m.y)},
+			Outputs: []core.IOSpec{core.ScalarOut("loss", m.loss)},
 		}
-		m.lastLoss = float64(out[0].Data()[0])
-		return nil
 	}
-	_, err := s.Run([]*graph.Node{m.probs}, feeds)
-	return err
+	return core.Signature{
+		Inputs:  []core.IOSpec{core.In("images", m.x)},
+		Outputs: []core.IOSpec{core.Out("probs", m.probs)},
+	}
+}
+
+// Infer implements core.Inferencer.
+func (m *Model) Infer(s *runtime.Session, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	return core.RunInference(m, s, feeds)
+}
+
+// TrainStep implements core.Trainer.
+func (m *Model) TrainStep(s *runtime.Session) (float64, error) {
+	images, labels := m.data.Batch(m.dims.batch)
+	s.SetTraining(true)
+	out, err := s.Run([]*graph.Node{m.loss, m.trainOp}, runtime.Feeds{m.x: images, m.y: labels})
+	if err != nil {
+		return 0, err
+	}
+	m.lastLoss = float64(out[0].Data()[0])
+	return m.lastLoss, nil
+}
+
+// Sample implements core.Sampler: one synthetic inference batch.
+func (m *Model) Sample() map[string]*tensor.Tensor {
+	images, _ := m.data.Batch(m.dims.batch)
+	return map[string]*tensor.Tensor{"images": images}
 }

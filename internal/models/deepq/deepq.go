@@ -134,6 +134,7 @@ func buildShared(vars []*graph.Node, x *graph.Node, d dims, actions int) *graph.
 func (m *Model) Setup(cfg core.Config) error {
 	m.cfg = cfg
 	m.dims = dimsFor(cfg.Preset)
+	m.dims.batch = cfg.BatchOr(m.dims.batch)
 	d := m.dims
 	seed := cfg.Seed
 	if seed == 0 {
@@ -215,31 +216,62 @@ func (m *Model) act(s *runtime.Session) (ale.Action, *tensor.Tensor, error) {
 	return ale.Action(best), state, nil
 }
 
-// Step implements core.Model. A training step acts once in the
-// emulator (storing the transition) and performs one minibatch
-// Q-learning update; an inference step is pure policy evaluation.
-func (m *Model) Step(s *runtime.Session, mode core.Mode) error {
-	s.SetTraining(mode == core.ModeTraining)
-	d := m.dims
-	if mode == core.ModeInference {
-		// Greedy policy evaluation: one forward pass per action.
-		saved := m.epsilon
-		m.epsilon = 0.05
-		a, _, err := m.act(s)
-		m.epsilon = saved
-		if err != nil {
-			return err
+// Signature implements core.Model. The serving contract is action-
+// value evaluation: feed a batch of preprocessed screen states through
+// the online network and get Q-values per action. (Self-driven
+// inference stepping — acting in the emulator — goes through
+// InferStep instead.)
+func (m *Model) Signature(mode core.Mode) core.Signature {
+	if mode == core.ModeTraining {
+		return core.Signature{
+			Inputs: []core.IOSpec{
+				core.In("states", m.stateB),
+				core.In("actions_onehot", m.onehotB),
+				core.In("target_q", m.targetY),
+			},
+			Outputs: []core.IOSpec{core.ScalarOut("loss", m.loss)},
 		}
-		if _, done := m.env.Step(a); done {
-			m.env.Reset()
-		}
-		return nil
 	}
+	return core.Signature{
+		Inputs:  []core.IOSpec{core.In("states", m.stateB)},
+		Outputs: []core.IOSpec{core.Out("q", m.qB)},
+	}
+}
+
+// Infer implements core.Inferencer: request-driven Q-value evaluation
+// over the online network's batch path.
+func (m *Model) Infer(s *runtime.Session, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	return core.RunInference(m, s, feeds)
+}
+
+// InferStep implements core.InferenceStepper: greedy policy
+// evaluation — one nearly-greedy action in the emulator per step, one
+// forward pass per action.
+func (m *Model) InferStep(s *runtime.Session) error {
+	saved := m.epsilon
+	m.epsilon = 0.05
+	a, _, err := m.act(s)
+	m.epsilon = saved
+	if err != nil {
+		return err
+	}
+	if _, done := m.env.Step(a); done {
+		m.env.Reset()
+	}
+	return nil
+}
+
+// TrainStep implements core.Trainer. A training step acts once in the
+// emulator (storing the transition) and performs one minibatch
+// Q-learning update.
+func (m *Model) TrainStep(s *runtime.Session) (float64, error) {
+	s.SetTraining(true)
+	d := m.dims
 
 	// Behave in the environment.
 	a, state, err := m.act(s)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	reward, done := m.env.Step(a)
 	next := m.env.State().Reshape(1, ale.Height, ale.Width, d.hist)
@@ -254,7 +286,7 @@ func (m *Model) Step(s *runtime.Session, mode core.Mode) error {
 	}
 
 	if m.replay.len() < d.batch {
-		return nil
+		return m.lastLoss, nil
 	}
 
 	// Assemble the minibatch.
@@ -272,7 +304,7 @@ func (m *Model) Step(s *runtime.Session, mode core.Mode) error {
 	// Bootstrap targets from the frozen network.
 	out, err := s.Run([]*graph.Node{m.qTarget}, runtime.Feeds{m.stateNext: nexts})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	qn := out[0]
 	y := tensor.New(d.batch)
@@ -294,14 +326,14 @@ func (m *Model) Step(s *runtime.Session, mode core.Mode) error {
 		m.stateB: states, m.onehotB: onehot, m.targetY: y,
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	m.lastLoss = float64(outs[0].Data()[0])
 
 	if m.steps%d.syncEvery == 0 {
 		m.syncTarget()
 	}
-	return nil
+	return m.lastLoss, nil
 }
 
 // Env exposes the emulator (examples and tests).

@@ -84,7 +84,7 @@ func TestEpsilonAnneals(t *testing.T) {
 	s := runtime.NewSession(m.Graph(), runtime.WithSeed(1))
 	e0 := m.Epsilon()
 	for i := 0; i < 20; i++ {
-		if err := m.Step(s, core.ModeTraining); err != nil {
+		if err := core.Step(m, s, core.ModeTraining); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -101,7 +101,7 @@ func TestTrainingUpdatesOnlineWeights(t *testing.T) {
 	s := runtime.NewSession(m.Graph(), runtime.WithSeed(1))
 	before := m.onlineVars[0].Value().Clone()
 	for i := 0; i < 3; i++ {
-		if err := m.Step(s, core.ModeTraining); err != nil {
+		if err := core.Step(m, s, core.ModeTraining); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -118,7 +118,7 @@ func TestInferenceDoesNotTrain(t *testing.T) {
 	s := runtime.NewSession(m.Graph(), runtime.WithSeed(1))
 	before := m.onlineVars[0].Value().Clone()
 	for i := 0; i < 5; i++ {
-		if err := m.Step(s, core.ModeInference); err != nil {
+		if err := core.Step(m, s, core.ModeInference); err != nil {
 			t.Fatal(err)
 		}
 	}

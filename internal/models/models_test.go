@@ -87,6 +87,98 @@ func TestMetasMatchTableII(t *testing.T) {
 	}
 }
 
+// TestEveryWorkloadMeetsRequestContract is the request-driven half of
+// the standard interface: every workload must publish non-empty
+// signatures for both modes, implement the Trainer capability and
+// either Inferencer+Sampler or its own InferenceStepper, and answer a
+// request fed through its inference signature with outputs of the
+// declared shapes.
+func TestEveryWorkloadMeetsRequestContract(t *testing.T) {
+	for _, name := range allNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := core.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 3}); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := m.(core.Trainer); !ok {
+				t.Fatal("must implement core.Trainer")
+			}
+			inf, isInf := m.(core.Inferencer)
+			if !isInf {
+				t.Fatal("must implement core.Inferencer")
+			}
+			for _, mode := range []core.Mode{core.ModeTraining, core.ModeInference} {
+				sig := m.Signature(mode)
+				if len(sig.Inputs) == 0 || len(sig.Outputs) == 0 {
+					t.Fatalf("%v signature must name inputs and outputs", mode)
+				}
+				for _, in := range sig.Inputs {
+					if in.Node == nil || in.Node.Kind() != graph.KindPlaceholder {
+						t.Fatalf("%v input %q must be a placeholder", mode, in.Name)
+					}
+				}
+				if sig.BatchCapacity() < 1 {
+					t.Fatalf("%v batch capacity = %d", mode, sig.BatchCapacity())
+				}
+			}
+			smp, isSmp := m.(core.Sampler)
+			if _, selfDriven := m.(core.InferenceStepper); !selfDriven && !isSmp {
+				t.Fatal("must implement core.Sampler or core.InferenceStepper")
+			}
+			if !isSmp {
+				return
+			}
+			// A sampled batch must satisfy the inference signature and
+			// produce every declared output at its declared shape.
+			sig := m.Signature(core.ModeInference)
+			s := runtime.NewSession(m.Graph(), runtime.WithSeed(3))
+			outs, err := inf.Infer(s, smp.Sample())
+			if err != nil {
+				t.Fatalf("Infer on sampled batch: %v", err)
+			}
+			for _, spec := range sig.Outputs {
+				got, ok := outs[spec.Name]
+				if !ok {
+					t.Fatalf("missing output %q", spec.Name)
+				}
+				if len(got.Shape()) != len(spec.Shape()) {
+					t.Fatalf("output %q rank %v, want %v", spec.Name, got.Shape(), spec.Shape())
+				}
+			}
+		})
+	}
+}
+
+// TestBatchOverrideRebuildsGraph: Config.Batch must widen the batch
+// axis of every batched input (the knob serving builds on).
+func TestBatchOverrideRebuildsGraph(t *testing.T) {
+	for _, name := range []string{"alexnet", "seq2seq", "speech"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := core.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 3, Batch: 5}); err != nil {
+				t.Fatal(err)
+			}
+			sig := m.Signature(core.ModeInference)
+			if got := sig.BatchCapacity(); got != 5 {
+				t.Fatalf("batch capacity = %d, want 5", got)
+			}
+			for _, in := range sig.Inputs {
+				if in.Shape()[in.BatchDim] != 5 {
+					t.Fatalf("input %q shape %v: batch axis %d not widened", in.Name, in.Shape(), in.BatchDim)
+				}
+			}
+		})
+	}
+}
+
 // TestEveryWorkloadTrainsAndInfers is the standard-interface contract:
 // Setup, a few training steps with finite loss, then inference.
 func TestEveryWorkloadTrainsAndInfers(t *testing.T) {
@@ -105,7 +197,7 @@ func TestEveryWorkloadTrainsAndInfers(t *testing.T) {
 			}
 			s := runtime.NewSession(m.Graph(), runtime.WithSeed(3))
 			for i := 0; i < 4; i++ {
-				if err := m.Step(s, core.ModeTraining); err != nil {
+				if err := core.Step(m, s, core.ModeTraining); err != nil {
 					t.Fatalf("training step %d: %v", i, err)
 				}
 			}
@@ -118,7 +210,7 @@ func TestEveryWorkloadTrainsAndInfers(t *testing.T) {
 				}
 			}
 			for i := 0; i < 2; i++ {
-				if err := m.Step(s, core.ModeInference); err != nil {
+				if err := core.Step(m, s, core.ModeInference); err != nil {
 					t.Fatalf("inference step %d: %v", i, err)
 				}
 			}
@@ -156,7 +248,7 @@ func TestWorkloadsLearn(t *testing.T) {
 			lr := m.(core.LossReporter)
 			var first, last float64
 			for i := 0; i < steps; i++ {
-				if err := m.Step(s, core.ModeTraining); err != nil {
+				if err := core.Step(m, s, core.ModeTraining); err != nil {
 					t.Fatal(err)
 				}
 				if i < 5 {

@@ -94,6 +94,7 @@ func (m *Model) LastLoss() float64 { return m.lastLoss }
 func (m *Model) Setup(cfg core.Config) error {
 	m.cfg = cfg
 	m.dims = dimsFor(cfg.Preset)
+	m.dims.batch = cfg.BatchOr(m.dims.batch)
 	d := m.dims
 	seed := cfg.Seed
 	if seed == 0 {
@@ -176,19 +177,42 @@ func (m *Model) batch() (*tensor.Tensor, *tensor.Tensor) {
 	return images, caps
 }
 
-// Step implements core.Model.
-func (m *Model) Step(s *runtime.Session, mode core.Mode) error {
-	images, caps := m.batch()
-	feeds := runtime.Feeds{m.img: images, m.caption: caps}
-	s.SetTraining(mode == core.ModeTraining)
+// Signature implements core.Model. Captions are time-major (T, B), so
+// their example axis is dim 1; inference scores the fed caption
+// (teacher-forced) alongside the final-step predictions.
+func (m *Model) Signature(mode core.Mode) core.Signature {
+	ins := []core.IOSpec{core.In("images", m.img), core.InAt("captions", m.caption, 1)}
 	if mode == core.ModeTraining {
-		out, err := s.Run([]*graph.Node{m.loss, m.trainOp}, feeds)
-		if err != nil {
-			return err
+		return core.Signature{
+			Inputs:  ins,
+			Outputs: []core.IOSpec{core.ScalarOut("loss", m.loss)},
 		}
-		m.lastLoss = float64(out[0].Data()[0])
-		return nil
 	}
-	_, err := s.Run([]*graph.Node{m.preds, m.loss}, feeds)
-	return err
+	return core.Signature{
+		Inputs:  ins,
+		Outputs: []core.IOSpec{core.Out("preds", m.preds), core.ScalarOut("loss", m.loss)},
+	}
+}
+
+// Infer implements core.Inferencer.
+func (m *Model) Infer(s *runtime.Session, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	return core.RunInference(m, s, feeds)
+}
+
+// TrainStep implements core.Trainer.
+func (m *Model) TrainStep(s *runtime.Session) (float64, error) {
+	images, caps := m.batch()
+	s.SetTraining(true)
+	out, err := s.Run([]*graph.Node{m.loss, m.trainOp}, runtime.Feeds{m.img: images, m.caption: caps})
+	if err != nil {
+		return 0, err
+	}
+	m.lastLoss = float64(out[0].Data()[0])
+	return m.lastLoss, nil
+}
+
+// Sample implements core.Sampler: one synthetic inference batch.
+func (m *Model) Sample() map[string]*tensor.Tensor {
+	images, caps := m.batch()
+	return map[string]*tensor.Tensor{"images": images, "captions": caps}
 }

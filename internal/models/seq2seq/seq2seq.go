@@ -81,6 +81,7 @@ func (m *Model) LastLoss() float64 { return m.lastLoss }
 func (m *Model) Setup(cfg core.Config) error {
 	m.cfg = cfg
 	m.dims = dimsFor(cfg.Preset)
+	m.dims.batch = cfg.BatchOr(m.dims.batch)
 	d := m.dims
 	seed := cfg.Seed
 	if seed == 0 {
@@ -192,21 +193,44 @@ func (m *Model) Setup(cfg core.Config) error {
 
 func name(prefix string, l int) string { return prefix + "_" + string(rune('0'+l)) }
 
-// Step implements core.Model.
-func (m *Model) Step(s *runtime.Session, mode core.Mode) error {
-	src, dst := m.data.Batch(m.dims.batch)
-	feeds := runtime.Feeds{m.src: src, m.dst: dst}
-	s.SetTraining(mode == core.ModeTraining)
+// Signature implements core.Model. Token sequences are time-major
+// (T, B), so the example axis is dim 1. Inference is the forward
+// translation pass (teacher-forced layout, the same operation mix as
+// deployed greedy decoding): it scores the fed target alongside the
+// final-step predictions.
+func (m *Model) Signature(mode core.Mode) core.Signature {
+	ins := []core.IOSpec{core.InAt("src_tokens", m.src, 1), core.InAt("dst_tokens", m.dst, 1)}
 	if mode == core.ModeTraining {
-		out, err := s.Run([]*graph.Node{m.loss, m.trainOp}, feeds)
-		if err != nil {
-			return err
+		return core.Signature{
+			Inputs:  ins,
+			Outputs: []core.IOSpec{core.ScalarOut("loss", m.loss)},
 		}
-		m.lastLoss = float64(out[0].Data()[0])
-		return nil
 	}
-	// Inference: forward translation pass (teacher-forced layout, the
-	// same operation mix as deployed greedy decoding).
-	_, err := s.Run([]*graph.Node{m.preds, m.loss}, feeds)
-	return err
+	return core.Signature{
+		Inputs:  ins,
+		Outputs: []core.IOSpec{core.Out("preds", m.preds), core.ScalarOut("loss", m.loss)},
+	}
+}
+
+// Infer implements core.Inferencer.
+func (m *Model) Infer(s *runtime.Session, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	return core.RunInference(m, s, feeds)
+}
+
+// TrainStep implements core.Trainer.
+func (m *Model) TrainStep(s *runtime.Session) (float64, error) {
+	src, dst := m.data.Batch(m.dims.batch)
+	s.SetTraining(true)
+	out, err := s.Run([]*graph.Node{m.loss, m.trainOp}, runtime.Feeds{m.src: src, m.dst: dst})
+	if err != nil {
+		return 0, err
+	}
+	m.lastLoss = float64(out[0].Data()[0])
+	return m.lastLoss, nil
+}
+
+// Sample implements core.Sampler: one synthetic inference batch.
+func (m *Model) Sample() map[string]*tensor.Tensor {
+	src, dst := m.data.Batch(m.dims.batch)
+	return map[string]*tensor.Tensor{"src_tokens": src, "dst_tokens": dst}
 }

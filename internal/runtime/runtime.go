@@ -204,6 +204,16 @@ func (p *Plan) Buffers() int { return p.buffers }
 
 // Session executes fetches against a graph on a device, accumulating
 // an operation trace on a simulated timeline.
+//
+// A Session is confined to a single goroutine: the plan cache, buffer
+// arena, execution context (pool, RNG, training flag) and trace are
+// all unsynchronized, and compiled plans write into arena buffers the
+// session owns. Concurrent callers must use one session per goroutine
+// — serve.Engine's session pool is the sanctioned concurrent entry
+// point. Multiple sessions may share one graph for inference (forward
+// execution only reads variable values); training mutates variable and
+// optimizer state and must be exclusive with any other use of the
+// graph.
 type Session struct {
 	g     *graph.Graph
 	dev   Device

@@ -1,0 +1,65 @@
+package serve
+
+import "repro/internal/tensor"
+
+// Tensors are dense row-major, so a batched tensor viewed around its
+// batch axis dim factors into outer × n × inner scalars: `outer` blocks
+// (the dimensions before dim), `n` examples, and `inner` contiguous
+// scalars per example per block. One example is the strided selection
+// [o, i, :] for every o — these two helpers copy it in and out.
+
+func axisFactors(shape []int, dim int) (outer, n, inner int) {
+	outer, inner = 1, 1
+	for _, d := range shape[:dim] {
+		outer *= d
+	}
+	n = shape[dim]
+	for _, d := range shape[dim+1:] {
+		inner *= d
+	}
+	return outer, n, inner
+}
+
+// putExample copies example-shaped ex into position i of dst's batch
+// axis dim.
+func putExample(dst *tensor.Tensor, dim, i int, ex *tensor.Tensor) {
+	outer, n, inner := axisFactors(dst.Shape(), dim)
+	dd, ed := dst.Data(), ex.Data()
+	for o := 0; o < outer; o++ {
+		copy(dd[(o*n+i)*inner:(o*n+i+1)*inner], ed[o*inner:(o+1)*inner])
+	}
+}
+
+// clearTail zeroes examples [from, n) along t's batch axis dim.
+func clearTail(t *tensor.Tensor, dim, from int) {
+	outer, n, inner := axisFactors(t.Shape(), dim)
+	if from >= n {
+		return
+	}
+	td := t.Data()
+	for o := 0; o < outer; o++ {
+		tail := td[(o*n+from)*inner : (o+1)*n*inner]
+		for i := range tail {
+			tail[i] = 0
+		}
+	}
+}
+
+// getExample extracts example i along src's batch axis dim into a
+// freshly allocated example-shaped tensor.
+func getExample(src *tensor.Tensor, dim, i int) *tensor.Tensor {
+	shape := src.Shape()
+	exShape := make([]int, 0, len(shape)-1)
+	for d, v := range shape {
+		if d != dim {
+			exShape = append(exShape, v)
+		}
+	}
+	out := tensor.New(exShape...)
+	outer, n, inner := axisFactors(shape, dim)
+	sd, od := src.Data(), out.Data()
+	for o := 0; o < outer; o++ {
+		copy(od[o*inner:(o+1)*inner], sd[(o*n+i)*inner:(o*n+i+1)*inner])
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Server exposes one or more Engines over HTTP/JSON:
+//
+//	GET  /healthz                     liveness + served model names
+//	GET  /stats                       per-model Stats snapshots
+//	GET  /v1/models                   model list with I/O signatures
+//	GET  /v1/models/<name>            one model's signature
+//	POST /v1/models/<name>:infer      single-example inference
+//
+// An inference request body is {"inputs": {<name>: {"shape": [...],
+// "data": [...]}}} with each tensor in the input's example shape; the
+// response mirrors it under "outputs". Register every engine before
+// calling Handler — the map is read-only while serving.
+type Server struct {
+	engines map[string]*Engine
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server { return &Server{engines: map[string]*Engine{}} }
+
+// Register adds an engine under its workload name; it panics on a
+// duplicate name (a replaced engine's goroutines and sessions would
+// leak for the process lifetime), mirroring core.Register.
+func (srv *Server) Register(e *Engine) {
+	name := e.Model().Name()
+	if _, dup := srv.engines[name]; dup {
+		panic("serve: duplicate engine for model " + name)
+	}
+	srv.engines[name] = e
+}
+
+// Names returns the served workload names, sorted.
+func (srv *Server) Names() []string {
+	out := make([]string, 0, len(srv.engines))
+	for n := range srv.engines {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// jsonTensor is the wire form of a tensor.
+type jsonTensor struct {
+	Shape []int     `json:"shape"`
+	Data  []float32 `json:"data"`
+}
+
+func toJSONTensor(t *tensor.Tensor) jsonTensor {
+	return jsonTensor{Shape: t.Shape(), Data: t.Data()}
+}
+
+func fromJSONTensor(jt jsonTensor) (*tensor.Tensor, error) {
+	size := 1
+	for _, d := range jt.Shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("bad dimension %d in shape %v", d, jt.Shape)
+		}
+		size *= d
+	}
+	if len(jt.Data) != size {
+		return nil, fmt.Errorf("shape %v wants %d values, got %d", jt.Shape, size, len(jt.Data))
+	}
+	return tensor.FromSlice(jt.Data, jt.Shape...), nil
+}
+
+type inferRequest struct {
+	Inputs map[string]jsonTensor `json:"inputs"`
+}
+
+type inferResponse struct {
+	Model   string                `json:"model"`
+	Outputs map[string]jsonTensor `json:"outputs"`
+}
+
+// ioJSON describes one signature entry for discovery endpoints.
+// Served is false for whole-batch scalar outputs (losses), which the
+// signature declares but :infer responses omit — they have no
+// per-example rows to return.
+type ioJSON struct {
+	Name         string `json:"name"`
+	ExampleShape []int  `json:"example_shape"`
+	BatchDim     int    `json:"batch_dim"`
+	Served       bool   `json:"served"`
+}
+
+type modelJSON struct {
+	Name     string   `json:"name"`
+	MaxBatch int      `json:"max_batch"`
+	Inputs   []ioJSON `json:"inputs"`
+	Outputs  []ioJSON `json:"outputs"`
+}
+
+func (srv *Server) modelJSON(name string) modelJSON {
+	e := srv.engines[name]
+	mj := modelJSON{Name: name, MaxBatch: e.MaxBatch()}
+	sig := e.Signature()
+	for _, in := range sig.Inputs {
+		mj.Inputs = append(mj.Inputs, ioJSON{Name: in.Name, ExampleShape: in.ExampleShape(), BatchDim: in.BatchDim, Served: true})
+	}
+	for _, out := range sig.Outputs {
+		mj.Outputs = append(mj.Outputs, ioJSON{
+			Name: out.Name, ExampleShape: out.ExampleShape(), BatchDim: out.BatchDim,
+			Served: out.BatchDim != core.BatchNone,
+		})
+	}
+	return mj
+}
+
+// Handler returns the HTTP mux serving the endpoints above.
+func (srv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": srv.Names()})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		out := make(map[string]Stats, len(srv.engines))
+		for n, e := range srv.engines {
+			out[n] = e.Stats()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
+		out := make([]modelJSON, 0, len(srv.engines))
+		for _, n := range srv.Names() {
+			out = append(out, srv.modelJSON(n))
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"models": out})
+	})
+	mux.HandleFunc("/v1/models/", srv.handleModel)
+	return mux
+}
+
+func (srv *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/models/")
+	if name, ok := strings.CutSuffix(rest, ":infer"); ok {
+		srv.handleInfer(w, r, name)
+		return
+	}
+	if _, ok := srv.engines[rest]; !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown model %q (have %v)", rest, srv.Names()))
+		return
+	}
+	writeJSON(w, http.StatusOK, srv.modelJSON(rest))
+}
+
+func (srv *Server) handleInfer(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("infer requires POST"))
+		return
+	}
+	e, ok := srv.engines[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown model %q (have %v)", name, srv.Names()))
+		return
+	}
+	// Bound the body before decoding: a well-formed request is one
+	// example per input, so budget ~32 bytes per JSON float plus slack
+	// — an oversized body must not be buffered into memory.
+	var elems int64
+	for _, in := range e.Signature().Inputs {
+		n := int64(1)
+		for _, d := range in.ExampleShape() {
+			n *= int64(d)
+		}
+		elems += n
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20+elems*32)
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	inputs := make(map[string]*tensor.Tensor, len(req.Inputs))
+	for n, jt := range req.Inputs {
+		t, err := fromJSONTensor(jt)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("input %q: %w", n, err))
+			return
+		}
+		inputs[n] = t
+	}
+	outs, err := e.Infer(r.Context(), inputs)
+	var ie *InputError
+	switch {
+	case err == nil:
+	case errors.As(err, &ie):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case r.Context().Err() != nil:
+		// Client went away; nothing useful to write.
+		return
+	default:
+		// Post-enqueue failures are execution faults, not request
+		// mistakes.
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := inferResponse{Model: name, Outputs: make(map[string]jsonTensor, len(outs))}
+	for n, t := range outs {
+		resp.Outputs[n] = toJSONTensor(t)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,483 @@
+// Package serve is the suite's serving subsystem: a concurrent
+// inference engine that exposes any Fathom workload's request-driven
+// signature (core.Signature) to many simultaneous clients.
+//
+// # Architecture
+//
+// A runtime.Session is single-goroutine (its plan cache and buffer
+// arena are unsynchronized), so the Engine owns a pool of sessions —
+// one per worker goroutine — over one shared model graph. Sharing the
+// graph is safe for inference: forward execution only reads variable
+// values, and the mode-dependent stateful ops (dropout masks,
+// optimizer slots) mutate state exclusively in training mode. The
+// Engine therefore runs inference only; training on the same model
+// must remain exclusive with serving.
+//
+// Requests carry one example each. A dispatcher goroutine coalesces
+// concurrent requests into micro-batches: up to MaxBatch examples,
+// waiting at most MaxDelay after the first arrival for more (when all
+// workers are busy, a flushed batch keeps filling until one frees, so
+// saturation converts queue time into batch fill) — packs them along
+// each input's batch axis (IOSpec.BatchDim), executes one compiled-
+// plan run of the inference signature's fetch set (the execution the
+// workload's Inferencer performs), and splits the batched
+// outputs back into per-request responses. Unfilled batch slots are
+// zero-padded. Workloads that couple examples across the batch
+// (core.BatchCoupled — residual's primitive batch normalization) are
+// refused unless built at batch capacity 1, so batch composition and
+// padding never perturb a request's rows. Stochastic inference graphs
+// (autoenc's reparameterization sampling) are served batched: their
+// noise is drawn i.i.d. per element from the worker session's RNG, so
+// results are distributionally equivalent to sequential inference but
+// — as inherent to sampling — not bitwise reproducible across calls.
+//
+// The Engine records an atomic stats block: request/batch counters,
+// mean and max batch fill, throughput, and a log-bucketed latency
+// histogram for p50/p99.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+// ErrClosed is returned by Infer after Close.
+var ErrClosed = errors.New("serve: engine closed")
+
+// InputError reports a malformed request: a missing or unknown input
+// name, or a tensor that does not match its input's example shape.
+// The HTTP layer maps it to 400; anything else from Infer is an
+// execution fault.
+type InputError struct{ msg string }
+
+func (e *InputError) Error() string { return e.msg }
+
+func inputErrorf(format string, args ...any) *InputError {
+	return &InputError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Sessions is the worker-session pool size (default 1). Each
+	// worker owns one runtime.Session; batches are executed by
+	// whichever worker is free.
+	Sessions int
+	// MaxBatch caps how many requests one graph execution coalesces.
+	// It is clamped to the signature's batch capacity (the graph's
+	// batch-axis extent); 0 means "use the full capacity".
+	MaxBatch int
+	// MaxDelay bounds how long the dispatcher holds the first request
+	// of a batch while waiting for more (default 2ms).
+	MaxDelay time.Duration
+	// Seed seeds the worker sessions (worker i gets Seed+i).
+	Seed int64
+	// Device selects the execution device (default CPU).
+	Device runtime.Device
+	// QueueLen is the pending-request buffer (default 4×MaxBatch).
+	QueueLen int
+}
+
+// request is one queued inference call.
+type request struct {
+	inputs map[string]*tensor.Tensor
+	ctx    context.Context
+	resp   chan response // buffered(1): workers never block on delivery
+	enq    time.Time
+}
+
+type response struct {
+	outputs map[string]*tensor.Tensor
+	err     error
+}
+
+// finish answers the request once; a duplicate answer (panic-recovery
+// sweeping a batch that was partially delivered) is dropped rather
+// than blocking on the full buffer.
+func (r *request) finish(out map[string]*tensor.Tensor, err error) {
+	select {
+	case r.resp <- response{outputs: out, err: err}:
+	default:
+	}
+}
+
+// Engine serves one workload's inference signature to concurrent
+// callers with dynamic micro-batching over a session pool. It is the
+// sanctioned concurrent entry point to the runtime: callers on any
+// goroutine call Infer; sessions stay confined to their workers.
+type Engine struct {
+	model    core.Model
+	sig      core.Signature
+	fetches  []*graph.Node // sig.Outputs in fetch order, bound once
+	capacity int
+	maxBatch int
+	maxDelay time.Duration
+
+	reqs      chan *request
+	batches   chan []*request
+	done      chan struct{}
+	stopped   chan struct{} // closed when dispatcher+workers have exited
+	closeOnce sync.Once
+
+	stats stats
+}
+
+// New builds and starts an engine for a Setup model. The model must
+// implement core.Inferencer, and its inference-signature batched
+// inputs must agree on their batch extent. Combine with
+// core.Config.Batch to build the graph at the micro-batching window
+// you want to serve.
+func New(m core.Model, opts Options) (*Engine, error) {
+	if m.Graph() == nil {
+		return nil, fmt.Errorf("serve: model %s has no graph (call Setup first)", m.Name())
+	}
+	if _, ok := m.(core.Inferencer); !ok {
+		return nil, fmt.Errorf("serve: workload %s does not implement core.Inferencer", m.Name())
+	}
+	sig := m.Signature(core.ModeInference)
+	if len(sig.Inputs) == 0 || len(sig.Outputs) == 0 {
+		return nil, fmt.Errorf("serve: workload %s has an empty inference signature", m.Name())
+	}
+	capacity := sig.BatchCapacity()
+	if bc, ok := m.(core.BatchCoupled); ok && bc.BatchCoupled() && capacity > 1 {
+		return nil, fmt.Errorf(
+			"serve: %s couples examples across the batch (its per-example outputs depend on batch composition); serve it unbatched by building with core.Config{Batch: 1} / -maxbatch 1",
+			m.Name())
+	}
+	for _, in := range sig.Inputs {
+		if in.BatchDim == core.BatchNone {
+			return nil, fmt.Errorf("serve: input %q has no batch axis; cannot micro-batch %s", in.Name, m.Name())
+		}
+		if in.BatchDim < 0 || in.BatchDim >= len(in.Shape()) {
+			return nil, fmt.Errorf("serve: input %q batch axis %d out of range for shape %v", in.Name, in.BatchDim, in.Shape())
+		}
+		if got := in.Shape()[in.BatchDim]; got != capacity {
+			return nil, fmt.Errorf("serve: input %q batch extent %d != capacity %d", in.Name, got, capacity)
+		}
+	}
+	for _, out := range sig.Outputs {
+		if out.BatchDim == core.BatchNone {
+			continue // whole-batch scalars are never unbatched
+		}
+		if out.BatchDim < 0 || out.BatchDim >= len(out.Shape()) {
+			return nil, fmt.Errorf("serve: output %q batch axis %d out of range for shape %v", out.Name, out.BatchDim, out.Shape())
+		}
+		if got := out.Shape()[out.BatchDim]; got != capacity {
+			return nil, fmt.Errorf("serve: output %q batch extent %d != capacity %d", out.Name, got, capacity)
+		}
+	}
+	if opts.Sessions <= 0 {
+		opts.Sessions = 1
+	}
+	if opts.MaxBatch <= 0 || opts.MaxBatch > capacity {
+		opts.MaxBatch = capacity
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 2 * time.Millisecond
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = 4 * opts.MaxBatch
+	}
+	e := &Engine{
+		model:    m,
+		sig:      sig,
+		capacity: capacity,
+		maxBatch: opts.MaxBatch,
+		maxDelay: opts.MaxDelay,
+		reqs:     make(chan *request, opts.QueueLen),
+		batches:  make(chan []*request),
+		done:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	for _, out := range sig.Outputs {
+		e.fetches = append(e.fetches, out.Node)
+	}
+	e.stats.reset()
+	var workers sync.WaitGroup
+	for i := 0; i < opts.Sessions; i++ {
+		sessOpts := []runtime.Option{runtime.WithSeed(opts.Seed + int64(i))}
+		if opts.Device != nil {
+			sessOpts = append(sessOpts, runtime.WithDevice(opts.Device))
+		}
+		ws := newWorkerState(e, runtime.NewSession(m.Graph(), sessOpts...))
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for batch := range e.batches {
+				e.runBatch(ws, batch)
+			}
+		}()
+	}
+	go func() {
+		e.dispatch()
+		workers.Wait() // workers finish the already-dispatched batches
+		close(e.stopped)
+	}()
+	return e, nil
+}
+
+// Model returns the served workload.
+func (e *Engine) Model() core.Model { return e.model }
+
+// Signature returns the served inference signature.
+func (e *Engine) Signature() core.Signature { return e.sig }
+
+// MaxBatch returns the effective micro-batch cap.
+func (e *Engine) MaxBatch() int { return e.maxBatch }
+
+// Infer submits one single-example request and blocks until its
+// result, the context's cancellation, or engine shutdown. Inputs are
+// keyed by signature input name; each tensor must have the input's
+// ExampleShape (the placeholder shape with the batch axis removed).
+// Infer takes ownership of the input tensors: a worker may still be
+// packing them after a cancelled return, so the caller must not
+// mutate or reuse them afterwards (pass fresh tensors per call, as
+// the HTTP layer does). Outputs are the signature's batched outputs,
+// one example each; whole-batch scalar outputs (losses) are omitted.
+// Infer is safe for concurrent use from any number of goroutines.
+func (e *Engine) Infer(ctx context.Context, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	for _, in := range e.sig.Inputs {
+		t, ok := inputs[in.Name]
+		if !ok || t == nil {
+			return nil, inputErrorf("serve: missing input %q (want %v)", in.Name, e.sig.InputNames())
+		}
+		want := in.ExampleShape()
+		if !tensor.SameShape(t.Shape(), want) {
+			return nil, inputErrorf("serve: input %q has shape %v, want example shape %v", in.Name, t.Shape(), want)
+		}
+	}
+	if len(inputs) > len(e.sig.Inputs) {
+		for name := range inputs {
+			if _, ok := e.sig.Input(name); !ok {
+				return nil, inputErrorf("serve: unknown input %q (want %v)", name, e.sig.InputNames())
+			}
+		}
+	}
+	r := &request{
+		inputs: inputs,
+		ctx:    ctx,
+		resp:   make(chan response, 1),
+		enq:    time.Now(),
+	}
+	select {
+	case e.reqs <- r:
+	case <-e.done:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	var resp response
+	select {
+	case resp = <-r.resp:
+	case <-ctx.Done():
+		// The batch may still execute; the buffered resp channel lets
+		// the worker complete without us.
+		e.stats.cancels.Add(1)
+		return nil, ctx.Err()
+	case <-e.stopped:
+		// Dispatcher and workers have exited, so nothing will answer —
+		// unless a response raced in just before shutdown. (The submit
+		// select may legitimately enqueue concurrently with Close: the
+		// buffered reqs send and the closed done channel are both
+		// ready, and select picks either.)
+		select {
+		case resp = <-r.resp:
+		default:
+			e.stats.cancels.Add(1)
+			return nil, ErrClosed
+		}
+	}
+	if resp.err != nil {
+		// Caller-side aborts (the dispatcher or a worker observed the
+		// request's context already cancelled) are not engine faults.
+		if errors.Is(resp.err, context.Canceled) || errors.Is(resp.err, context.DeadlineExceeded) || errors.Is(resp.err, ErrClosed) {
+			e.stats.cancels.Add(1)
+		} else {
+			e.stats.errors.Add(1)
+		}
+		return nil, resp.err
+	}
+	e.stats.record(time.Since(r.enq))
+	return resp.outputs, nil
+}
+
+// Close stops accepting requests, fails queued ones with ErrClosed,
+// and waits for in-flight batches to finish.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.done) })
+	<-e.stopped
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats.snapshot() }
+
+// ResetStats zeroes the counters and restarts the uptime clock —
+// e.g. after warmup, so steady-state metrics exclude one-time plan
+// compilation.
+func (e *Engine) ResetStats() { e.stats.zero() }
+
+// dispatch is the micro-batching loop: take the first pending request,
+// then collect more until the batch is full or MaxDelay elapses.
+func (e *Engine) dispatch() {
+	defer close(e.batches)
+	for {
+		var first *request
+		select {
+		case first = <-e.reqs:
+		case <-e.done:
+			e.drain()
+			return
+		}
+		if err := first.ctx.Err(); err != nil {
+			first.finish(nil, err)
+			continue
+		}
+		batch := []*request{first}
+		if len(batch) < e.maxBatch { // MaxBatch 1 never waits
+			timer := time.NewTimer(e.maxDelay)
+		collect:
+			for len(batch) < e.maxBatch {
+				select {
+				case r := <-e.reqs:
+					if err := r.ctx.Err(); err != nil {
+						r.finish(nil, err)
+						continue
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					break collect
+				case <-e.done:
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		// Hand off. While every worker is busy, keep topping the batch
+		// up to MaxBatch — queue wait converts into batch fill instead
+		// of under-filled runs.
+		sent := false
+		for !sent && len(batch) < e.maxBatch {
+			select {
+			case e.batches <- batch:
+				sent = true
+			case r := <-e.reqs:
+				if err := r.ctx.Err(); err != nil {
+					r.finish(nil, err)
+					continue
+				}
+				batch = append(batch, r)
+			case <-e.done:
+				e.batches <- batch
+				e.drain()
+				return
+			}
+		}
+		if !sent {
+			e.batches <- batch
+		}
+		select {
+		case <-e.done:
+			e.drain()
+			return
+		default:
+		}
+	}
+}
+
+// drain fails every still-queued request after shutdown.
+func (e *Engine) drain() {
+	for {
+		select {
+		case r := <-e.reqs:
+			r.finish(nil, ErrClosed)
+		default:
+			return
+		}
+	}
+}
+
+// workerState is one worker's execution kit, built once: its session
+// (inference mode), reusable full-batch input buffers (parallel to
+// sig.Inputs), and the feeds map binding those buffers to their
+// placeholders. Per batch, the steady-state path allocates only the
+// per-request output examples.
+type workerState struct {
+	sess   *runtime.Session
+	packed []*tensor.Tensor
+	feeds  runtime.Feeds
+}
+
+func newWorkerState(e *Engine, sess *runtime.Session) *workerState {
+	sess.SetTraining(false)
+	ws := &workerState{sess: sess, feeds: make(runtime.Feeds, len(e.sig.Inputs))}
+	for _, in := range e.sig.Inputs {
+		buf := tensor.New(in.Shape()...)
+		ws.packed = append(ws.packed, buf)
+		ws.feeds[in.Node] = buf
+	}
+	return ws
+}
+
+// runBatch executes one micro-batch on a worker, packing requests into
+// the worker's input buffers and running the signature's fetch set
+// directly (the same execution the workload's Inferencer performs). A
+// panic out of graph execution fails the batch's requests instead of
+// killing the worker (and with it the process).
+func (e *Engine) runBatch(ws *workerState, batch []*request) {
+	var live []*request
+	defer func() {
+		if p := recover(); p != nil {
+			for _, r := range live {
+				r.finish(nil, fmt.Errorf("serve: %s: panic during batch execution: %v", e.model.Name(), p))
+			}
+		}
+	}()
+	live = batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.finish(nil, err)
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	for ii, in := range e.sig.Inputs {
+		buf := ws.packed[ii]
+		for i, r := range live {
+			putExample(buf, in.BatchDim, i, r.inputs[in.Name])
+		}
+		// Slots past the fill keep stale rows from earlier batches;
+		// zero just that tail (a full batch clears nothing).
+		clearTail(buf, in.BatchDim, len(live))
+	}
+	vals, err := ws.sess.Run(e.fetches, ws.feeds)
+	if err != nil {
+		for _, r := range live {
+			r.finish(nil, fmt.Errorf("serve: %s: %w", e.model.Name(), err))
+		}
+		return
+	}
+	e.stats.recordBatch(len(live))
+	for i, r := range live {
+		result := make(map[string]*tensor.Tensor, len(e.sig.Outputs))
+		for oi, out := range e.sig.Outputs {
+			if out.BatchDim == core.BatchNone {
+				continue // whole-batch scalars are not per-request
+			}
+			result[out.Name] = getExample(vals[oi], out.BatchDim, i)
+		}
+		r.finish(result, nil)
+	}
+}

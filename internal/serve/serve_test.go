@@ -1,0 +1,429 @@
+// Package serve's tests pin the concurrency contract: pooled
+// micro-batched inference must return exactly what sequential
+// single-session inference returns, batching must respect
+// MaxBatch/MaxDelay, and cancellation must return promptly. Run with
+// -race: these tests are the suite's concurrency safety net.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"encoding/json"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+
+	_ "repro/internal/models/all"
+)
+
+// buildModel constructs a Setup workload at the tiny preset with the
+// graph's batch axis widened to batch.
+func buildModel(t testing.TB, name string, batch int) core.Model {
+	t.Helper()
+	m, err := core.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 3, Batch: batch}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// sampleExamples draws n single-example input sets from the
+// workload's synthetic dataset by splitting sampled batches.
+func sampleExamples(t testing.TB, m core.Model, n int) []map[string]*tensor.Tensor {
+	t.Helper()
+	sig := m.Signature(core.ModeInference)
+	smp, ok := m.(core.Sampler)
+	if !ok {
+		t.Fatalf("%s is not a Sampler", m.Name())
+	}
+	var out []map[string]*tensor.Tensor
+	for len(out) < n {
+		batch := smp.Sample()
+		for i := 0; i < sig.BatchCapacity() && len(out) < n; i++ {
+			ex := map[string]*tensor.Tensor{}
+			for _, in := range sig.Inputs {
+				ex[in.Name] = getExample(batch[in.Name], in.BatchDim, i)
+			}
+			out = append(out, ex)
+		}
+	}
+	return out
+}
+
+// referenceInfer runs one example through a single session the
+// sequential way: packed alone into a zero-padded batch, exactly as
+// the engine packs a fill-1 micro-batch.
+func referenceInfer(t testing.TB, m core.Model, s *runtime.Session, ex map[string]*tensor.Tensor) map[string]*tensor.Tensor {
+	t.Helper()
+	sig := m.Signature(core.ModeInference)
+	feeds := map[string]*tensor.Tensor{}
+	for _, in := range sig.Inputs {
+		packed := tensor.New(in.Shape()...)
+		putExample(packed, in.BatchDim, 0, ex[in.Name])
+		feeds[in.Name] = packed
+	}
+	outs, err := m.(core.Inferencer).Infer(s, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := map[string]*tensor.Tensor{}
+	for _, out := range sig.Outputs {
+		if out.BatchDim == core.BatchNone {
+			continue
+		}
+		result[out.Name] = getExample(outs[out.Name], out.BatchDim, 0)
+	}
+	return result
+}
+
+func tensorsEqual(a, b *tensor.Tensor) bool {
+	if !tensor.SameShape(a.Shape(), b.Shape()) {
+		return false
+	}
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		if ad[i] != bd[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEngineMatchesSequential is the correctness contract: N
+// concurrent clients against a pooled, micro-batched engine get
+// bit-identical results to sequential single-session inference.
+// (alexnet and memnet are example-independent graphs, so batch
+// composition and padding cannot perturb a request's rows.)
+func TestEngineMatchesSequential(t *testing.T) {
+	for _, name := range []string{"alexnet", "memnet"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			const clients, perClient = 8, 3
+			m := buildModel(t, name, 4)
+			examples := sampleExamples(t, m, clients*perClient)
+
+			// Sequential reference on an independent session.
+			ref := runtime.NewSession(m.Graph(), runtime.WithSeed(99))
+			want := make([]map[string]*tensor.Tensor, len(examples))
+			for i, ex := range examples {
+				want[i] = referenceInfer(t, m, ref, ex)
+			}
+
+			e, err := New(m, Options{Sessions: 2, MaxBatch: 4, MaxDelay: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+
+			got := make([]map[string]*tensor.Tensor, len(examples))
+			errs := make([]error, len(examples))
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for k := 0; k < perClient; k++ {
+						i := c*perClient + k
+						got[i], errs[i] = e.Infer(context.Background(), examples[i])
+					}
+				}(c)
+			}
+			wg.Wait()
+			for i := range examples {
+				if errs[i] != nil {
+					t.Fatalf("request %d: %v", i, errs[i])
+				}
+				for outName, w := range want[i] {
+					g, ok := got[i][outName]
+					if !ok {
+						t.Fatalf("request %d missing output %q", i, outName)
+					}
+					if !tensorsEqual(w, g) {
+						t.Fatalf("request %d output %q differs from sequential inference", i, outName)
+					}
+				}
+			}
+			if s := e.Stats(); s.Requests != clients*perClient {
+				t.Fatalf("stats requests = %d, want %d", s.Requests, clients*perClient)
+			}
+		})
+	}
+}
+
+// TestEngineBatchingRespectsMaxBatch checks coalescing: concurrent
+// requests fill micro-batches above 1 but never above MaxBatch.
+func TestEngineBatchingRespectsMaxBatch(t *testing.T) {
+	m := buildModel(t, "memnet", 8)
+	e, err := New(m, Options{Sessions: 1, MaxBatch: 4, MaxDelay: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.MaxBatch() != 4 {
+		t.Fatalf("MaxBatch = %d, want 4", e.MaxBatch())
+	}
+
+	const n = 16
+	examples := sampleExamples(t, m, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := e.Infer(context.Background(), examples[i]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := e.Stats()
+	if s.Requests != n {
+		t.Fatalf("requests = %d, want %d", s.Requests, n)
+	}
+	if s.MaxBatchFill > 4 {
+		t.Fatalf("a batch exceeded MaxBatch: fill %d", s.MaxBatchFill)
+	}
+	if s.MeanBatchFill <= 1 {
+		t.Fatalf("16 concurrent clients should coalesce: mean fill %.2f", s.MeanBatchFill)
+	}
+	if s.Batches < n/4 {
+		t.Fatalf("batches = %d, want >= %d", s.Batches, n/4)
+	}
+}
+
+// TestEngineMaxDelayFlushesPartialBatch: a lone request must not wait
+// for a full batch.
+func TestEngineMaxDelayFlushesPartialBatch(t *testing.T) {
+	m := buildModel(t, "memnet", 8)
+	e, err := New(m, Options{MaxBatch: 8, MaxDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ex := sampleExamples(t, m, 1)[0]
+	start := time.Now()
+	if _, err := e.Infer(context.Background(), ex); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("partial batch took %v; MaxDelay flush is broken", d)
+	}
+	if s := e.Stats(); s.MaxBatchFill != 1 {
+		t.Fatalf("fill = %d, want 1", s.MaxBatchFill)
+	}
+}
+
+// TestEngineCancellation: a context cancelled while the request sits
+// in the batching window must return promptly, not after MaxDelay.
+func TestEngineCancellation(t *testing.T) {
+	m := buildModel(t, "memnet", 8)
+	e, err := New(m, Options{MaxBatch: 8, MaxDelay: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ex := sampleExamples(t, m, 1)[0]
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = e.Infer(ctx, ex)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancellation took %v; must be prompt", d)
+	}
+}
+
+// TestEngineCloseFailsPending: Close fails queued requests with
+// ErrClosed and Infer afterwards refuses immediately.
+func TestEngineCloseFailsPending(t *testing.T) {
+	m := buildModel(t, "memnet", 2)
+	e, err := New(m, Options{MaxBatch: 2, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if _, err := e.Infer(context.Background(), sampleExamples(t, m, 1)[0]); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestEngineRefusesBatchCoupledCoalescing: residual's primitive batch
+// normalization couples examples, so the engine must refuse to serve
+// it with a batch capacity above 1 (results would depend on batch
+// composition) but accept the unbatched configuration.
+func TestEngineRefusesBatchCoupledCoalescing(t *testing.T) {
+	m := buildModel(t, "residual", 4)
+	if _, err := New(m, Options{MaxBatch: 4}); err == nil {
+		t.Fatal("batch-coupled workload at capacity 4 must be refused")
+	}
+	m1 := buildModel(t, "residual", 1)
+	e, err := New(m1, Options{})
+	if err != nil {
+		t.Fatalf("unbatched batch-coupled serving must work: %v", err)
+	}
+	defer e.Close()
+	ex := sampleExamples(t, m1, 1)[0]
+	if _, err := e.Infer(context.Background(), ex); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineValidatesInputs: request-shape errors surface before
+// anything is enqueued.
+func TestEngineValidatesInputs(t *testing.T) {
+	m := buildModel(t, "alexnet", 2)
+	e, err := New(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	if _, err := e.Infer(ctx, map[string]*tensor.Tensor{}); err == nil {
+		t.Fatal("missing input must error")
+	}
+	if _, err := e.Infer(ctx, map[string]*tensor.Tensor{"images": nil}); err == nil {
+		t.Fatal("nil input must error, not panic")
+	}
+	if _, err := e.Infer(ctx, map[string]*tensor.Tensor{"images": tensor.New(3, 3, 3)}); err == nil {
+		t.Fatal("wrong shape must error")
+	}
+	ex := sampleExamples(t, m, 1)[0]
+	ex["bogus"] = tensor.New(1)
+	if _, err := e.Infer(ctx, ex); err == nil {
+		t.Fatal("unknown input must error")
+	}
+}
+
+// TestExamplePackRoundTrip pins the strided pack/unpack helpers on a
+// non-leading batch axis.
+func TestExamplePackRoundTrip(t *testing.T) {
+	src := tensor.New(3, 4, 2) // batch axis 1
+	for i := range src.Data() {
+		src.Data()[i] = float32(i)
+	}
+	for i := 0; i < 4; i++ {
+		ex := getExample(src, 1, i)
+		if !tensor.SameShape(ex.Shape(), []int{3, 2}) {
+			t.Fatalf("example shape = %v", ex.Shape())
+		}
+		dst := tensor.New(3, 4, 2)
+		putExample(dst, 1, i, ex)
+		for o := 0; o < 3; o++ {
+			for k := 0; k < 2; k++ {
+				if dst.At(o, i, k) != src.At(o, i, k) {
+					t.Fatalf("roundtrip mismatch at (%d,%d,%d)", o, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestHTTPServer drives the JSON API end to end: discovery, health,
+// inference, stats.
+func TestHTTPServer(t *testing.T) {
+	m := buildModel(t, "alexnet", 2)
+	e, err := New(m, Options{MaxBatch: 2, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	srv := NewServer()
+	srv.Register(e)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var health struct {
+		Status string   `json:"status"`
+		Models []string `json:"models"`
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "ok" || len(health.Models) != 1 || health.Models[0] != "alexnet" {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	var mj modelJSON
+	getJSON(t, ts.URL+"/v1/models/alexnet", &mj)
+	if mj.Name != "alexnet" || len(mj.Inputs) != 1 || mj.Inputs[0].Name != "images" {
+		t.Fatalf("model json = %+v", mj)
+	}
+
+	ex := sampleExamples(t, m, 1)[0]
+	body, _ := json.Marshal(inferRequest{Inputs: map[string]jsonTensor{
+		"images": toJSONTensor(ex["images"]),
+	}})
+	resp, err := http.Post(ts.URL+"/v1/models/alexnet:infer", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer status = %d", resp.StatusCode)
+	}
+	var ir inferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	probs, ok := ir.Outputs["probs"]
+	if !ok {
+		t.Fatalf("no probs in %v", ir.Outputs)
+	}
+	var sum float32
+	for _, v := range probs.Data {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("probs must sum to 1, got %v", sum)
+	}
+
+	var stats map[string]Stats
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats["alexnet"].Requests != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// Error paths.
+	r1, err := http.Get(ts.URL + "/v1/models/nonexistent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model status = %d", r1.StatusCode)
+	}
+	r2, err := http.Post(ts.URL+"/v1/models/alexnet:infer", "application/json",
+		strings.NewReader(`{"inputs":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty inputs status = %d", r2.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets is the latency histogram resolution: bucket k holds
+// durations in [2^k, 2^(k+1)) microseconds, so 40 buckets cover
+// sub-microsecond to ~12 days.
+const latBuckets = 40
+
+// stats is the engine's lock-free counter block. Everything is
+// atomics so workers and Infer callers update it concurrently without
+// serializing the hot path.
+type stats struct {
+	startNano atomic.Int64
+	requests  atomic.Uint64 // completed successfully
+	errors    atomic.Uint64 // execution faults
+	cancels   atomic.Uint64 // caller gave up (context cancelled, shutdown)
+	batches   atomic.Uint64
+	slots     atomic.Uint64 // sum of batch fills
+	maxFill   atomic.Uint64
+	latSumUS  atomic.Uint64
+	latHist   [latBuckets]atomic.Uint64
+}
+
+func (s *stats) reset() { s.startNano.Store(time.Now().UnixNano()) }
+
+// zero clears every counter and restarts the clock.
+func (s *stats) zero() {
+	s.requests.Store(0)
+	s.errors.Store(0)
+	s.cancels.Store(0)
+	s.batches.Store(0)
+	s.slots.Store(0)
+	s.maxFill.Store(0)
+	s.latSumUS.Store(0)
+	for i := range s.latHist {
+		s.latHist[i].Store(0)
+	}
+	s.reset()
+}
+
+// record logs one successfully answered request's end-to-end latency.
+func (s *stats) record(d time.Duration) {
+	s.requests.Add(1)
+	us := uint64(d.Microseconds())
+	s.latSumUS.Add(us)
+	k := 0
+	for v := us; v > 1 && k < latBuckets-1; v >>= 1 {
+		k++
+	}
+	s.latHist[k].Add(1)
+}
+
+// recordBatch logs one executed micro-batch and its fill.
+func (s *stats) recordBatch(fill int) {
+	s.batches.Add(1)
+	s.slots.Add(uint64(fill))
+	for {
+		cur := s.maxFill.Load()
+		if uint64(fill) <= cur || s.maxFill.CompareAndSwap(cur, uint64(fill)) {
+			return
+		}
+	}
+}
+
+// quantile returns the upper bound of the histogram bucket containing
+// the q-quantile request.
+func (s *stats) quantile(q float64) time.Duration {
+	var total uint64
+	var hist [latBuckets]uint64
+	for i := range hist {
+		hist[i] = s.latHist[i].Load()
+		total += hist[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	want := uint64(q * float64(total))
+	if want >= total {
+		want = total - 1
+	}
+	var seen uint64
+	for i, c := range hist {
+		seen += c
+		if seen > want {
+			return time.Duration(uint64(1)<<uint(i+1)) * time.Microsecond
+		}
+	}
+	return time.Duration(uint64(1)<<latBuckets) * time.Microsecond
+}
+
+// Stats is a point-in-time snapshot of an Engine's counters.
+type Stats struct {
+	Uptime        time.Duration `json:"uptime_ns"`
+	Requests      uint64        `json:"requests"`
+	Errors        uint64        `json:"errors"`
+	Cancelled     uint64        `json:"cancelled"`
+	Batches       uint64        `json:"batches"`
+	MeanBatchFill float64       `json:"mean_batch_fill"`
+	MaxBatchFill  int           `json:"max_batch_fill"`
+	ThroughputRPS float64       `json:"throughput_rps"`
+	MeanLatency   time.Duration `json:"mean_latency_ns"`
+	P50Latency    time.Duration `json:"p50_latency_ns"`
+	P99Latency    time.Duration `json:"p99_latency_ns"`
+}
+
+func (s *stats) snapshot() Stats {
+	up := time.Since(time.Unix(0, s.startNano.Load()))
+	out := Stats{
+		Uptime:       up,
+		Requests:     s.requests.Load(),
+		Errors:       s.errors.Load(),
+		Cancelled:    s.cancels.Load(),
+		Batches:      s.batches.Load(),
+		MaxBatchFill: int(s.maxFill.Load()),
+		P50Latency:   s.quantile(0.50),
+		P99Latency:   s.quantile(0.99),
+	}
+	if out.Batches > 0 {
+		out.MeanBatchFill = float64(s.slots.Load()) / float64(out.Batches)
+	}
+	if out.Requests > 0 {
+		out.MeanLatency = time.Duration(s.latSumUS.Load()/out.Requests) * time.Microsecond
+		if sec := up.Seconds(); sec > 0 {
+			out.ThroughputRPS = float64(out.Requests) / sec
+		}
+	}
+	return out
+}
+
+// String renders the snapshot for the CLI and logs.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"requests=%d errors=%d cancelled=%d batches=%d fill(mean=%.2f max=%d) rps=%.1f latency(mean=%v p50=%v p99=%v)",
+		s.Requests, s.Errors, s.Cancelled, s.Batches, s.MeanBatchFill, s.MaxBatchFill,
+		s.ThroughputRPS, s.MeanLatency, s.P50Latency, s.P99Latency)
+}
