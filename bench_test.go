@@ -8,12 +8,14 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/runtime"
 	"repro/internal/serve"
 	"repro/internal/tensor"
@@ -137,6 +139,60 @@ func BenchmarkStepTraining(b *testing.B) {
 func BenchmarkStepInference(b *testing.B) {
 	for _, name := range experiments.Workloads() {
 		b.Run(name, func(b *testing.B) { benchStep(b, name, core.ModeInference) })
+	}
+}
+
+// ---- inter-op scheduler benchmarks ----
+
+// benchInterOp measures one workload's training step at an inter-op
+// width. Wall ns/op is the host cost (real goroutine speedup needs
+// free cores); the reported sim-µs/step metric is the simulated
+// parallel makespan and speedup×100 is the achieved inter-op speedup
+// ×100 over the serial op-time sum — the modeled numbers to compare
+// across widths, following the suite's simulated-timing philosophy.
+func benchInterOp(b *testing.B, name string, interop int) {
+	m, err := core.New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Setup(core.Config{Preset: core.PresetSmall, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	s := runtime.NewSession(m.Graph(),
+		runtime.WithSeed(1),
+		runtime.WithInterOpWorkers(interop),
+		runtime.WithTrace(),
+	)
+	if err := core.Step(m, s, core.ModeTraining); err != nil { // compile the plan
+		b.Fatal(err)
+	}
+	s.ResetTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.Step(m, s, core.ModeTraining); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	io := profiling.InterOp(s.Trace())
+	if io.Steps > 0 {
+		b.ReportMetric(float64(io.Makespan.Microseconds())/float64(io.Steps), "sim-µs/step")
+		b.ReportMetric(100*io.Achieved, "speedup×100")
+	}
+}
+
+// The wide-graph workloads the scheduler exists for: residual's
+// parallel towers and memnet's independent hops.
+func BenchmarkInterOpResidual(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("interop%d", w), func(b *testing.B) { benchInterOp(b, "residual", w) })
+	}
+}
+
+func BenchmarkInterOpMemnet(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("interop%d", w), func(b *testing.B) { benchInterOp(b, "memnet", w) })
 	}
 }
 

@@ -5,14 +5,15 @@
 //
 //	fathom list                         # registered workloads (Table II)
 //	fathom run   -model alexnet ...     # profile one workload
+//	fathom profile -interop 4 ...       # inter-op parallelism report
 //	fathom serve -model alexnet ...     # HTTP/JSON inference serving
 //	fathom table1 | table2              # the paper's tables
 //	fathom fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | overhead
 //	fathom all                          # everything, optionally to -out
 //
 // Common flags: -preset ref|small|tiny, -steps N, -warmup N, -seed N,
-// -workers N, -device cpu|gpu, -mode training|inference, -out DIR.
-// Serving flags: -addr, -sessions, -maxbatch, -maxdelay.
+// -workers N, -interop N, -device cpu|gpu, -mode training|inference,
+// -out DIR. Serving flags: -addr, -sessions, -maxbatch, -maxdelay.
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	_ "repro/internal/models/all"
+	"repro/internal/profiling"
 	"repro/internal/serve"
 )
 
@@ -45,6 +47,7 @@ func main() {
 	warmup := fs.Int("warmup", 0, "warmup steps per run (0 = experiment default)")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 1, "modeled intra-op workers")
+	interop := fs.Int("interop", 1, "inter-op scheduler width (run, profile, serve)")
 	device := fs.String("device", "cpu", "cpu or gpu (modeled)")
 	mode := fs.String("mode", "training", "training or inference")
 	model := fs.String("model", "", "workload name (run, fig6); comma-separated list (serve)")
@@ -100,15 +103,55 @@ func main() {
 			st = 4
 		}
 		res, err := core.SetupAndRun(*model, core.Config{Preset: preset, Seed: *seed}, core.RunOptions{
-			Mode: md, Steps: st, Warmup: *warmup, Workers: *workers, Device: *device, Seed: *seed,
+			Mode: md, Steps: st, Warmup: *warmup, Workers: *workers, InterOp: *interop, Device: *device, Seed: *seed,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s %s on %s, %d steps (%d workers): %v/step simulated, %v/step wall\n\n",
-			*model, md, *device, st, *workers,
+		fmt.Printf("%s %s on %s, %d steps (%d workers, %d inter-op): %v/step simulated, %v/step wall\n\n",
+			*model, md, *device, st, *workers, *interop,
 			res.SimTime/time.Duration(st), res.WallTime/time.Duration(st))
 		fmt.Println(res.Profile)
+	case "profile":
+		// Inter-op parallelism characterization: per workload, how much
+		// op time is on the critical path, the speedup the scheduler
+		// achieved at -interop, and the dependency-structure bound.
+		md, err := core.ParseMode(*mode)
+		if err != nil {
+			fatal(err)
+		}
+		st := *steps
+		if st == 0 {
+			st = 4
+		}
+		names := core.Names()
+		if *model != "" {
+			names = strings.Split(*model, ",")
+		}
+		fmt.Printf("inter-op profile: %s, %s preset, %d steps, %d inter-op workers\n\n", md, preset, st, *interop)
+		fmt.Printf("%-10s %6s %12s %12s %12s %9s %10s  %s\n",
+			"workload", "ops", "serial/step", "critpath/st", "span/step", "achieved", "achievable", "occupancy")
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			res, err := core.SetupAndRun(name, core.Config{Preset: preset, Seed: *seed}, core.RunOptions{
+				Mode: md, Steps: st, Warmup: *warmup, Workers: *workers, InterOp: *interop, Device: *device, Seed: *seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			io := profiling.InterOp(res.Events)
+			occ := make([]string, len(io.Occupancy))
+			for i, f := range io.Occupancy {
+				occ[i] = fmt.Sprintf("%.0f%%", 100*f)
+			}
+			div := io.Steps
+			if div == 0 {
+				div = 1 // empty trace: print a zero row, never divide by it
+			}
+			fmt.Printf("%-10s %6d %12v %12v %12v %8.2fx %9.2fx  %s\n",
+				name, io.Ops/div, io.Serial/time.Duration(div), io.CritPath/time.Duration(div), io.Makespan/time.Duration(div),
+				io.Achieved, io.Achievable, strings.Join(occ, " "))
+		}
 	case "serve":
 		if *model == "" {
 			fatal(fmt.Errorf("serve requires -model (comma-separated workload names)"))
@@ -135,11 +178,12 @@ func main() {
 				fatal(fmt.Errorf("setup %s: %w", name, err))
 			}
 			eng, err := serve.New(m, serve.Options{
-				Sessions: *sessions,
-				MaxBatch: *maxBatch,
-				MaxDelay: *maxDelay,
-				Seed:     *seed,
-				Device:   dev,
+				Sessions:       *sessions,
+				MaxBatch:       *maxBatch,
+				MaxDelay:       *maxDelay,
+				Seed:           *seed,
+				Device:         dev,
+				InterOpWorkers: *interop,
 			})
 			if err != nil {
 				fatal(err)
@@ -234,8 +278,9 @@ func usage() {
 
 commands:
   list       registered workloads
-  run        profile one workload        (-model, -mode, -device, -workers)
-  serve      HTTP/JSON inference serving (-model a,b -addr -sessions -maxbatch -maxdelay)
+  run        profile one workload        (-model, -mode, -device, -workers, -interop)
+  profile    inter-op parallelism report (-interop N; critical path, speedup, occupancy)
+  serve      HTTP/JSON inference serving (-model a,b -addr -sessions -maxbatch -maxdelay -interop)
   table1     architecture-survey table
   table2     workload inventory
   fig1       op-time stationarity

@@ -19,6 +19,41 @@
 // returned from Session.Run are copied out of arena memory, so results
 // stay valid across steps.
 //
+// Plan execution has two interchangeable drivers. The default runs
+// the sequential schedule on the session goroutine. With
+// runtime.WithInterOpWorkers(n) (CLI: -interop) a dependency-counting
+// parallel scheduler drains the plan's ready queue with n worker
+// goroutines instead: compilation additionally records per-step
+// successor lists and in-degrees over data edges, variable hazard
+// edges, a serial lane chaining Impure (stateful/RNG) operations in
+// schedule order, and arena anti-dependency edges that gate buffer
+// reuse on the completion of every reader of the buffer's previous
+// value.
+//
+// # Determinism contract
+//
+// Execution is bit-deterministic along two axes, enforced by the
+// cross-workload harness in internal/models (determinism_test.go) and
+// the scheduler property tests in internal/runtime:
+//
+//   - Replay: two sessions with the same WithSeed over the same model
+//     produce bit-identical losses, fetches and variable updates.
+//   - Schedule independence: results are bit-identical for every
+//     inter-op worker count. The serial-lane rule makes this hold for
+//     stateful operations — anything Impure (random sampling,
+//     dropout's saved mask, optimizer slot state) executes in
+//     schedule order with mutual exclusion, so the RNG consumption
+//     sequence never depends on scheduling; and anything mutating a
+//     variable in place (graph.Mutator) is serialized against every
+//     other access to that variable in schedule order.
+//
+// Simulated timing follows the package's philosophy for inter-op as
+// for intra-op parallelism: n modeled worker lanes are list-scheduled
+// and the session clock advances by the simulated makespan, so the
+// profiler reports achieved and achievable (critical-path) inter-op
+// speedup per workload — `fathom profile -interop N` — even on a
+// single-core host.
+//
 // The two hottest kernels are blocked for cache behavior:
 // tensor.MatMul dispatches large products to a tiled GEMM that packs A
 // and B panels into contiguous scratch ahead of a 4-row register-

@@ -249,6 +249,7 @@ type RunOptions struct {
 	Steps   int // measured steps
 	Warmup  int // untraced warmup steps
 	Workers int // modeled intra-op workers (default 1)
+	InterOp int // inter-op scheduler width (default 1 = serial)
 	Device  string
 	Seed    int64
 }
@@ -296,9 +297,13 @@ func Run(m Model, opt RunOptions) (*RunResult, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	if opt.InterOp <= 0 {
+		opt.InterOp = 1
+	}
 	sess := runtime.NewSession(m.Graph(),
 		runtime.WithDevice(dev),
 		runtime.WithWorkers(opt.Workers),
+		runtime.WithInterOpWorkers(opt.InterOp),
 		runtime.WithSeed(seed),
 		runtime.WithTrace(),
 	)

@@ -124,6 +124,23 @@ type GradOp interface {
 	Grad(g *Graph, n *Node, grad *Node) ([]*Node, error)
 }
 
+// Mutator is the statefulness flag for operations that write state
+// outside their own output tensor — optimizer apply-ops updating their
+// target Variable in place. Mutates reports the nodes whose storage the
+// operation rewrites. The runtime's inter-op scheduler serializes a
+// mutator against every other access (read or write) to the same node
+// in schedule order, so parallel execution preserves the sequential
+// read-then-update semantics bit-exactly.
+//
+// Operations whose only hidden state is op-internal (dropout's saved
+// mask, optimizer slot accumulators, RNG draws) do not need Mutator;
+// marking them Impure is sufficient, because the scheduler already
+// pins all Impure operations to a serial lane in schedule order.
+type Mutator interface {
+	Op
+	Mutates() []*Node
+}
+
 // Coster is implemented by operations that can estimate their
 // computational cost; the modeled GPU device uses it for roofline
 // timing. Operations without a Coster get a bytes-dominated default.

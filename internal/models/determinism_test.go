@@ -1,0 +1,170 @@
+// Cross-workload determinism harness: the executable contract behind
+// the parallel inter-op scheduler. Every registered workload's train +
+// infer trajectory must be bit-identical (a) across two serial runs
+// under the same WithSeed — the replay contract — and (b) between
+// serial execution and a 4-wide inter-op schedule — the scheduler
+// contract. Any future scheduler change that perturbs RNG order,
+// variable update order, or arena buffer lifetimes fails this test
+// for at least one of the nine workloads.
+package models_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+
+	_ "repro/internal/models/all"
+)
+
+// fingerprint captures everything observable about a short workload
+// trajectory: per-step training losses, the named inference outputs of
+// a sampled batch (when the workload serves requests via Sampler), and
+// the final bits of every graph variable.
+type fingerprint struct {
+	losses []float64
+	infer  map[string][]float32
+	vars   map[string][]float32
+}
+
+// workloadFingerprint builds a fresh instance of the workload and
+// drives it through trainSteps optimizer updates and two self-feeding
+// inference steps on a session of the given inter-op width, then
+// snapshots the trajectory. Model config and session seed are fixed,
+// so two calls differ only in scheduler width.
+func workloadFingerprint(t *testing.T, name string, interop, trainSteps int) fingerprint {
+	t.Helper()
+	m, err := core.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	s := runtime.NewSession(m.Graph(),
+		runtime.WithSeed(11),
+		runtime.WithInterOpWorkers(interop),
+	)
+	fp := fingerprint{infer: map[string][]float32{}, vars: map[string][]float32{}}
+	tr, ok := m.(core.Trainer)
+	if !ok {
+		t.Fatalf("%s does not implement core.Trainer", name)
+	}
+	for i := 0; i < trainSteps; i++ {
+		loss, err := tr.TrainStep(s)
+		if err != nil {
+			t.Fatalf("train step %d: %v", i, err)
+		}
+		fp.losses = append(fp.losses, loss)
+	}
+	// Self-feeding inference advances the same state (emulator, data
+	// cursor, RNG) either path exercises.
+	for i := 0; i < 2; i++ {
+		if err := core.Step(m, s, core.ModeInference); err != nil {
+			t.Fatalf("inference step %d: %v", i, err)
+		}
+	}
+	// Request-driven inference fetches, when the workload samples
+	// batches (deepq drives its emulator instead).
+	if smp, ok := m.(core.Sampler); ok {
+		inf := m.(core.Inferencer)
+		outs, err := inf.Infer(s, smp.Sample())
+		if err != nil {
+			t.Fatalf("infer: %v", err)
+		}
+		for name, v := range outs {
+			fp.infer[name] = append([]float32(nil), v.Data()...)
+		}
+	}
+	for _, v := range m.Graph().Variables() {
+		fp.vars[v.Name()] = append([]float32(nil), v.Value().Data()...)
+	}
+	return fp
+}
+
+func sameFloat32s(a, b []float32) (int, bool) {
+	if len(a) != len(b) {
+		return -1, false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// compareFingerprints asserts bitwise equality of two trajectories.
+func compareFingerprints(t *testing.T, label string, a, b fingerprint) {
+	t.Helper()
+	for i := range a.losses {
+		if a.losses[i] != b.losses[i] {
+			t.Fatalf("%s: step-%d loss %v != %v", label, i, a.losses[i], b.losses[i])
+		}
+	}
+	if len(a.infer) != len(b.infer) {
+		t.Fatalf("%s: inference outputs %d != %d", label, len(a.infer), len(b.infer))
+	}
+	names := make([]string, 0, len(a.infer))
+	for n := range a.infer {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if i, ok := sameFloat32s(a.infer[n], b.infer[n]); !ok {
+			t.Fatalf("%s: inference output %q differs at element %d", label, n, i)
+		}
+	}
+	if len(a.vars) != len(b.vars) {
+		t.Fatalf("%s: variable count %d != %d", label, len(a.vars), len(b.vars))
+	}
+	for n, av := range a.vars {
+		if i, ok := sameFloat32s(av, b.vars[n]); !ok {
+			t.Fatalf("%s: variable %q differs at element %d", label, n, i)
+		}
+	}
+}
+
+// TestCrossWorkloadDeterminism is the suite-wide determinism harness:
+// for all nine workloads, serial replay under WithSeed is bit-exact,
+// and a 4-wide inter-op schedule is bit-identical to serial.
+func TestCrossWorkloadDeterminism(t *testing.T) {
+	const trainSteps = 3
+	for _, name := range allNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			base := workloadFingerprint(t, name, 1, trainSteps)
+			replay := workloadFingerprint(t, name, 1, trainSteps)
+			compareFingerprints(t, "serial replay (WithSeed)", base, replay)
+			par := workloadFingerprint(t, name, 4, trainSteps)
+			compareFingerprints(t, "interop 4 vs serial", base, par)
+		})
+	}
+}
+
+// TestDeterminismHarnessGuardedByArena runs one representative wide
+// workload (memnet: parallel hops) under the arena's buffer-lifetime
+// assertion hook at inter-op width 4.
+func TestDeterminismHarnessGuardedByArena(t *testing.T) {
+	m, err := core.New("memnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	s := runtime.NewSession(m.Graph(), runtime.WithSeed(11), runtime.WithInterOpWorkers(4))
+	guard := tensor.NewBufferGuard()
+	s.Arena().SetGuard(guard)
+	tr := m.(core.Trainer)
+	for i := 0; i < 3; i++ {
+		if _, err := tr.TrainStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := guard.Violations(); len(v) != 0 {
+		t.Fatalf("arena guard violations during memnet training: %v", v)
+	}
+}

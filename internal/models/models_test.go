@@ -1,6 +1,9 @@
 // Package models_test exercises the full Fathom suite end to end:
 // every workload must build, train (finite decreasing loss), and run
-// inference under the standard interface.
+// inference under the standard interface. The cross-workload
+// determinism harness (determinism_test.go, same suite) additionally
+// pins every workload's train + infer trajectory bit-exactly across
+// WithSeed replays and inter-op scheduler widths.
 package models_test
 
 import (

@@ -46,6 +46,10 @@ func (o *applySGDOp) Cost(in [][]int, out []int) (int64, int64) {
 	return n, 3 * n * elemBytes
 }
 
+// Mutates implements graph.Mutator: the op rewrites its target
+// variable's storage.
+func (o *applySGDOp) Mutates() []*graph.Node { return []*graph.Node{o.target} }
+
 // Impure implements graph.Impure: updates mutate their variable.
 func (*applySGDOp) Impure() {}
 
@@ -92,6 +96,10 @@ func (o *applyMomentumOp) Cost(in [][]int, out []int) (int64, int64) {
 	return 3 * n, 5 * n * elemBytes
 }
 
+// Mutates implements graph.Mutator: the op rewrites its target
+// variable's storage.
+func (o *applyMomentumOp) Mutates() []*graph.Node { return []*graph.Node{o.target} }
+
 // Impure implements graph.Impure.
 func (*applyMomentumOp) Impure() {}
 
@@ -137,6 +145,10 @@ func (o *applyRMSPropOp) Cost(in [][]int, out []int) (int64, int64) {
 	n := int64(tensor.SizeOf(in[0]))
 	return 6 * n, 5 * n * elemBytes
 }
+
+// Mutates implements graph.Mutator: the op rewrites its target
+// variable's storage.
+func (o *applyRMSPropOp) Mutates() []*graph.Node { return []*graph.Node{o.target} }
 
 // Impure implements graph.Impure.
 func (*applyRMSPropOp) Impure() {}
@@ -195,6 +207,10 @@ func (o *applyAdamOp) Cost(in [][]int, out []int) (int64, int64) {
 	return 10 * n, 7 * n * elemBytes
 }
 
+// Mutates implements graph.Mutator: the op rewrites its target
+// variable's storage.
+func (o *applyAdamOp) Mutates() []*graph.Node { return []*graph.Node{o.target} }
+
 // Impure implements graph.Impure.
 func (*applyAdamOp) Impure() {}
 
@@ -241,6 +257,10 @@ func (o *applyAdagradOp) Cost(in [][]int, out []int) (int64, int64) {
 	n := int64(tensor.SizeOf(in[0]))
 	return 5 * n, 5 * n * elemBytes
 }
+
+// Mutates implements graph.Mutator: the op rewrites its target
+// variable's storage.
+func (o *applyAdagradOp) Mutates() []*graph.Node { return []*graph.Node{o.target} }
 
 // Impure implements graph.Impure.
 func (*applyAdagradOp) Impure() {}

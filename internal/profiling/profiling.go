@@ -291,6 +291,106 @@ func Vectorize(profiles []*Profile) (types []string, vectors [][]float64) {
 	return types, vectors
 }
 
+// ---- inter-op parallelism (characterization axis added with the
+// parallel plan scheduler; see internal/runtime/sched.go) ----
+
+// InterOpStats summarizes a trace's inter-op structure per workload:
+// how much op time lies on the critical path, the speedup the traced
+// schedule achieved, and the bound any schedule could achieve.
+type InterOpStats struct {
+	Steps int
+	Ops   int
+	// Serial is the summed device time of every op — the 1-worker
+	// makespan.
+	Serial time.Duration
+	// Makespan is the simulated elapsed time of the traced schedule,
+	// summed over steps.
+	Makespan time.Duration
+	// CritPath is the summed per-step critical path — the minimum
+	// elapsed time any inter-op schedule could reach.
+	CritPath time.Duration
+	// Achieved is Serial/Makespan: the realized inter-op speedup.
+	Achieved float64
+	// Achievable is Serial/CritPath: the workload's inter-op speedup
+	// bound, set by its dependency structure alone.
+	Achievable float64
+	// Workers is the number of distinct scheduler lanes observed.
+	Workers int
+	// Occupancy is each lane's busy fraction of the makespan, indexed
+	// by worker id.
+	Occupancy []float64
+}
+
+// InterOp aggregates trace events into inter-op statistics. Events
+// are grouped by step (each Run's timeline is independent): per step
+// the serial time is the op-duration sum, the makespan is the span
+// from earliest start to latest finish, and the critical path is the
+// maximum Event.CP; the totals sum the steps.
+func InterOp(events []runtime.Event) InterOpStats {
+	st := InterOpStats{}
+	if len(events) == 0 {
+		return st
+	}
+	type stepAgg struct {
+		serial   time.Duration
+		lo, hi   time.Duration
+		crit     time.Duration
+		hasSpan  bool
+		busyByID map[int]time.Duration
+	}
+	steps := map[int]*stepAgg{}
+	maxWorker := 0
+	for _, e := range events {
+		a := steps[e.Step]
+		if a == nil {
+			a = &stepAgg{busyByID: map[int]time.Duration{}}
+			steps[e.Step] = a
+		}
+		st.Ops++
+		a.serial += e.Dur
+		if !a.hasSpan || e.Start < a.lo {
+			a.lo = e.Start
+		}
+		if !a.hasSpan || e.Start+e.Dur > a.hi {
+			a.hi = e.Start + e.Dur
+		}
+		a.hasSpan = true
+		if e.CP > a.crit {
+			a.crit = e.CP
+		}
+		a.busyByID[e.Worker] += e.Dur
+		if e.Worker > maxWorker {
+			maxWorker = e.Worker
+		}
+	}
+	busy := make([]time.Duration, maxWorker+1)
+	for _, a := range steps {
+		st.Steps++
+		st.Serial += a.serial
+		st.Makespan += a.hi - a.lo
+		st.CritPath += a.crit
+		for w, d := range a.busyByID {
+			busy[w] += d
+		}
+	}
+	if st.Makespan > 0 {
+		st.Achieved = float64(st.Serial) / float64(st.Makespan)
+	}
+	if st.CritPath > 0 {
+		st.Achievable = float64(st.Serial) / float64(st.CritPath)
+	}
+	st.Occupancy = make([]float64, len(busy))
+	for w, d := range busy {
+		if d > 0 {
+			st.Workers++
+		}
+		if st.Makespan > 0 {
+			st.Occupancy[w] = float64(d) / float64(st.Makespan)
+		}
+	}
+	return st
+}
+
 // String renders a compact textual profile.
 func (p *Profile) String() string {
 	var b strings.Builder

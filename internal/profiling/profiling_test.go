@@ -178,3 +178,64 @@ func TestProfileString(t *testing.T) {
 		t.Fatalf("profile string: %q", s)
 	}
 }
+
+// TestInterOpSyntheticTrace pins the inter-op aggregation on a
+// hand-built two-step trace: step 0 runs A and B concurrently on two
+// lanes then C after both (serial 25, makespan 15, critical path 15);
+// step 1 is one 5-unit op.
+func TestInterOpSyntheticTrace(t *testing.T) {
+	u := time.Microsecond
+	events := []runtime.Event{
+		{Op: "A", Step: 0, Worker: 0, Start: 0, Dur: 10 * u, CP: 10 * u},
+		{Op: "B", Step: 0, Worker: 1, Start: 0, Dur: 10 * u, CP: 10 * u},
+		{Op: "C", Step: 0, Worker: 0, Start: 10 * u, Dur: 5 * u, CP: 15 * u},
+		{Op: "D", Step: 1, Worker: 0, Start: 15 * u, Dur: 5 * u, CP: 5 * u},
+	}
+	st := InterOp(events)
+	if st.Steps != 2 || st.Ops != 4 {
+		t.Fatalf("steps/ops = %d/%d, want 2/4", st.Steps, st.Ops)
+	}
+	if st.Serial != 30*u {
+		t.Fatalf("serial = %v, want 30µs", st.Serial)
+	}
+	if st.Makespan != 20*u {
+		t.Fatalf("makespan = %v, want 20µs", st.Makespan)
+	}
+	if st.CritPath != 20*u {
+		t.Fatalf("critical path = %v, want 20µs", st.CritPath)
+	}
+	if st.Achieved != 1.5 || st.Achievable != 1.5 {
+		t.Fatalf("achieved/achievable = %v/%v, want 1.5/1.5", st.Achieved, st.Achievable)
+	}
+	if st.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", st.Workers)
+	}
+	if len(st.Occupancy) != 2 || st.Occupancy[0] != 1.0 || st.Occupancy[1] != 0.5 {
+		t.Fatalf("occupancy = %v, want [1.0 0.5]", st.Occupancy)
+	}
+}
+
+// TestInterOpEmptyTrace: no events, no division by zero.
+func TestInterOpEmptyTrace(t *testing.T) {
+	st := InterOp(nil)
+	if st.Steps != 0 || st.Achieved != 0 || st.Achievable != 0 {
+		t.Fatalf("empty trace should be zero-valued: %+v", st)
+	}
+}
+
+// TestInterOpSerialTraceIsFlat: a serial trace (contiguous events on
+// worker 0) has makespan equal to serial time — achieved speedup 1.
+func TestInterOpSerialTraceIsFlat(t *testing.T) {
+	u := time.Microsecond
+	events := []runtime.Event{
+		{Op: "A", Step: 0, Worker: 0, Start: 0, Dur: 4 * u, CP: 4 * u},
+		{Op: "B", Step: 0, Worker: 0, Start: 4 * u, Dur: 6 * u, CP: 10 * u},
+	}
+	st := InterOp(events)
+	if st.Achieved != 1 {
+		t.Fatalf("serial trace achieved = %v, want 1", st.Achieved)
+	}
+	if st.Workers != 1 {
+		t.Fatalf("workers = %d, want 1", st.Workers)
+	}
+}

@@ -26,11 +26,21 @@
 // Reshape, stateful random ops) keep the allocating Forward path, and
 // the liveness analysis conservatively treats their outputs as aliases
 // of every input.
+//
+// # Inter-op parallelism
+//
+// Plans also record the dependency structure of a parallel scheduler:
+// with WithInterOpWorkers(n) a Run drains the plan's ready queue with
+// n worker goroutines while staying bit-identical to sequential
+// execution — see sched.go for the scheduler and the determinism
+// contract (serial Impure lane, variable hazard edges, gated arena
+// reuse).
 package runtime
 
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 
 	"repro/internal/graph"
@@ -46,6 +56,21 @@ type Event struct {
 	Start time.Duration // simulated start since session creation
 	Dur   time.Duration // simulated duration
 	Step  int           // session run counter when executed
+	// Worker is the inter-op lane that executed the operation (always
+	// 0 under serial execution; see WithInterOpWorkers).
+	Worker int
+	// Wall is the measured host wall time of the operation, next to
+	// the device-modeled Dur.
+	Wall time.Duration
+	// CP is the operation's critical-path finish within its run: Dur
+	// plus the longest Dur-weighted chain of semantic scheduling
+	// constraints (data, variable hazard and serial-lane edges)
+	// feeding it. The run's maximum CP is its critical path — the
+	// lower bound on makespan under unlimited inter-op workers and
+	// unconstrained buffers for any schedule the determinism contract
+	// permits, which profiling turns into the achievable inter-op
+	// speedup of the workload (independent of the traced width).
+	CP time.Duration
 }
 
 // Device turns an operation invocation into an output tensor and a
@@ -180,12 +205,23 @@ type planStep struct {
 	in   []*tensor.Tensor // reusable input gather buffer
 	out  *tensor.Tensor   // arena-backed destination (fast path only)
 	into graph.IntoOp     // non-nil iff out is set
+	// readBufs are the arena buffers this step's inputs may reference
+	// (through views included) — the read set the tensor.BufferGuard
+	// assertion hook brackets in test builds.
+	readBufs [][]float32
 }
 
 // Plan is a compiled execution schedule for one fetch set: the
 // topological order of the transitive dependencies plus the static
 // arena-buffer assignment produced by liveness analysis. Plans are
 // cached per session and reused by every Run with the same fetches.
+//
+// Beyond the sequential schedule, compilation records the inter-op
+// dependency structure (per-step successor lists and in-degrees) the
+// parallel scheduler drains: data edges, variable-access hazard edges,
+// the serial lane chaining Impure operations in schedule order, and
+// arena anti-dependency edges gating buffer reuse on the completion of
+// every reader of the buffer's previous value (see sched.go).
 type Plan struct {
 	steps     []planStep
 	values    []*tensor.Tensor // per-step results, reused across Runs
@@ -193,6 +229,29 @@ type Plan struct {
 	fetchCopy []bool           // fetch may alias arena memory → clone
 	slots     int              // arena slots assigned
 	buffers   int              // distinct arena buffers backing them
+
+	// Inter-op scheduling structure over op steps (non-op steps carry
+	// no work and are resolved before the parallel phase).
+	succs [][]int32 // scheduling successors of each step
+	preds [][]int32 // scheduling predecessors (mirror of succs)
+	// predsCP excludes arena anti-dependency edges: the semantic
+	// constraints (data, variable hazard, serial Impure lane) that any
+	// buffer assignment must respect. Critical paths are computed over
+	// these, so the reported achievable speedup is width-independent;
+	// the makespan simulation uses the full preds, which do include
+	// the anti-dependency resource constraints of this plan.
+	predsCP [][]int32
+	indeg   []int32 // scheduling in-degree of each step
+	nOps    int     // number of op steps
+	edges   int     // scheduling edges (incl. hazard/serial/anti)
+
+	// Per-run scratch, reused across Runs (sessions are confined to
+	// one goroutine between Runs).
+	indegRun []int32
+	finish   []time.Duration // simulated finish time per step
+	cp       []time.Duration // critical-path finish per step
+	durs     []time.Duration // measured device time per step (parallel)
+	walls    []time.Duration // measured wall time per step (parallel)
 }
 
 // Slots reports how many operation outputs were assigned arena slots.
@@ -201,6 +260,14 @@ func (p *Plan) Slots() int { return p.slots }
 // Buffers reports how many distinct arena buffers back those slots;
 // slots minus buffers is the number of in-plan buffer reuses.
 func (p *Plan) Buffers() int { return p.buffers }
+
+// Ops reports how many schedulable operation steps the plan holds.
+func (p *Plan) Ops() int { return p.nOps }
+
+// Edges reports how many scheduling edges constrain the plan: data
+// dependencies plus the hazard, serial-lane and arena anti-dependency
+// edges that make parallel execution bit-identical to sequential.
+func (p *Plan) Edges() int { return p.edges }
 
 // Session executes fetches against a graph on a device, accumulating
 // an operation trace on a simulated timeline.
@@ -226,6 +293,15 @@ type Session struct {
 
 	arena     *tensor.Arena
 	planCache map[string]*Plan
+
+	// interOp is the inter-op scheduler width: 1 executes the plan's
+	// sequential schedule on the session goroutine (the default);
+	// larger values drain the plan's ready queue with that many worker
+	// goroutines inside Run (see sched.go). Results are bit-identical
+	// either way. The session remains single-goroutine from the
+	// caller's perspective: Run still may not be invoked concurrently.
+	interOp int
+	wctx    []*graph.ExecContext // per-worker contexts, built lazily
 }
 
 // Option configures a Session.
@@ -242,6 +318,22 @@ func WithSeed(seed int64) Option {
 	return func(s *Session) { s.ctx.RNG = rand.New(rand.NewSource(seed)) }
 }
 
+// WithInterOpWorkers sets the inter-op scheduler width (default 1 =
+// today's sequential execution). With n > 1, Run executes independent
+// plan steps on n worker goroutines while preserving the determinism
+// contract: fetches, losses and variable updates are bit-identical to
+// serial execution for any n, and WithSeed replay is unchanged —
+// stateful and RNG-consuming operations stay on a serial lane in
+// schedule order.
+func WithInterOpWorkers(n int) Option {
+	return func(s *Session) {
+		if n < 1 {
+			n = 1
+		}
+		s.interOp = n
+	}
+}
+
 // WithTrace enables event collection.
 func WithTrace() Option { return func(s *Session) { s.traceOn = true } }
 
@@ -256,6 +348,7 @@ func NewSession(g *graph.Graph, opts ...Option) *Session {
 		},
 		arena:     tensor.NewArena(),
 		planCache: map[string]*Plan{},
+		interOp:   1,
 	}
 	for _, o := range opts {
 		o(s)
@@ -271,6 +364,9 @@ func (s *Session) Device() Device { return s.dev }
 
 // Arena exposes the session's buffer arena (stats, tests).
 func (s *Session) Arena() *tensor.Arena { return s.arena }
+
+// InterOpWorkers returns the configured inter-op scheduler width.
+func (s *Session) InterOpWorkers() int { return s.interOp }
 
 // SetTraining sets the mode flag seen by mode-dependent ops.
 func (s *Session) SetTraining(v bool) { s.ctx.Training = v }
@@ -359,7 +455,7 @@ func (s *Session) compile(fetches []*graph.Node) *Plan {
 				var set []int
 				for _, j := range st.ins {
 					for _, sl := range aliases[j] {
-						if !containsInt(set, sl) {
+						if !slices.Contains(set, sl) {
 							set = append(set, sl)
 						}
 					}
@@ -392,24 +488,246 @@ func (s *Session) compile(fetches []*graph.Node) *Plan {
 		}
 	}
 
-	// Greedy buffer assignment: walk the schedule, draw each slot's
-	// buffer from the arena, and return it as soon as the scan passes
-	// its last use, so later slots with disjoint lifetimes reuse it.
-	// A node's destination is drawn while all of its inputs' buffers
-	// are still checked out, so out never aliases an input.
+	// ---- inter-op scheduling structure ----
+	//
+	// Edges between op steps constrain the parallel scheduler so that
+	// any worker count reproduces sequential execution bit-exactly.
+	// All edges point forward in schedule order, so the structure is
+	// acyclic by construction. Non-op steps (feeds, constants,
+	// variables) carry no work; they resolve before the parallel phase
+	// and need no edges.
+	plan := &Plan{steps: steps, values: make([]*tensor.Tensor, n), fetchPos: fetchPos, fetchCopy: fetchCopy}
+	succs := make([][]int32, n)
+	preds := make([][]int32, n)
+	predsCP := make([][]int32, n)
+	indeg := make([]int32, n)
+	seenEdge := map[int64]bool{}
+	addEdgeKind := func(from, to int, anti bool) {
+		if from < 0 || from == to {
+			return
+		}
+		if steps[from].kind != graph.KindOp || steps[to].kind != graph.KindOp {
+			return
+		}
+		k := int64(from)<<32 | int64(to)
+		if seenEdge[k] {
+			return
+		}
+		seenEdge[k] = true
+		succs[from] = append(succs[from], int32(to))
+		preds[to] = append(preds[to], int32(from))
+		if !anti {
+			predsCP[to] = append(predsCP[to], int32(from))
+		}
+		indeg[to]++
+		plan.edges++
+	}
+	addEdge := func(from, to int) { addEdgeKind(from, to, false) }
+
+	// varAliases[i]: the variable nodes whose storage node i's value
+	// may reference. A Variable node references itself; an op without
+	// the IntoOp fast path may return a view of its inputs (Reshape,
+	// Identity, inference-mode Dropout), so it propagates the union of
+	// their sets — mirroring the arena alias analysis — while into-ops
+	// write fresh arena memory and reference no variable.
+	varAliases := make([][]*graph.Node, n)
+	for i := range order {
+		switch steps[i].kind {
+		case graph.KindVariable:
+			varAliases[i] = []*graph.Node{order[i]}
+		case graph.KindOp:
+			if steps[i].into == nil {
+				var set []*graph.Node
+				for _, p := range steps[i].ins {
+					for _, v := range varAliases[p] {
+						if !slices.Contains(set, v) {
+							set = append(set, v)
+						}
+					}
+				}
+				varAliases[i] = set
+			}
+		}
+	}
+
+	// Data edges, variable-access hazard edges, and the serial Impure
+	// lane, in one schedule walk. Hazard edges serialize every access
+	// to a mutated node (graph.Mutator — optimizer apply-ops) in
+	// schedule order: reads since the last write precede the next
+	// write, and writes precede subsequent reads, so kernels that read
+	// a variable — directly or through a view — never race its
+	// in-place update. The Impure chain pins stateful/RNG ops (random
+	// sampling, dropout's mask handoff, optimizer slot state) to a
+	// serial lane keyed by graph order, which is what keeps WithSeed
+	// replay identical across inter-op worker counts.
+	type varAccess struct {
+		lastWrite  int
+		readsSince []int
+	}
+	access := map[*graph.Node]*varAccess{}
+	touch := func(nd *graph.Node) *varAccess {
+		a := access[nd]
+		if a == nil {
+			a = &varAccess{lastWrite: -1}
+			access[nd] = a
+		}
+		return a
+	}
+	prevImpure := -1
+	for i, nd := range order {
+		if steps[i].kind != graph.KindOp {
+			continue
+		}
+		plan.nOps++
+		for _, p := range steps[i].ins {
+			addEdge(p, i)
+		}
+		var reads []*graph.Node
+		for _, p := range steps[i].ins {
+			for _, v := range varAliases[p] {
+				if !slices.Contains(reads, v) {
+					reads = append(reads, v)
+				}
+			}
+		}
+		for _, v := range reads {
+			a := touch(v)
+			addEdge(a.lastWrite, i)
+			a.readsSince = append(a.readsSince, i)
+		}
+		if mut, ok := nd.Op().(graph.Mutator); ok {
+			for _, v := range mut.Mutates() {
+				a := touch(v)
+				for _, r := range a.readsSince {
+					addEdge(r, i)
+				}
+				addEdge(a.lastWrite, i)
+				a.lastWrite = i
+				a.readsSince = a.readsSince[:0]
+			}
+		}
+		if _, ok := nd.Op().(graph.Impure); ok {
+			addEdge(prevImpure, i)
+			prevImpure = i
+		}
+	}
+
+	// readersOfSlot[sl]: every op step whose inputs may reference slot
+	// sl's value (via views included) — the completion set that gates
+	// recycling sl's buffer under parallel execution.
+	readersOfSlot := map[int][]int{}
+	for i := range order {
+		if steps[i].kind != graph.KindOp {
+			continue
+		}
+		for _, p := range steps[i].ins {
+			for _, sl := range aliases[p] {
+				readersOfSlot[sl] = append(readersOfSlot[sl], i)
+			}
+		}
+	}
+
+	// Greedy buffer assignment: walk the schedule, free each slot's
+	// buffer as soon as the scan passes its last use, so later slots
+	// with disjoint lifetimes reuse it. A node's destination is drawn
+	// while all of its inputs' buffers are still checked out, so out
+	// never aliases an input.
+	//
+	// Completion-count gating: when step i reuses the buffer slot sl
+	// released, sequential execution is safe because i runs after sl's
+	// last reader by position; under parallel execution that ordering
+	// must be explicit. Two strategies, by session width:
+	//
+	//   - interOp == 1 (and plans too large for ancestor bitsets):
+	//     maximal reuse, with anti-dependency edges from sl and every
+	//     reader of sl to the acquiring step. Transitively (each
+	//     acquirer waits for the previous holder's readers and is
+	//     itself ordered before the next acquirer) a buffer's whole
+	//     access history stays sequential.
+	//   - interOp > 1: parallelism-aware reuse — a freed buffer is
+	//     taken only when the releasing slot and all of its readers
+	//     are already ancestors of the acquiring step through the
+	//     scheduling edges built above, so reuse never serializes
+	//     independent branches; otherwise the step draws a fresh
+	//     buffer (more memory, no lost concurrency).
+	const ancestorCap = 8192
+	useAnc := s.interOp > 1 && n <= ancestorCap
+	var anc []uint64
+	words := (n + 63) / 64
+	if useAnc {
+		anc = make([]uint64, n*words)
+		for i := range order {
+			if steps[i].kind != graph.KindOp {
+				continue
+			}
+			row := anc[i*words : (i+1)*words]
+			for _, p32 := range preds[i] {
+				p := int(p32)
+				row[p/64] |= 1 << uint(p%64)
+				prow := anc[p*words : (p+1)*words]
+				for w := range row {
+					row[w] |= prow[w]
+				}
+			}
+		}
+	}
+	isAnc := func(a, of int) bool {
+		return anc[of*words+a/64]&(1<<uint(a%64)) != 0
+	}
+	// orderedBefore reports whether every access to slot sl is already
+	// ordered before step i by existing scheduling edges.
+	orderedBefore := func(sl, i int) bool {
+		if !isAnc(sl, i) {
+			return false
+		}
+		for _, r := range readersOfSlot[sl] {
+			if r != i && !isAnc(r, i) {
+				return false
+			}
+		}
+		return true
+	}
+
 	releaseAt := make([][]int, n)
 	for sl, e := range slotEnd {
 		if e < n {
 			releaseAt[e] = append(releaseAt[e], sl)
 		}
 	}
+	type freeBuf struct {
+		data []float32 // full size-class capacity
+		slot int       // slot that released it
+	}
+	freelist := map[int][]freeBuf{} // size class → freed buffers (LIFO)
 	bufs := make(map[int]*tensor.Tensor, len(slotEnd))
 	seen := make(map[*float32]bool)
-	plan := &Plan{steps: steps, values: make([]*tensor.Tensor, n), fetchPos: fetchPos, fetchCopy: fetchCopy}
 	for i := range order {
 		if steps[i].into != nil {
-			buf := s.arena.Get(tensor.SizeOf(order[i].Shape()))
-			t := tensor.FromSlice(buf, order[i].Shape()...)
+			size := tensor.SizeOf(order[i].Shape())
+			bkt := tensor.BucketFor(size)
+			var data []float32
+			free := freelist[bkt]
+			if useAnc {
+				for idx := len(free) - 1; idx >= 0; idx-- {
+					if orderedBefore(free[idx].slot, i) {
+						data = free[idx].data
+						freelist[bkt] = append(free[:idx], free[idx+1:]...)
+						break
+					}
+				}
+			} else if len(free) > 0 {
+				fb := free[len(free)-1]
+				freelist[bkt] = free[:len(free)-1]
+				data = fb.data
+				addEdgeKind(fb.slot, i, true)
+				for _, r := range readersOfSlot[fb.slot] {
+					addEdgeKind(r, i, true)
+				}
+			}
+			if data == nil {
+				data = s.arena.Get(size)
+			}
+			t := tensor.FromSlice(data[:size], order[i].Shape()...)
 			bufs[i] = t
 			steps[i].out = t
 			plan.slots++
@@ -419,71 +737,70 @@ func (s *Session) compile(fetches []*graph.Node) *Plan {
 			}
 		}
 		for _, sl := range releaseAt[i] {
-			s.arena.Put(bufs[sl].Data())
+			d := bufs[sl].Data()
+			freelist[cap(d)] = append(freelist[cap(d)], freeBuf{data: d[:cap(d)], slot: sl})
 		}
 	}
-	return plan
-}
+	// Freed buffers not re-acquired go back to the session arena for
+	// other plans (runs of different plans never overlap).
+	for _, free := range freelist {
+		for _, fb := range free {
+			s.arena.Put(fb.data)
+		}
+	}
 
-func containsInt(s []int, v int) bool {
-	for _, x := range s {
-		if x == v {
-			return true
+	// Guard read sets: the distinct arena buffers each op step's
+	// inputs may reference (consulted only when a tensor.BufferGuard
+	// is installed, i.e. in test builds).
+	for i := range order {
+		if steps[i].kind != graph.KindOp {
+			continue
+		}
+		var bufsSeen []*float32
+		for _, p := range steps[i].ins {
+			for _, sl := range aliases[p] {
+				d := bufs[sl].Data()
+				if !slices.Contains(bufsSeen, &d[0]) {
+					bufsSeen = append(bufsSeen, &d[0])
+					steps[i].readBufs = append(steps[i].readBufs, d)
+				}
+			}
 		}
 	}
-	return false
+
+	plan.succs = succs
+	plan.preds = preds
+	plan.predsCP = predsCP
+	plan.indeg = indeg
+	plan.indegRun = make([]int32, n)
+	plan.finish = make([]time.Duration, n)
+	plan.cp = make([]time.Duration, n)
+	plan.durs = make([]time.Duration, n)
+	plan.walls = make([]time.Duration, n)
+	return plan
 }
 
 // Run evaluates fetches given feeds, returning one tensor per fetch.
 // The returned tensors never alias plan buffers: they remain valid
 // across subsequent Runs.
+//
+// With WithInterOpWorkers(n > 1) the plan's ready queue is drained by
+// n worker goroutines (see sched.go); the results are bit-identical
+// to sequential execution for any n.
 func (s *Session) Run(fetches []*graph.Node, feeds Feeds) ([]*tensor.Tensor, error) {
 	plan := s.Plan(fetches)
 	s.ctx.Step = s.step
-	values := plan.values
-	for i := range plan.steps {
-		st := &plan.steps[i]
-		nd := st.node
-		switch st.kind {
-		case graph.KindConst, graph.KindVariable:
-			values[i] = nd.Value()
-		case graph.KindPlaceholder:
-			v, ok := feeds[nd]
-			if !ok {
-				return nil, fmt.Errorf("runtime: missing feed for placeholder %q", nd.Name())
-			}
-			if !tensor.SameShape(v.Shape(), nd.Shape()) {
-				return nil, fmt.Errorf("runtime: feed for %q has shape %v, want %v", nd.Name(), v.Shape(), nd.Shape())
-			}
-			values[i] = v
-		case graph.KindOp:
-			in := st.in
-			for j, p := range st.ins {
-				in[j] = values[p]
-			}
-			var out *tensor.Tensor
-			var dur time.Duration
-			var err error
-			if st.into != nil {
-				dur, err = s.dev.(IntoRunner).RunInto(s.ctx, nd, in, st.out)
-				out = st.out
-			} else {
-				out, dur, err = s.dev.Run(s.ctx, nd, in)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("runtime: %v: %w", nd, err)
-			}
-			if s.traceOn {
-				s.trace = append(s.trace, Event{
-					Node: nd, Op: nd.OpName(), Class: nd.Op().Class(),
-					Start: s.clock, Dur: dur, Step: s.step,
-				})
-			}
-			s.clock += dur
-			values[i] = out
-		}
+	var err error
+	if s.interOp > 1 && plan.nOps > 1 {
+		err = s.runParallel(plan, feeds)
+	} else {
+		err = s.runSequential(plan, feeds)
+	}
+	if err != nil {
+		return nil, err
 	}
 	s.step++
+	values := plan.values
 	out := make([]*tensor.Tensor, len(fetches))
 	for j := range fetches {
 		v := values[plan.fetchPos[j]]
@@ -493,6 +810,114 @@ func (s *Session) Run(fetches []*graph.Node, feeds Feeds) ([]*tensor.Tensor, err
 		out[j] = v
 	}
 	return out, nil
+}
+
+// resolveNonOps materializes the workless steps — constants,
+// variables and validated feeds — into the plan's value table. Both
+// execution drivers share it, so feed validation (and its errors)
+// behaves identically regardless of inter-op width.
+func resolveNonOps(plan *Plan, feeds Feeds) error {
+	values := plan.values
+	for i := range plan.steps {
+		st := &plan.steps[i]
+		switch st.kind {
+		case graph.KindConst, graph.KindVariable:
+			values[i] = st.node.Value()
+		case graph.KindPlaceholder:
+			v, ok := feeds[st.node]
+			if !ok {
+				return fmt.Errorf("runtime: missing feed for placeholder %q", st.node.Name())
+			}
+			if !tensor.SameShape(v.Shape(), st.node.Shape()) {
+				return fmt.Errorf("runtime: feed for %q has shape %v, want %v", st.node.Name(), v.Shape(), st.node.Shape())
+			}
+			values[i] = v
+		}
+	}
+	return nil
+}
+
+// runSequential executes the plan's schedule in order on the session
+// goroutine — the default, and the semantics parallel execution must
+// reproduce bit-exactly.
+func (s *Session) runSequential(plan *Plan, feeds Feeds) error {
+	if err := resolveNonOps(plan, feeds); err != nil {
+		return err
+	}
+	values := plan.values
+	guard := s.arena.Guard()
+	var cp []time.Duration
+	if s.traceOn {
+		cp = plan.cp
+		for i := range cp {
+			cp[i] = 0
+		}
+	}
+	for i := range plan.steps {
+		st := &plan.steps[i]
+		if st.kind != graph.KindOp {
+			continue
+		}
+		nd := st.node
+		in := st.in
+		for j, p := range st.ins {
+			in[j] = values[p]
+		}
+		var t0 time.Time
+		if s.traceOn {
+			t0 = time.Now()
+		}
+		out, dur, err := s.execStep(s.ctx, st, in, guard)
+		if err != nil {
+			return fmt.Errorf("runtime: %v: %w", nd, err)
+		}
+		if s.traceOn {
+			// Critical path over the semantic constraints (data,
+			// hazard, serial lane): the width-independent bound any
+			// legal schedule and buffer assignment must respect.
+			c := time.Duration(0)
+			for _, p := range plan.predsCP[i] {
+				if cp[p] > c {
+					c = cp[p]
+				}
+			}
+			cp[i] = c + dur
+			s.trace = append(s.trace, Event{
+				Node: nd, Op: nd.OpName(), Class: nd.Op().Class(),
+				Start: s.clock, Dur: dur, Step: s.step,
+				Worker: 0, Wall: time.Since(t0), CP: cp[i],
+			})
+		}
+		s.clock += dur
+		values[i] = out
+	}
+	return nil
+}
+
+// execStep runs one op step on a device through the given execution
+// context, bracketing arena-buffer access with the test-build guard.
+func (s *Session) execStep(ctx *graph.ExecContext, st *planStep, in []*tensor.Tensor, guard *tensor.BufferGuard) (*tensor.Tensor, time.Duration, error) {
+	if guard != nil {
+		for _, b := range st.readBufs {
+			guard.BeginRead(b)
+		}
+		if st.out != nil {
+			guard.BeginWrite(st.out.Data())
+		}
+		defer func() {
+			if st.out != nil {
+				guard.EndWrite(st.out.Data())
+			}
+			for _, b := range st.readBufs {
+				guard.EndRead(b)
+			}
+		}()
+	}
+	if st.into != nil {
+		dur, err := s.dev.(IntoRunner).RunInto(ctx, st.node, in, st.out)
+		return st.out, dur, err
+	}
+	return s.dev.Run(ctx, st.node, in)
 }
 
 // MustRun is Run for tests and examples; it panics on error.

@@ -1,0 +1,275 @@
+package runtime
+
+// Parallel inter-op plan scheduler.
+//
+// A compiled Plan carries, besides its sequential schedule, the
+// dependency-counting structure of a ready-queue scheduler: per-step
+// successor lists and in-degrees over four edge classes —
+//
+//   - data edges (an op waits for its inputs);
+//   - variable hazard edges (every access to a node a graph.Mutator
+//     rewrites is serialized in schedule order, so gradient kernels
+//     never race an in-place optimizer update and replay reads the
+//     same values sequential execution would);
+//   - the serial Impure lane (stateful/RNG ops — random sampling,
+//     dropout's mask handoff, optimizer slot state — are chained in
+//     schedule order, which keeps WithSeed replay bit-identical for
+//     any worker count);
+//   - arena anti-dependency edges (a buffer's next writer waits for
+//     the previous holder and all of its readers to retire —
+//     completion-count gating of the liveness pass's slot reuse).
+//
+// runParallel drains the ready queue with N worker goroutines. Each
+// worker owns a private ExecContext (its own tensor.Pool, so kernel
+// scratch space and timing accumulators stay goroutine-confined); the
+// RNG is deliberately shared, protected by the serial Impure lane.
+// Completion releases successors via atomic in-degree decrements; the
+// channel hand-off plus the atomics establish the happens-before
+// edges that make value propagation race-free.
+//
+// Timing follows the package's simulation philosophy: N simulated
+// worker lanes each keep a clock, an op is assigned the lane that can
+// start it earliest (list scheduling) at max(inputs' simulated
+// finish, lane free), and the run's simulated makespan — not the sum
+// of op durations — advances the session clock. Lanes are modeled
+// rather than tied to host goroutines so the reported schedule
+// reflects the configured width even on a single-core host, exactly
+// as tensor.Pool models intra-op workers. Trace events record the
+// lane, the measured wall time, and the critical-path finish, from
+// which internal/profiling derives achieved and achievable inter-op
+// speedup per workload.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// runParallel executes the plan with s.interOp worker goroutines. It
+// must only be called with plan.nOps > 1 and s.interOp > 1.
+//
+// On error the scheduler stops promptly, but independent operations
+// already released — or in flight on other workers — may still
+// execute before Run returns, so (unlike the sequential driver, which
+// stops at the first error) variable state after a failed parallel
+// Run is indeterminate. Successful Runs are bit-identical to
+// sequential execution.
+func (s *Session) runParallel(plan *Plan, feeds Feeds) error {
+	if err := resolveNonOps(plan, feeds); err != nil {
+		return err
+	}
+	values := plan.values
+
+	workers := s.interOp
+	if workers > plan.nOps {
+		workers = plan.nOps
+	}
+	wctx := s.workerContexts(workers)
+	guard := s.arena.Guard()
+
+	indeg := plan.indegRun
+	copy(indeg, plan.indeg)
+	durs := plan.durs
+	walls := plan.walls
+	for i := range durs {
+		durs[i] = 0
+		walls[i] = 0
+	}
+
+	// The queue is buffered to the op count, so releasing successors
+	// never blocks and abandoned entries on the error path leak
+	// nothing past the Run call.
+	ready := make(chan int32, plan.nOps)
+	for i := range plan.steps {
+		if plan.steps[i].kind == graph.KindOp && indeg[i] == 0 {
+			ready <- int32(i)
+		}
+	}
+
+	var (
+		remaining = int32(plan.nOps)
+		stop      = make(chan struct{})
+		stopOnce  sync.Once
+		mu        sync.Mutex // first error/panic
+		firstErr  error
+		panicVal  any
+		wg        sync.WaitGroup
+	)
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := wctx[w]
+			for {
+				// Prefer stopping over draining further ready work
+				// once an error has halted the run.
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var i int32
+				select {
+				case <-stop:
+					return
+				case i = <-ready:
+				}
+				st := &plan.steps[i]
+				in := st.in
+				for j, p := range st.ins {
+					in[j] = values[p]
+				}
+				var out *tensor.Tensor
+				var dur, wall time.Duration
+				var err error
+				func() {
+					// An op panic must not kill the worker's process;
+					// it is re-raised on the calling goroutine below,
+					// preserving sequential Run semantics.
+					defer func() {
+						if p := recover(); p != nil {
+							mu.Lock()
+							if panicVal == nil {
+								panicVal = p
+							}
+							mu.Unlock()
+							err = fmt.Errorf("panic: %v", p)
+						}
+					}()
+					t0 := time.Now()
+					out, dur, err = s.execStep(ctx, st, in, guard)
+					wall = time.Since(t0)
+				}()
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("runtime: %v: %w", st.node, err)
+					}
+					mu.Unlock()
+					halt()
+					return
+				}
+				values[i] = out
+				durs[i] = dur
+				walls[i] = wall
+
+				for _, sc := range plan.succs[i] {
+					if atomic.AddInt32(&indeg[sc], -1) == 0 {
+						ready <- sc
+					}
+				}
+				if atomic.AddInt32(&remaining, -1) == 0 {
+					halt()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	s.simulateSchedule(plan, workers)
+	return nil
+}
+
+// simulateSchedule computes the run's simulated parallel timeline
+// after execution: list scheduling of the measured op durations over
+// `workers` modeled lanes, in schedule order, constrained by the
+// plan's full scheduling edge set (data, hazard, serial-lane and
+// anti-dependency edges) — the same constraints the real scheduler
+// enforces, so the modeled makespan is always a schedule the
+// determinism contract permits. Decoupling the model from host
+// goroutine interleaving makes the reported makespan, lane assignment
+// and critical path deterministic given the durations (so a fully
+// modeled device, like the roofline GPU, reproduces its profile
+// exactly), and it reflects the configured width even on a
+// single-core host — the same philosophy as tensor.Pool's intra-op
+// model. Trace events are emitted in schedule order; the session
+// clock advances by the makespan.
+func (s *Session) simulateSchedule(plan *Plan, workers int) {
+	finish := plan.finish
+	cp := plan.cp
+	for i := range finish {
+		finish[i] = 0
+		cp[i] = 0
+	}
+	lanes := make([]time.Duration, workers)
+	base := s.clock
+	var makespan time.Duration
+	for i := range plan.steps {
+		st := &plan.steps[i]
+		if st.kind != graph.KindOp {
+			continue
+		}
+		dur := plan.durs[i]
+		var rdy, cpIn time.Duration
+		for _, p := range plan.preds[i] {
+			if f := finish[p]; f > rdy {
+				rdy = f
+			}
+		}
+		// Critical path over semantic constraints only, so the
+		// achievable bound does not vary with this plan's (width-
+		// dependent) buffer assignment.
+		for _, p := range plan.predsCP[i] {
+			if c := cp[p]; c > cpIn {
+				cpIn = c
+			}
+		}
+		lane := 0
+		for l := 1; l < len(lanes); l++ {
+			if lanes[l] < lanes[lane] {
+				lane = l
+			}
+		}
+		start := rdy
+		if lanes[lane] > start {
+			start = lanes[lane]
+		}
+		fin := start + dur
+		lanes[lane] = fin
+		finish[i] = fin
+		cp[i] = cpIn + dur
+		if fin > makespan {
+			makespan = fin
+		}
+		if s.traceOn {
+			s.trace = append(s.trace, Event{
+				Node: st.node, Op: st.node.OpName(), Class: st.node.Op().Class(),
+				Start: base + start, Dur: dur, Step: s.step,
+				Worker: lane, Wall: plan.walls[i], CP: cp[i],
+			})
+		}
+	}
+	s.clock = base + makespan
+}
+
+// workerContexts returns n per-worker execution contexts, creating
+// them on first use and syncing the run-scoped fields from the
+// session context. Each worker owns a distinct tensor.Pool so kernel
+// scratch buffers and timing accumulators stay goroutine-confined;
+// the RNG pointer is shared deliberately — the plan's serial Impure
+// lane guarantees at most one RNG consumer runs at a time, in
+// schedule order, so WithSeed replay matches sequential execution.
+func (s *Session) workerContexts(n int) []*graph.ExecContext {
+	for len(s.wctx) < n {
+		s.wctx = append(s.wctx, &graph.ExecContext{Pool: tensor.NewPool(s.ctx.Pool.Workers())})
+	}
+	out := s.wctx[:n]
+	for _, c := range out {
+		c.Pool.SetWorkers(s.ctx.Pool.Workers())
+		c.RNG = s.ctx.RNG
+		c.Training = s.ctx.Training
+		c.Step = s.ctx.Step
+	}
+	return out
+}

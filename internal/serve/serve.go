@@ -81,6 +81,13 @@ type Options struct {
 	Seed int64
 	// Device selects the execution device (default CPU).
 	Device runtime.Device
+	// InterOpWorkers is the inter-op scheduler width each worker
+	// session executes its plan with (default 1 = serial). Inter-op
+	// parallelism composes with the session pool: Sessions spreads
+	// independent batches, InterOpWorkers spreads independent
+	// operations inside one batch, and results stay bit-identical to
+	// serial execution.
+	InterOpWorkers int
 	// QueueLen is the pending-request buffer (default 4×MaxBatch).
 	QueueLen int
 }
@@ -208,6 +215,9 @@ func New(m core.Model, opts Options) (*Engine, error) {
 		sessOpts := []runtime.Option{runtime.WithSeed(opts.Seed + int64(i))}
 		if opts.Device != nil {
 			sessOpts = append(sessOpts, runtime.WithDevice(opts.Device))
+		}
+		if opts.InterOpWorkers > 1 {
+			sessOpts = append(sessOpts, runtime.WithInterOpWorkers(opts.InterOpWorkers))
 		}
 		ws := newWorkerState(e, runtime.NewSession(m.Graph(), sessOpts...))
 		workers.Add(1)

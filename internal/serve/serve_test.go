@@ -427,3 +427,50 @@ func getJSON(t *testing.T, url string, v any) {
 		t.Fatal(err)
 	}
 }
+
+// TestEngineInterOpWorkersMatchesSequential: the engine's inter-op
+// scheduling knob composes with pooling and micro-batching without
+// perturbing results — Infer through inter-op-4 worker sessions is
+// bit-identical to sequential single-session inference.
+func TestEngineInterOpWorkersMatchesSequential(t *testing.T) {
+	const clients, perClient = 6, 3
+	m := buildModel(t, "memnet", 4)
+	examples := sampleExamples(t, m, clients*perClient)
+
+	ref := runtime.NewSession(m.Graph(), runtime.WithSeed(99))
+	want := make([]map[string]*tensor.Tensor, len(examples))
+	for i, ex := range examples {
+		want[i] = referenceInfer(t, m, ref, ex)
+	}
+
+	e, err := New(m, Options{Sessions: 2, MaxBatch: 4, MaxDelay: time.Millisecond, InterOpWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	got := make([]map[string]*tensor.Tensor, len(examples))
+	errs := make([]error, len(examples))
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				i := c*perClient + k
+				got[i], errs[i] = e.Infer(context.Background(), examples[i])
+			}
+		}(c)
+	}
+	wg.Wait()
+	for i := range examples {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		for outName, w := range want[i] {
+			if !tensorsEqual(w, got[i][outName]) {
+				t.Fatalf("request %d output %q differs under inter-op workers", i, outName)
+			}
+		}
+	}
+}

@@ -1,5 +1,10 @@
 package tensor
 
+import (
+	"fmt"
+	"sync"
+)
+
 // Arena is a size-bucketed recycler of float32 buffers, the storage
 // substrate for compiled execution plans: the runtime's planner runs
 // liveness analysis over a topological schedule and assigns every
@@ -17,6 +22,12 @@ package tensor
 // single session whose operations execute sequentially.
 type Arena struct {
 	buckets map[int][][]float32
+
+	// guard, when non-nil (test builds), observes every read and write
+	// of arena-backed plan buffers at execution time so tests can
+	// assert the scheduler's lifetime invariant: no buffer is rewritten
+	// while readers of its previous value are outstanding.
+	guard *BufferGuard
 
 	// Stats.
 	liveBuffers  int   // buffers created and not currently in a bucket
@@ -43,6 +54,12 @@ func bucketFor(n int) int {
 	}
 	return b
 }
+
+// BucketFor reports the size class Get would serve a request of n
+// elements from — exported for the runtime planner, whose
+// parallelism-aware buffer assignment pools freed buffers by the same
+// classes the arena uses.
+func BucketFor(n int) int { return bucketFor(n) }
 
 // Get returns a buffer of exactly n elements (n >= 0), recycling one
 // from the matching size class when available. The contents are
@@ -71,6 +88,104 @@ func (a *Arena) Put(buf []float32) {
 	b := cap(buf)
 	a.liveBuffers--
 	a.buckets[b] = append(a.buckets[b], buf[:b])
+}
+
+// SetGuard installs (or, with nil, removes) the execution-time
+// assertion hook. Tests attach a guard before running plans; the
+// runtime consults it around every operation that touches arena
+// memory. Production sessions leave it nil.
+func (a *Arena) SetGuard(g *BufferGuard) { a.guard = g }
+
+// Guard returns the installed assertion hook (nil outside tests).
+func (a *Arena) Guard() *BufferGuard { return a.guard }
+
+// BufferGuard is the test-build assertion hook for plan-buffer
+// lifetimes. The executor brackets every operation with BeginRead
+// calls for each arena buffer its inputs may reference and a
+// BeginWrite call for its destination buffer. The guard records a
+// violation whenever a buffer is written while concurrent readers of
+// its previous contents are outstanding, or while another writer owns
+// it — exactly the corruption a scheduler without completion-count
+// gating of slot reuse would permit. It is safe for concurrent use.
+type BufferGuard struct {
+	mu         sync.Mutex
+	readers    map[*float32]int
+	writing    map[*float32]bool
+	violations []string
+}
+
+// NewBufferGuard returns an empty guard.
+func NewBufferGuard() *BufferGuard {
+	return &BufferGuard{readers: map[*float32]int{}, writing: map[*float32]bool{}}
+}
+
+func bufKey(buf []float32) *float32 {
+	if len(buf) == 0 {
+		return nil
+	}
+	return &buf[0]
+}
+
+// BeginRead registers an outstanding reader of buf's current value.
+// Reading concurrently with the buffer's writer is a violation.
+func (g *BufferGuard) BeginRead(buf []float32) {
+	k := bufKey(buf)
+	if k == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.writing[k] {
+		g.violations = append(g.violations, fmt.Sprintf("read of buffer %p while a writer owns it", k))
+	}
+	g.readers[k]++
+}
+
+// EndRead retires a reader registered by BeginRead.
+func (g *BufferGuard) EndRead(buf []float32) {
+	k := bufKey(buf)
+	if k == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.readers[k]--
+}
+
+// BeginWrite registers buf's next writer. Outstanding readers of the
+// previous value, or a concurrent writer, are violations.
+func (g *BufferGuard) BeginWrite(buf []float32) {
+	k := bufKey(buf)
+	if k == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n := g.readers[k]; n > 0 {
+		g.violations = append(g.violations, fmt.Sprintf("write of buffer %p with %d readers outstanding", k, n))
+	}
+	if g.writing[k] {
+		g.violations = append(g.violations, fmt.Sprintf("write of buffer %p while another writer owns it", k))
+	}
+	g.writing[k] = true
+}
+
+// EndWrite retires the writer registered by BeginWrite.
+func (g *BufferGuard) EndWrite(buf []float32) {
+	k := bufKey(buf)
+	if k == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.writing, k)
+}
+
+// Violations returns every recorded invariant breach.
+func (g *BufferGuard) Violations() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.violations...)
 }
 
 // ArenaStats summarizes arena usage.

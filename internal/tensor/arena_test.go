@@ -66,3 +66,50 @@ func TestArenaZeroSizeGet(t *testing.T) {
 	}
 	a.Put(b)
 }
+
+// TestBufferGuardDetectsOverlaps pins the assertion hook's semantics:
+// concurrent readers are fine, a write with readers outstanding (the
+// corruption a scheduler without anti-dependency gating would allow)
+// is a violation, as are overlapping writers and reads during a write.
+func TestBufferGuardDetectsOverlaps(t *testing.T) {
+	buf := make([]float32, 8)
+	other := make([]float32, 8)
+
+	g := NewBufferGuard()
+	g.BeginRead(buf)
+	g.BeginRead(buf) // concurrent readers are legal
+	g.EndRead(buf)
+	g.EndRead(buf)
+	g.BeginWrite(buf) // write with no readers is legal
+	g.EndWrite(buf)
+	g.BeginWrite(other) // distinct buffers never interact
+	g.BeginRead(buf)
+	g.EndRead(buf)
+	g.EndWrite(other)
+	if v := g.Violations(); len(v) != 0 {
+		t.Fatalf("legal sequence reported violations: %v", v)
+	}
+
+	g = NewBufferGuard()
+	g.BeginRead(buf)
+	g.BeginWrite(buf) // writer while a reader is outstanding
+	if v := g.Violations(); len(v) != 1 {
+		t.Fatalf("expected 1 violation for write-under-read, got %v", v)
+	}
+
+	g = NewBufferGuard()
+	g.BeginWrite(buf)
+	g.BeginWrite(buf) // overlapping writers
+	g.BeginRead(buf)  // read during a write
+	if v := g.Violations(); len(v) != 2 {
+		t.Fatalf("expected 2 violations, got %v", v)
+	}
+
+	// Empty buffers are ignored rather than keyed on a nil pointer.
+	g = NewBufferGuard()
+	g.BeginWrite(nil)
+	g.BeginRead(nil)
+	if v := g.Violations(); len(v) != 0 {
+		t.Fatalf("nil buffers must be ignored: %v", v)
+	}
+}
