@@ -202,16 +202,20 @@ func BenchmarkInterOpMemnet(b *testing.B) {
 // submitting single-example requests through the micro-batching queue
 // and session pool. Reported ns/op is per request.
 func benchServe(b *testing.B, name string, sessions, maxBatch, clients int) {
+	benchServeOpts(b, name, clients, serve.Options{
+		Sessions: sessions, MaxBatch: maxBatch, MaxDelay: 500 * time.Microsecond,
+	})
+}
+
+func benchServeOpts(b *testing.B, name string, clients int, opts serve.Options) {
 	m, err := core.New(name)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 1, Batch: maxBatch}); err != nil {
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 1, Batch: opts.MaxBatch}); err != nil {
 		b.Fatal(err)
 	}
-	e, err := serve.New(m, serve.Options{
-		Sessions: sessions, MaxBatch: maxBatch, MaxDelay: 500 * time.Microsecond,
-	})
+	e, err := serve.New(m, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -225,7 +229,7 @@ func benchServe(b *testing.B, name string, sessions, maxBatch, clients int) {
 	// Warm every worker session's plan cache: enough concurrent
 	// requests that each worker executes at least one batch.
 	var warm sync.WaitGroup
-	for i := 0; i < sessions*maxBatch; i++ {
+	for i := 0; i < opts.Sessions*e.MaxBatch(); i++ {
 		warm.Add(1)
 		go func() {
 			defer warm.Done()
@@ -273,4 +277,17 @@ func BenchmarkServeUnbatched(b *testing.B) {
 	// MaxBatch 1 isolates the cost of the queue + pool without
 	// coalescing — the baseline dynamic batching must beat.
 	benchServe(b, "memnet", 2, 1, 8)
+}
+
+// BenchmarkServeIntraOp serves with real intra-op kernel parallelism
+// (4-wide pools on the shared worker pool) against the serial
+// BenchmarkServeAlexnet baseline: on a multi-core host the per-request
+// latency drops, while the worker-pool bound keeps total execution
+// goroutines flat no matter the load. Bit-identical results either
+// way (the engine's correctness tests pin that).
+func BenchmarkServeIntraOp(b *testing.B) {
+	benchServeOpts(b, "alexnet", 8, serve.Options{
+		Sessions: 2, MaxBatch: 8, MaxDelay: 500 * time.Microsecond,
+		IntraOpWorkers: 4,
+	})
 }

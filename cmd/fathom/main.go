@@ -12,8 +12,10 @@
 //	fathom all                          # everything, optionally to -out
 //
 // Common flags: -preset ref|small|tiny, -steps N, -warmup N, -seed N,
-// -workers N, -interop N, -device cpu|gpu, -mode training|inference,
-// -out DIR. Serving flags: -addr, -sessions, -maxbatch, -maxdelay.
+// -workers N (modeled intra-op), -intraop N (real intra-op on the
+// shared pool), -interop N, -pool N (shared worker-pool size),
+// -device cpu|gpu, -mode training|inference, -out DIR. Serving flags:
+// -addr, -sessions, -maxbatch, -maxdelay.
 package main
 
 import (
@@ -31,7 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	_ "repro/internal/models/all"
-	"repro/internal/profiling"
+	"repro/internal/sched"
 	"repro/internal/serve"
 )
 
@@ -47,7 +49,9 @@ func main() {
 	warmup := fs.Int("warmup", 0, "warmup steps per run (0 = experiment default)")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 1, "modeled intra-op workers")
+	intraop := fs.Int("intraop", 1, "real intra-op workers on the shared pool (run, profile, serve)")
 	interop := fs.Int("interop", 1, "inter-op scheduler width (run, profile, serve)")
+	poolSize := fs.Int("pool", 0, "shared worker-pool size (0 = max(2, GOMAXPROCS))")
 	device := fs.String("device", "cpu", "cpu or gpu (modeled)")
 	mode := fs.String("mode", "training", "training or inference")
 	model := fs.String("model", "", "workload name (run, fig6); comma-separated list (serve)")
@@ -63,6 +67,9 @@ func main() {
 	preset, err := core.ParsePreset(*presetName)
 	if err != nil {
 		fatal(err)
+	}
+	if *poolSize > 0 {
+		sched.SetDefaultSize(*poolSize)
 	}
 	opts := experiments.Options{Preset: preset, Steps: *steps, Warmup: *warmup, Seed: *seed}
 
@@ -103,55 +110,36 @@ func main() {
 			st = 4
 		}
 		res, err := core.SetupAndRun(*model, core.Config{Preset: preset, Seed: *seed}, core.RunOptions{
-			Mode: md, Steps: st, Warmup: *warmup, Workers: *workers, InterOp: *interop, Device: *device, Seed: *seed,
+			Mode: md, Steps: st, Warmup: *warmup, Workers: *workers, IntraOp: *intraop, InterOp: *interop, Device: *device, Seed: *seed,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s %s on %s, %d steps (%d workers, %d inter-op): %v/step simulated, %v/step wall\n\n",
-			*model, md, *device, st, *workers, *interop,
+		fmt.Printf("%s %s on %s, %d steps (%d workers, %d intra-op, %d inter-op): %v/step simulated, %v/step wall\n\n",
+			*model, md, *device, st, *workers, *intraop, *interop,
 			res.SimTime/time.Duration(st), res.WallTime/time.Duration(st))
 		fmt.Println(res.Profile)
 	case "profile":
-		// Inter-op parallelism characterization: per workload, how much
-		// op time is on the critical path, the speedup the scheduler
-		// achieved at -interop, and the dependency-structure bound.
+		// Parallelism characterization across both axes: per workload,
+		// how much op time is on the critical path, the inter-op
+		// speedup the scheduler achieved at -interop vs the
+		// dependency-structure bound, and real vs modeled intra-op
+		// speedup at -intraop. Emits CSV with -out like the fig
+		// commands.
 		md, err := core.ParseMode(*mode)
 		if err != nil {
 			fatal(err)
 		}
-		st := *steps
-		if st == 0 {
-			st = 4
+		ia := *intraop
+		if ia == 1 {
+			ia = *workers // -workers N alone still sweeps the intra axis
 		}
-		names := core.Names()
+		var names []string
 		if *model != "" {
 			names = strings.Split(*model, ",")
 		}
-		fmt.Printf("inter-op profile: %s, %s preset, %d steps, %d inter-op workers\n\n", md, preset, st, *interop)
-		fmt.Printf("%-10s %6s %12s %12s %12s %9s %10s  %s\n",
-			"workload", "ops", "serial/step", "critpath/st", "span/step", "achieved", "achievable", "occupancy")
-		for _, name := range names {
-			name = strings.TrimSpace(name)
-			res, err := core.SetupAndRun(name, core.Config{Preset: preset, Seed: *seed}, core.RunOptions{
-				Mode: md, Steps: st, Warmup: *warmup, Workers: *workers, InterOp: *interop, Device: *device, Seed: *seed,
-			})
-			if err != nil {
-				fatal(err)
-			}
-			io := profiling.InterOp(res.Events)
-			occ := make([]string, len(io.Occupancy))
-			for i, f := range io.Occupancy {
-				occ[i] = fmt.Sprintf("%.0f%%", 100*f)
-			}
-			div := io.Steps
-			if div == 0 {
-				div = 1 // empty trace: print a zero row, never divide by it
-			}
-			fmt.Printf("%-10s %6d %12v %12v %12v %8.2fx %9.2fx  %s\n",
-				name, io.Ops/div, io.Serial/time.Duration(div), io.CritPath/time.Duration(div), io.Makespan/time.Duration(div),
-				io.Achieved, io.Achievable, strings.Join(occ, " "))
-		}
+		must(experiments.ProfileParallel(
+			experiments.Options{Preset: preset, Steps: *steps, Warmup: *warmup, Seed: *seed}, md, *interop, ia, names, *device))(emit)
 	case "serve":
 		if *model == "" {
 			fatal(fmt.Errorf("serve requires -model (comma-separated workload names)"))
@@ -184,6 +172,7 @@ func main() {
 				Seed:           *seed,
 				Device:         dev,
 				InterOpWorkers: *interop,
+				IntraOpWorkers: *intraop,
 			})
 			if err != nil {
 				fatal(err)
@@ -253,6 +242,7 @@ func main() {
 		for _, m := range experiments.Fig6Models() {
 			must(experiments.Fig6(opts, m))(emit)
 		}
+		must(experiments.ProfileParallel(opts, core.ModeTraining, 4, 4, nil, ""))(emit)
 		must(experiments.Overhead(opts))(emit)
 		must(experiments.Ablation(opts))(emit)
 	default:
@@ -278,9 +268,10 @@ func usage() {
 
 commands:
   list       registered workloads
-  run        profile one workload        (-model, -mode, -device, -workers, -interop)
-  profile    inter-op parallelism report (-interop N; critical path, speedup, occupancy)
-  serve      HTTP/JSON inference serving (-model a,b -addr -sessions -maxbatch -maxdelay -interop)
+  run        profile one workload        (-model, -mode, -device, -workers, -intraop, -interop)
+  profile    parallelism report          (-interop N -intraop N; critical path, achieved vs
+             achievable inter-op speedup, real vs modeled intra-op speedup; CSV with -out)
+  serve      HTTP/JSON inference serving (-model a,b -addr -sessions -maxbatch -maxdelay -interop -intraop)
   table1     architecture-survey table
   table2     workload inventory
   fig1       op-time stationarity

@@ -22,13 +22,41 @@
 // Plan execution has two interchangeable drivers. The default runs
 // the sequential schedule on the session goroutine. With
 // runtime.WithInterOpWorkers(n) (CLI: -interop) a dependency-counting
-// parallel scheduler drains the plan's ready queue with n worker
-// goroutines instead: compilation additionally records per-step
-// successor lists and in-degrees over data edges, variable hazard
-// edges, a serial lane chaining Impure (stateful/RNG) operations in
-// schedule order, and arena anti-dependency edges that gate buffer
-// reuse on the completion of every reader of the buffer's previous
-// value.
+// parallel scheduler drains the plan's ready queue with the session
+// goroutine plus up to n-1 helpers instead: compilation additionally
+// records per-step successor lists and in-degrees over data edges,
+// variable hazard edges, a serial lane chaining Impure (stateful/RNG)
+// operations in schedule order, and arena anti-dependency edges that
+// gate buffer reuse on the completion of every reader of the buffer's
+// previous value. The ready queue is a max-heap keyed by longest
+// processing time to a sink, so the drain starts critical-path work
+// first.
+//
+// # Shared worker pool and session lifecycle
+//
+// All execution helpers — intra-op kernel chunks, the inter-op drain,
+// and every serve.Engine worker session — come from one process-wide
+// bounded pool of persistent goroutines (internal/sched; CLI: -pool
+// N). Nothing spawns goroutines per Run: a Session takes a Lease on
+// the pool at creation, sized to its inter-op × intra-op width, and
+// releases it in Session.Close (after which Run fails with
+// runtime.ErrClosed; engines Close their sessions on shutdown). Helper
+// acquisition is non-blocking and every parallel construct is written
+// caller-participates-first, so pool exhaustion degrades to serial
+// execution on the caller — never deadlock — and total execution
+// goroutines stay bounded by the pool size no matter how many engines
+// and sessions run concurrently.
+//
+// # Intra-op parallelism: real and modeled
+//
+// tensor.Pool runs the chunked loops of every kernel behind one
+// interface with two strategies. The serial+simulated strategy
+// (runtime.WithWorkers; CLI: -workers) executes chunks serially,
+// measures them, and models the makespan of list-scheduling them over
+// n lanes — the paper's Fig. 6 axis, usable on any host. The real
+// strategy (runtime.WithIntraOpWorkers; CLI: -intraop) executes the
+// same chunks on shared-pool goroutines and reports measured wall
+// time. `fathom profile` puts the two side by side per workload.
 //
 // # Determinism contract
 //
@@ -39,13 +67,23 @@
 //   - Replay: two sessions with the same WithSeed over the same model
 //     produce bit-identical losses, fetches and variable updates.
 //   - Schedule independence: results are bit-identical for every
-//     inter-op worker count. The serial-lane rule makes this hold for
-//     stateful operations — anything Impure (random sampling,
-//     dropout's saved mask, optimizer slot state) executes in
-//     schedule order with mutual exclusion, so the RNG consumption
-//     sequence never depends on scheduling; and anything mutating a
-//     variable in place (graph.Mutator) is serialized against every
-//     other access to that variable in schedule order.
+//     intra-op × inter-op width combination. The serial-lane rule
+//     makes this hold for stateful operations — anything Impure
+//     (random sampling, dropout's saved mask, optimizer slot state)
+//     executes in schedule order with mutual exclusion, so the RNG
+//     consumption sequence never depends on scheduling; and anything
+//     mutating a variable in place (graph.Mutator) is serialized
+//     against every other access to that variable in schedule order.
+//
+// Intra-op width independence rests on tensor.Pool's chunking
+// contract: chunk boundaries are a function of trip count and grain
+// only — never of worker count or helper availability — For bodies
+// are index-pure (each chunk writes only its own output range), and
+// cross-chunk float32 reductions (Pool.ForSum/ForMax, used by the
+// full-reduction path of tensor.Reduce) combine per-chunk partials in
+// ascending chunk order at every width including 1. Pool width is
+// immutable after the first region (SetWorkers panics), so modeled
+// makespans can never be skewed mid-plan.
 //
 // Simulated timing follows the package's philosophy for inter-op as
 // for intra-op parallelism: n modeled worker lanes are list-scheduled

@@ -249,6 +249,7 @@ type RunOptions struct {
 	Steps   int // measured steps
 	Warmup  int // untraced warmup steps
 	Workers int // modeled intra-op workers (default 1)
+	IntraOp int // real intra-op workers on the shared pool (default 1; overrides Workers)
 	InterOp int // inter-op scheduler width (default 1 = serial)
 	Device  string
 	Seed    int64
@@ -300,13 +301,18 @@ func Run(m Model, opt RunOptions) (*RunResult, error) {
 	if opt.InterOp <= 0 {
 		opt.InterOp = 1
 	}
-	sess := runtime.NewSession(m.Graph(),
+	sessOpts := []runtime.Option{
 		runtime.WithDevice(dev),
 		runtime.WithWorkers(opt.Workers),
 		runtime.WithInterOpWorkers(opt.InterOp),
 		runtime.WithSeed(seed),
 		runtime.WithTrace(),
-	)
+	}
+	if opt.IntraOp > 1 {
+		sessOpts = append(sessOpts, runtime.WithIntraOpWorkers(opt.IntraOp))
+	}
+	sess := runtime.NewSession(m.Graph(), sessOpts...)
+	defer sess.Close()
 	for i := 0; i < opt.Warmup; i++ {
 		if err := Step(m, sess, opt.Mode); err != nil {
 			return nil, fmt.Errorf("core: %s warmup step: %w", m.Name(), err)

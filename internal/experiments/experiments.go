@@ -449,3 +449,87 @@ func Overhead(o Options) (Result, error) {
 	}
 	return Result{ID: "overhead", Title: "Inter-operation overhead (§V-A)", Text: text.String(), CSV: csv.String()}, nil
 }
+
+// ---- parallelism profile (the `fathom profile` command) ----
+
+// ProfileParallel characterizes both parallelism axes per workload and
+// emits the same Result shape as the fig commands, so `fathom profile`
+// writes CSV with -out and joins the `all` artifact sweep. Per
+// workload it runs four instrumented configurations:
+//
+//   - a serial baseline (the wall and simulated denominators);
+//   - a traced inter-op run at width interop (critical path, achieved
+//     vs achievable speedup, modeled makespan);
+//   - a modeled intra-op run at width intraop (serial+simulated kernel
+//     pools — the paper's Fig. 6 axis);
+//   - a real intra-op run at width intraop (parallel kernel pools on
+//     the shared worker pool — measured wall speedup).
+//
+// The last two columns are profiling.IntraOpStats's modeled and
+// measured speedups side by side; on a loaded or single-core host the
+// measured column legitimately hugs 1.0× while the modeled column
+// reports what the hardware model predicts.
+//
+// names selects the workloads to profile; nil or empty profiles the
+// whole suite in Workloads() order. device is the execution device
+// name ("" or "cpu" for the measured CPU, "gpu" for the roofline
+// model).
+func ProfileParallel(o Options, mode core.Mode, interop, intraop int, names []string, device string) (Result, error) {
+	o = o.withDefaults()
+	if interop < 1 {
+		interop = 1
+	}
+	if intraop < 1 {
+		intraop = 1
+	}
+	if len(names) == 0 {
+		names = Workloads()
+	}
+	var text, csv strings.Builder
+	fmt.Fprintf(&text, "parallelism profile: %s, %d steps, inter-op %d, intra-op %d\n\n", mode, o.Steps, interop, intraop)
+	fmt.Fprintf(&text, "%-10s %6s %12s %12s %12s %9s %10s %9s %9s\n",
+		"workload", "ops", "serial/step", "critpath/st", "span/step", "achieved", "achievable", "intra-mod", "intra-real")
+	csv.WriteString("workload,ops_per_step,serial_ns,critpath_ns,makespan_ns,achieved,achievable,intraop_modeled,intraop_measured,interop,intraop\n")
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		run := func(opt core.RunOptions) (*core.RunResult, error) {
+			opt.Mode, opt.Steps, opt.Warmup, opt.Seed, opt.Device = mode, o.Steps, o.Warmup, o.Seed, device
+			return core.SetupAndRun(name, core.Config{Preset: o.Preset, Seed: o.Seed}, opt)
+		}
+		base, err := run(core.RunOptions{})
+		if err != nil {
+			return Result{}, fmt.Errorf("profile %s baseline: %w", name, err)
+		}
+		inter, err := run(core.RunOptions{InterOp: interop})
+		if err != nil {
+			return Result{}, fmt.Errorf("profile %s interop=%d: %w", name, interop, err)
+		}
+		modeled, err := run(core.RunOptions{Workers: intraop})
+		if err != nil {
+			return Result{}, fmt.Errorf("profile %s workers=%d: %w", name, intraop, err)
+		}
+		real, err := run(core.RunOptions{IntraOp: intraop})
+		if err != nil {
+			return Result{}, fmt.Errorf("profile %s intraop=%d: %w", name, intraop, err)
+		}
+		io := profiling.InterOp(inter.Events)
+		ia := profiling.IntraOp(intraop, base.SimTime, modeled.SimTime, base.WallTime, real.WallTime)
+		div := io.Steps
+		if div == 0 {
+			div = 1 // empty trace: print a zero row, never divide by it
+		}
+		fmt.Fprintf(&text, "%-10s %6d %12v %12v %12v %8.2fx %9.2fx %8.2fx %8.2fx\n",
+			name, io.Ops/div, io.Serial/time.Duration(div), io.CritPath/time.Duration(div), io.Makespan/time.Duration(div),
+			io.Achieved, io.Achievable, ia.Modeled, ia.Measured)
+		fmt.Fprintf(&csv, "%s,%d,%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%d,%d\n",
+			name, io.Ops/div, (io.Serial / time.Duration(div)).Nanoseconds(), (io.CritPath / time.Duration(div)).Nanoseconds(),
+			(io.Makespan / time.Duration(div)).Nanoseconds(), io.Achieved, io.Achievable, ia.Modeled, ia.Measured, interop, intraop)
+	}
+	text.WriteString("\nachieved/achievable: inter-op speedup of the traced schedule vs the critical-path bound\n")
+	text.WriteString("intra-mod/intra-real: modeled (simulated lanes) vs measured (shared-pool goroutines) intra-op speedup\n")
+	return Result{
+		ID:    "profile",
+		Title: "Parallelism profile: inter-op critical paths and intra-op real vs modeled speedup",
+		Text:  text.String(), CSV: csv.String(),
+	}, nil
+}

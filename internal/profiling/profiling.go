@@ -391,6 +391,46 @@ func InterOp(events []runtime.Event) InterOpStats {
 	return st
 }
 
+// ---- intra-op parallelism: real vs. modeled ----
+
+// IntraOpStats puts the two intra-op execution strategies side by
+// side for one workload: the modeled speedup of the serial+simulated
+// kernel pools (the paper's Fig. 6 axis — measured chunk makespans
+// list-scheduled over modeled lanes) and the measured wall speedup of
+// the real parallel pools (WithIntraOpWorkers — chunks actually
+// executing on shared-pool goroutines). On a host with enough free
+// cores the two should roughly agree; the gap between them is the
+// model's optimism about memory bandwidth and scheduling overhead.
+type IntraOpStats struct {
+	Workers int
+	// SerialSim and ModeledSim are simulated op time per run at width
+	// 1 and Workers (serial strategy).
+	SerialSim, ModeledSim time.Duration
+	// SerialWall and ParallelWall are host wall time per run at width
+	// 1 and Workers (parallel strategy).
+	SerialWall, ParallelWall time.Duration
+	// Modeled is SerialSim/ModeledSim; Measured is
+	// SerialWall/ParallelWall.
+	Modeled, Measured float64
+}
+
+// IntraOp assembles the side-by-side comparison from the four timing
+// measurements.
+func IntraOp(workers int, serialSim, modeledSim, serialWall, parallelWall time.Duration) IntraOpStats {
+	st := IntraOpStats{
+		Workers:   workers,
+		SerialSim: serialSim, ModeledSim: modeledSim,
+		SerialWall: serialWall, ParallelWall: parallelWall,
+	}
+	if modeledSim > 0 {
+		st.Modeled = float64(serialSim) / float64(modeledSim)
+	}
+	if parallelWall > 0 {
+		st.Measured = float64(serialWall) / float64(parallelWall)
+	}
+	return st
+}
+
 // String renders a compact textual profile.
 func (p *Profile) String() string {
 	var b strings.Builder

@@ -1,0 +1,206 @@
+package runtime
+
+import (
+	goruntime "runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+// buildFan returns buildWide's fan-out graph with the placeholder
+// pre-bound to a constant feed, for tests that only care about the
+// fetch.
+func buildFan(lanes, depth int) (*graph.Graph, Feeds, *graph.Node) {
+	g, x, y := buildWide(lanes, depth)
+	return g, Feeds{x: tensor.Ones(16, 16)}, y
+}
+
+// TestSessionCloseSemantics: Close is idempotent, bars further Runs
+// with ErrClosed, and releases the lease.
+func TestSessionCloseSemantics(t *testing.T) {
+	pool := sched.New(2)
+	defer pool.Close()
+	g, feeds, y := buildFan(3, 2)
+	s := NewSession(g, WithInterOpWorkers(4), WithIntraOpWorkers(2), WithWorkerPool(pool))
+	want := s.MustRun([]*graph.Node{y}, feeds)[0].Clone()
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Run([]*graph.Node{y}, nil); err != ErrClosed {
+		t.Fatalf("Run after Close = %v, want ErrClosed", err)
+	}
+	// A fresh session over the same graph still works and agrees.
+	s2 := NewSession(g, WithWorkerPool(pool))
+	defer s2.Close()
+	got := s2.MustRun([]*graph.Node{y}, feeds)[0]
+	if tensor.MaxAbsDiff(got, want) != 0 {
+		t.Fatal("parallel session result differs from serial replacement")
+	}
+}
+
+// TestParallelDrainOnSharedPool: the inter-op drain is correct at any
+// pool size, including zero helpers (caller-only execution).
+func TestParallelDrainOnSharedPool(t *testing.T) {
+	g, feeds, y := buildFan(4, 3)
+	want := NewSession(g).MustRun([]*graph.Node{y}, feeds)[0].Clone()
+	for _, size := range []int{0, 1, 4} {
+		pool := sched.New(size)
+		s := NewSession(g, WithInterOpWorkers(4), WithWorkerPool(pool))
+		for rep := 0; rep < 3; rep++ {
+			got := s.MustRun([]*graph.Node{y}, feeds)[0]
+			if tensor.MaxAbsDiff(got, want) != 0 {
+				t.Fatalf("pool size %d rep %d: parallel differs from serial", size, rep)
+			}
+		}
+		s.Close()
+		pool.Close()
+	}
+}
+
+// TestIntraOpSessionBitIdentical: a session with real intra-op kernel
+// pools reproduces the serial session bit for bit, alone and combined
+// with inter-op width.
+func TestIntraOpSessionBitIdentical(t *testing.T) {
+	pool := sched.New(4)
+	defer pool.Close()
+	g := graph.New()
+	a := g.Const("a", tensor.RandNormal(newTestRNG(), 0, 1, 96, 96))
+	b := g.Const("b", tensor.RandNormal(newTestRNG(), 0, 1, 96, 96))
+	y := ops.Mean(ops.Relu(ops.MatMul(a, b)))
+	want := NewSession(g).MustRun([]*graph.Node{y}, nil)[0].Data()[0]
+	for _, cfg := range []struct{ intra, inter int }{{4, 1}, {1, 4}, {4, 4}} {
+		s := NewSession(g,
+			WithIntraOpWorkers(cfg.intra),
+			WithInterOpWorkers(cfg.inter),
+			WithWorkerPool(pool),
+		)
+		got := s.MustRun([]*graph.Node{y}, nil)[0].Data()[0]
+		s.Close()
+		if got != want {
+			t.Fatalf("intra=%d inter=%d: %v != serial %v", cfg.intra, cfg.inter, got, want)
+		}
+	}
+}
+
+// TestPlanPrioritiesFavorCriticalPath: the compile-time LPT keys rank
+// the head of a long chain above an independent leaf, and a parallel
+// run refreshes them with measured durations.
+func TestPlanPrioritiesFavorCriticalPath(t *testing.T) {
+	g := graph.New()
+	// A deep chain and a single shallow op, merged at the end.
+	x := g.Const("x", tensor.Full(0.5, 8, 8))
+	chain := x
+	for i := 0; i < 6; i++ {
+		chain = ops.Relu(ops.MatMul(chain, x))
+	}
+	leaf := ops.Relu(x)
+	y := ops.Add(chain, ops.MatMul(leaf, x))
+	s := NewSession(g, WithInterOpWorkers(2), WithWorkerPool(sched.New(1)))
+	defer s.Close()
+	plan := s.Plan([]*graph.Node{y})
+	var chainHead, leafPos = -1, -1
+	for i, st := range plan.steps {
+		if st.kind != graph.KindOp {
+			continue
+		}
+		if chainHead == -1 {
+			chainHead = i // first op of the deep chain in schedule order
+		}
+		if st.node == leaf {
+			leafPos = i
+		}
+	}
+	if chainHead < 0 || leafPos < 0 {
+		t.Fatal("did not locate chain head and leaf")
+	}
+	if plan.prio[chainHead] <= plan.prio[leafPos] {
+		t.Fatalf("chain head prio %d should exceed leaf prio %d", plan.prio[chainHead], plan.prio[leafPos])
+	}
+	before := append([]int64(nil), plan.prio...)
+	s.MustRun([]*graph.Node{y}, nil)
+	refreshed := false
+	for i := range before {
+		if plan.prio[i] != before[i] {
+			refreshed = true
+			break
+		}
+	}
+	if !refreshed {
+		t.Fatal("parallel run should refresh priorities with measured durations")
+	}
+	// Still LPT-shaped: the chain head dominates the leaf.
+	if plan.prio[chainHead] <= plan.prio[leafPos] {
+		t.Fatal("refreshed priorities lost the critical-path ordering")
+	}
+}
+
+// TestSessionsShareBoundedPool: many concurrent parallel sessions on
+// one shared pool never push the process goroutine count past
+// baseline + pool size + one goroutine per session, and everything
+// returns to baseline after Close.
+func TestSessionsShareBoundedPool(t *testing.T) {
+	pool := sched.New(3)
+	defer pool.Close()
+	g, feeds, y := buildFan(4, 2)
+	want := NewSession(g).MustRun([]*graph.Node{y}, feeds)[0].Clone()
+
+	base := goruntime.NumGoroutine()
+	const sessions = 6
+	done := make(chan error, sessions)
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := int64(goruntime.NumGoroutine()); n > peak.Load() {
+				peak.Store(n)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	for i := 0; i < sessions; i++ {
+		go func() {
+			s := NewSession(g, WithInterOpWorkers(4), WithIntraOpWorkers(2), WithWorkerPool(pool))
+			defer s.Close()
+			for rep := 0; rep < 5; rep++ {
+				got, err := s.Run([]*graph.Node{y}, feeds)
+				if err != nil {
+					done <- err
+					return
+				}
+				if tensor.MaxAbsDiff(got[0], want) != 0 {
+					done <- ErrClosed // any sentinel: mismatch
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < sessions; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	// Goroutines: sessions + pool workers + monitor + slack. Without
+	// the shared pool this would be sessions×(interOp-1 + intraOp
+	// helpers) extra; with it the execution helpers are capped at 3.
+	if p := int(peak.Load()); p > base+sessions+pool.Size()+4 {
+		t.Fatalf("goroutine peak %d (baseline %d): pool bound leaked", p, base)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for goruntime.NumGoroutine() > base+pool.Size()+1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := goruntime.NumGoroutine(); got > base+pool.Size()+1 {
+		t.Fatalf("goroutines %d did not return near baseline %d after Close", got, base)
+	}
+}

@@ -27,25 +27,35 @@
 // the liveness analysis conservatively treats their outputs as aliases
 // of every input.
 //
-// # Inter-op parallelism
+// # Parallelism and the shared worker pool
 //
 // Plans also record the dependency structure of a parallel scheduler:
-// with WithInterOpWorkers(n) a Run drains the plan's ready queue with
-// n worker goroutines while staying bit-identical to sequential
-// execution — see sched.go for the scheduler and the determinism
-// contract (serial Impure lane, variable hazard edges, gated arena
-// reuse).
+// with WithInterOpWorkers(n) a Run drains the plan's LPT-ordered
+// ready queue with the session goroutine plus up to n-1 helpers
+// leased from the process-wide bounded worker pool (internal/sched)
+// while staying bit-identical to sequential execution — see sched.go
+// for the scheduler and the determinism contract (serial Impure lane,
+// variable hazard edges, gated arena reuse). WithIntraOpWorkers(n)
+// additionally makes every kernel pool execute its chunks on shared-
+// pool goroutines (tensor.Pool's real parallel strategy) instead of
+// modeling the speedup. Sessions lease their helper claim at creation
+// and release it in Close; no goroutines are spawned per Run.
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"slices"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 )
+
+// ErrClosed is returned by Run after Session.Close.
+var ErrClosed = errors.New("runtime: session closed")
 
 // Event records one operation execution on the session's simulated
 // timeline. Durations are device-modeled (see Device).
@@ -245,6 +255,16 @@ type Plan struct {
 	nOps    int     // number of op steps
 	edges   int     // scheduling edges (incl. hazard/serial/anti)
 
+	// prio orders the parallel scheduler's ready queue by longest
+	// processing time to a sink: a step's priority is the weight of the
+	// heaviest chain of scheduling successors hanging off it, so the
+	// drain starts critical-path work first and trailing stragglers
+	// shrink. Compiled with unit weights (chain length in ops);
+	// refreshed with measured durations after each parallel run.
+	// Priority affects only the pop order among simultaneously ready
+	// steps — the determinism contract makes results independent of it.
+	prio []int64
+
 	// Per-run scratch, reused across Runs (sessions are confined to
 	// one goroutine between Runs).
 	indegRun []int32
@@ -281,6 +301,10 @@ func (p *Plan) Edges() int { return p.edges }
 // execution only reads variable values); training mutates variable and
 // optimizer state and must be exclusive with any other use of the
 // graph.
+//
+// Sessions with parallelism enabled hold a lease on the shared worker
+// pool; call Close when done with such a session (serve.Engine does on
+// shutdown). Close is cheap and safe on any session.
 type Session struct {
 	g     *graph.Graph
 	dev   Device
@@ -296,12 +320,20 @@ type Session struct {
 
 	// interOp is the inter-op scheduler width: 1 executes the plan's
 	// sequential schedule on the session goroutine (the default);
-	// larger values drain the plan's ready queue with that many worker
-	// goroutines inside Run (see sched.go). Results are bit-identical
-	// either way. The session remains single-goroutine from the
-	// caller's perspective: Run still may not be invoked concurrently.
+	// larger values drain the plan's ready queue with the session
+	// goroutine plus helpers leased from the shared worker pool (see
+	// sched.go). Results are bit-identical either way. The session
+	// remains single-goroutine from the caller's perspective: Run
+	// still may not be invoked concurrently.
 	interOp int
-	wctx    []*graph.ExecContext // per-worker contexts, built lazily
+	// intraOp is the real intra-op width: with n > 1 the session's
+	// kernel pools execute chunks on shared-pool helpers
+	// (tensor.NewParallelPool) instead of modeling the speedup.
+	intraOp  int
+	execPool *sched.Pool          // shared worker pool (default sched.Default)
+	lease    *sched.Lease         // the session's bounded claim on it
+	closed   bool                 // set by Close; Run then fails
+	wctx     []*graph.ExecContext // per-helper contexts, built lazily
 }
 
 // Option configures a Session.
@@ -319,12 +351,13 @@ func WithSeed(seed int64) Option {
 }
 
 // WithInterOpWorkers sets the inter-op scheduler width (default 1 =
-// today's sequential execution). With n > 1, Run executes independent
-// plan steps on n worker goroutines while preserving the determinism
-// contract: fetches, losses and variable updates are bit-identical to
-// serial execution for any n, and WithSeed replay is unchanged —
-// stateful and RNG-consuming operations stay on a serial lane in
-// schedule order.
+// sequential execution). With n > 1, Run executes independent plan
+// steps on up to n goroutines — the session goroutine plus helpers
+// leased from the shared worker pool — while preserving the
+// determinism contract: fetches, losses and variable updates are
+// bit-identical to serial execution for any n, and WithSeed replay is
+// unchanged — stateful and RNG-consuming operations stay on a serial
+// lane in schedule order.
 func WithInterOpWorkers(n int) Option {
 	return func(s *Session) {
 		if n < 1 {
@@ -332,6 +365,32 @@ func WithInterOpWorkers(n int) Option {
 		}
 		s.interOp = n
 	}
+}
+
+// WithIntraOpWorkers sets the real intra-op width (default 1): with
+// n > 1 every kernel pool of the session executes its chunked loops on
+// up to n goroutines drawn from the shared worker pool, and traced op
+// durations are measured wall time rather than modeled makespans.
+// Chunk boundaries and float32 reduction order are fixed by trip count
+// and grain — never by width — so results stay bit-identical to a
+// serial session (and to any other intra-op × inter-op width). Takes
+// precedence over WithWorkers, which keeps the paper's serial modeled
+// pools.
+func WithIntraOpWorkers(n int) Option {
+	return func(s *Session) {
+		if n < 1 {
+			n = 1
+		}
+		s.intraOp = n
+	}
+}
+
+// WithWorkerPool selects the shared execution pool helpers are leased
+// from (default sched.Default()). Tests use scoped pools; production
+// sessions share the process-wide one so total execution goroutines
+// stay bounded by its size regardless of session count.
+func WithWorkerPool(p *sched.Pool) Option {
+	return func(s *Session) { s.execPool = p }
 }
 
 // WithTrace enables event collection.
@@ -353,7 +412,49 @@ func NewSession(g *graph.Graph, opts ...Option) *Session {
 	for _, o := range opts {
 		o(s)
 	}
+	// Lease the session's bounded claim on the shared worker pool: up
+	// to interOp-1 inter-op drain helpers plus intraOp-1 kernel helpers
+	// per concurrently executing op. The lease persists across Runs
+	// (workers return to the pool between regions) and is released by
+	// Close.
+	if s.intraOp > 1 || s.interOp > 1 {
+		if s.execPool == nil {
+			s.execPool = sched.Default()
+		}
+		intra := s.intraOp
+		if intra < 1 {
+			intra = 1
+		}
+		s.lease = s.execPool.Lease(s.interOp*intra - 1)
+	}
+	if s.intraOp > 1 {
+		s.ctx.Pool = tensor.NewParallelPool(s.intraOp, s.lease)
+	}
 	return s
+}
+
+// Close releases the session's lease on the shared worker pool and
+// marks the session closed: subsequent Runs fail with ErrClosed.
+// Close is idempotent and must only be called between Runs (sessions
+// are single-goroutine). Sessions that never enabled parallelism hold
+// no pool resources, and Close on them only bars further Runs.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.lease != nil {
+		s.lease.Close()
+	}
+	s.wctx = nil
+}
+
+// IntraOpWorkers returns the configured real intra-op width.
+func (s *Session) IntraOpWorkers() int {
+	if s.intraOp < 1 {
+		return 1
+	}
+	return s.intraOp
 }
 
 // Context exposes the session's execution context.
@@ -772,6 +873,22 @@ func (s *Session) compile(fetches []*graph.Node) *Plan {
 	plan.preds = preds
 	plan.predsCP = predsCP
 	plan.indeg = indeg
+	// Initial LPT priority: unit-weight height to the schedule's sinks.
+	// Edges point forward in schedule order, so one reverse walk
+	// suffices; measured durations refine it after the first run.
+	plan.prio = make([]int64, n)
+	for i := n - 1; i >= 0; i-- {
+		if steps[i].kind != graph.KindOp {
+			continue
+		}
+		var h int64
+		for _, sc := range succs[i] {
+			if p := plan.prio[sc]; p > h {
+				h = p
+			}
+		}
+		plan.prio[i] = h + 1
+	}
 	plan.indegRun = make([]int32, n)
 	plan.finish = make([]time.Duration, n)
 	plan.cp = make([]time.Duration, n)
@@ -788,6 +905,9 @@ func (s *Session) compile(fetches []*graph.Node) *Plan {
 // n worker goroutines (see sched.go); the results are bit-identical
 // to sequential execution for any n.
 func (s *Session) Run(fetches []*graph.Node, feeds Feeds) ([]*tensor.Tensor, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
 	plan := s.Plan(fetches)
 	s.ctx.Step = s.step
 	var err error

@@ -1,0 +1,243 @@
+// Package sched provides the process-wide bounded worker pool shared
+// by every execution layer of the suite: intra-op kernel chunks
+// (tensor.Pool's parallel strategy), the inter-op ready-queue drain
+// (runtime's plan scheduler), and every serve.Engine worker session.
+//
+// The design goal is a hard bound on execution goroutines under load.
+// Before this pool existed, every Session.Run spawned its own inter-op
+// workers and every engine session would have multiplied that again;
+// N engines × S sessions × W workers goroutines in the worst case.
+// With the pool, all layers draw helpers from one fixed set of
+// persistent workers: total pool goroutines never exceed the
+// configured size, no matter how many sessions run concurrently.
+//
+// # Help-first, never-blocking acquisition
+//
+// TryRun is deliberately non-blocking: if no worker is free (and the
+// pool is at capacity) it returns false and the caller does the work
+// on its own goroutine. Every parallel construct in the suite is
+// written caller-participates-first — the submitting goroutine always
+// executes its share of the work — so acquisition failure degrades to
+// serial execution, never to deadlock, even when pools nest (an
+// inter-op helper executing a kernel that requests intra-op helpers
+// from the same pool).
+//
+// # Leases
+//
+// A Lease is one client's bounded claim on the pool — a Session takes
+// a lease sized to its configured inter-op × intra-op width at
+// creation and releases it in Session.Close. Leases cap how many pool
+// workers one session can occupy at once, so a single wide session
+// cannot starve every other tenant, and they give the session
+// lifecycle a concrete resource to release. Workers themselves are
+// never owned: between regions they return to the shared pool, so an
+// idle session holds no goroutines.
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Pool is a fixed-capacity set of persistent worker goroutines.
+// Workers are spawned lazily on demand, up to Size, and then live for
+// the life of the pool (or until Close), parking in an idle set
+// between tasks. All methods are safe for concurrent use.
+type Pool struct {
+	size    int
+	idle    chan *worker
+	spawned atomic.Int32
+	busy    atomic.Int32
+	closed  atomic.Bool
+}
+
+type worker struct {
+	tasks chan func()
+}
+
+// New returns a pool of at most size workers. size < 1 yields a pool
+// that never lends a worker (TryRun always reports false), which
+// degrades every client to caller-only execution.
+func New(size int) *Pool {
+	if size < 0 {
+		size = 0
+	}
+	c := size
+	if c < 1 {
+		c = 1
+	}
+	return &Pool{size: size, idle: make(chan *worker, c)}
+}
+
+// Size reports the configured worker bound.
+func (p *Pool) Size() int { return p.size }
+
+// Spawned reports how many worker goroutines currently exist; it never
+// exceeds Size.
+func (p *Pool) Spawned() int { return int(p.spawned.Load()) }
+
+// Busy reports how many workers are executing a task right now.
+func (p *Pool) Busy() int { return int(p.busy.Load()) }
+
+// TryRun executes task on a pool worker if one is idle or can still be
+// spawned under the size bound, and reports whether the task was
+// accepted. It never blocks: false means the caller should run the
+// work itself. Accepted tasks always run.
+//
+// Tasks must not panic; clients that execute arbitrary kernels wrap
+// their tasks with recover and re-raise on the submitting goroutine
+// (tensor.Pool and the runtime scheduler both do).
+func (p *Pool) TryRun(task func()) bool {
+	if task == nil || p.closed.Load() {
+		return false
+	}
+	select {
+	case w := <-p.idle:
+		w.tasks <- task
+		return true
+	default:
+	}
+	for {
+		n := p.spawned.Load()
+		if int(n) >= p.size {
+			return false
+		}
+		if p.spawned.CompareAndSwap(n, n+1) {
+			w := &worker{tasks: make(chan func(), 1)}
+			go p.loop(w)
+			w.tasks <- task
+			return true
+		}
+	}
+}
+
+func (p *Pool) loop(w *worker) {
+	for task := range w.tasks {
+		p.busy.Add(1)
+		task()
+		p.busy.Add(-1)
+		if p.closed.Load() {
+			p.spawned.Add(-1)
+			return
+		}
+		p.idle <- w
+	}
+	p.spawned.Add(-1)
+}
+
+// Close stops lending workers and winds them all down, waiting for
+// mid-task workers to finish their task first. It reaps every spawned
+// worker — including one that raced past the post-task closed check
+// and parked concurrently with Close — so no goroutine outlives the
+// pool. Close exists for tests and scoped pools; the process-wide
+// Default pool is never closed.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	// Each spawned worker either observes closed after its task and
+	// exits on its own, or parks in idle (possibly racing the flag) and
+	// is reaped here. Busy workers land in one of those two states when
+	// their task returns, so this loop terminates once every task does.
+	for p.spawned.Load() > 0 {
+		select {
+		case w := <-p.idle:
+			close(w.tasks)
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// Lease returns a claim for at most n concurrent workers of the pool.
+func (p *Pool) Lease(n int) *Lease {
+	if n < 0 {
+		n = 0
+	}
+	return &Lease{pool: p, cap: int32(n)}
+}
+
+// Lease bounds one client's concurrent use of a Pool. The zero Lease
+// is invalid; obtain one from Pool.Lease. A Lease holds no goroutines
+// while idle — it is bookkeeping plus a lifecycle handle, released by
+// Close.
+type Lease struct {
+	pool   *Pool
+	cap    int32
+	active atomic.Int32
+	closed atomic.Bool
+}
+
+// TryRun submits task to the underlying pool if the lease has claim
+// capacity left and a worker is available; it reports whether the task
+// was accepted, and never blocks. After Close it always reports false.
+func (l *Lease) TryRun(task func()) bool {
+	if task == nil || l.closed.Load() {
+		return false
+	}
+	if l.active.Add(1) > l.cap {
+		l.active.Add(-1)
+		return false
+	}
+	ok := l.pool.TryRun(func() {
+		defer l.active.Add(-1)
+		task()
+	})
+	if !ok {
+		l.active.Add(-1)
+	}
+	return ok
+}
+
+// Active reports how many leased tasks are currently running.
+func (l *Lease) Active() int { return int(l.active.Load()) }
+
+// Close releases the lease: subsequent TryRun calls report false.
+// Callers must not Close while work submitted through the lease is
+// still in flight (Session.Close runs only between Runs, when every
+// region has joined). Close is idempotent.
+func (l *Lease) Close() {
+	l.closed.Store(true)
+}
+
+// defaultSize is resolved on first Default() use; SetDefaultSize may
+// override it before then.
+var defaultSize atomic.Int32
+
+// defaultPool is the process-wide pool, created on first use.
+var defaultPool atomic.Pointer[Pool]
+
+// Default returns the process-wide shared pool, creating it on first
+// use with SetDefaultSize's value, or max(2, GOMAXPROCS) when unset —
+// at least two workers so concurrent subsystems overlap even on a
+// single-core host, never more goroutines than cores are likely to
+// serve.
+func Default() *Pool {
+	if p := defaultPool.Load(); p != nil {
+		return p
+	}
+	n := int(defaultSize.Load())
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n < 2 {
+			n = 2
+		}
+	}
+	p := New(n)
+	if !defaultPool.CompareAndSwap(nil, p) {
+		return defaultPool.Load()
+	}
+	return p
+}
+
+// SetDefaultSize fixes the size the process-wide pool will be created
+// with. It reports whether the value took effect: once Default has
+// been called the pool exists and its size is immutable, mirroring
+// tensor.Pool's width-immutability rule.
+func SetDefaultSize(n int) bool {
+	if defaultPool.Load() != nil {
+		return false
+	}
+	defaultSize.Store(int32(n))
+	return defaultPool.Load() == nil
+}

@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsTasks: accepted tasks all execute.
+func TestPoolRunsTasks(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var ran atomic.Int32
+	var wg sync.WaitGroup
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if p.TryRun(func() { ran.Add(1); wg.Done() }) {
+			accepted++
+		} else {
+			ran.Add(1)
+			wg.Done() // caller-side execution, as clients do
+		}
+	}
+	wg.Wait()
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", ran.Load())
+	}
+	if accepted == 0 {
+		t.Fatal("a 4-worker pool should accept at least one task")
+	}
+}
+
+// TestPoolBoundsGoroutines: the pool never spawns more workers than
+// its size, no matter how many tasks are thrown at it, and workers are
+// reused across waves rather than respawned.
+func TestPoolBoundsGoroutines(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	for wave := 0; wave < 5; wave++ {
+		var wg sync.WaitGroup
+		block := make(chan struct{})
+		accepted := 0
+		for i := 0; i < 50; i++ {
+			wg.Add(1)
+			if p.TryRun(func() { <-block; wg.Done() }) {
+				accepted++
+			} else {
+				wg.Done()
+			}
+		}
+		if accepted > 3 {
+			t.Fatalf("wave %d: accepted %d concurrent tasks on a 3-worker pool", wave, accepted)
+		}
+		if got := p.Spawned(); got > 3 {
+			t.Fatalf("wave %d: spawned %d workers, size 3", wave, got)
+		}
+		close(block)
+		wg.Wait()
+	}
+	if got := p.Spawned(); got > 3 {
+		t.Fatalf("spawned %d workers after 5 waves, size 3", got)
+	}
+}
+
+// TestPoolSizeZeroNeverAccepts: a zero-size pool degrades every client
+// to caller-only execution.
+func TestPoolSizeZeroNeverAccepts(t *testing.T) {
+	p := New(0)
+	if p.TryRun(func() {}) {
+		t.Fatal("zero-size pool accepted a task")
+	}
+}
+
+// TestPoolTryRunNeverBlocks: with every worker busy, TryRun returns
+// false immediately instead of waiting.
+func TestPoolTryRunNeverBlocks(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if !p.TryRun(func() { <-block; wg.Done() }) {
+		t.Fatal("first task should be accepted")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- p.TryRun(func() {}) }()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("saturated pool accepted a second task")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("TryRun blocked on a saturated pool")
+	}
+	close(block)
+	wg.Wait()
+}
+
+// TestLeaseCapsClaim: a lease admits at most its cap concurrently,
+// even on a bigger pool, and frees claim capacity as tasks finish.
+func TestLeaseCapsClaim(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	l := p.Lease(2)
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	accepted := 0
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		if l.TryRun(func() { <-block; wg.Done() }) {
+			accepted++
+		} else {
+			wg.Done()
+		}
+	}
+	if accepted != 2 {
+		t.Fatalf("lease of 2 accepted %d concurrent tasks", accepted)
+	}
+	if l.Active() != 2 {
+		t.Fatalf("Active = %d, want 2", l.Active())
+	}
+	close(block)
+	wg.Wait()
+	// Claim capacity returns once tasks complete.
+	ok := false
+	for i := 0; i < 100 && !ok; i++ {
+		var wg2 sync.WaitGroup
+		wg2.Add(1)
+		ok = l.TryRun(func() { wg2.Done() })
+		if !ok {
+			wg2.Done()
+			time.Sleep(time.Millisecond)
+		} else {
+			wg2.Wait()
+		}
+	}
+	if !ok {
+		t.Fatal("lease never regained claim capacity after tasks finished")
+	}
+}
+
+// TestLeaseCloseRejects: a closed lease stops lending.
+func TestLeaseCloseRejects(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	l := p.Lease(2)
+	l.Close()
+	if l.TryRun(func() {}) {
+		t.Fatal("closed lease accepted a task")
+	}
+	l.Close() // idempotent
+}
+
+// TestPoolConcurrentSubmitters hammers TryRun from many goroutines —
+// the race detector is the assertion.
+func TestPoolConcurrentSubmitters(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var ran atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := p.Lease(2)
+			defer l.Close()
+			var inner sync.WaitGroup
+			for i := 0; i < 200; i++ {
+				inner.Add(1)
+				task := func() { ran.Add(1); inner.Done() }
+				if !l.TryRun(task) {
+					task()
+				}
+			}
+			inner.Wait()
+		}()
+	}
+	wg.Wait()
+	if ran.Load() != 8*200 {
+		t.Fatalf("ran %d of %d tasks", ran.Load(), 8*200)
+	}
+	if p.Spawned() > 4 {
+		t.Fatalf("spawned %d workers, size 4", p.Spawned())
+	}
+}
+
+// TestDefaultPoolSingleton: Default returns one process-wide pool with
+// at least two workers.
+func TestDefaultPoolSingleton(t *testing.T) {
+	a, b := Default(), Default()
+	if a != b {
+		t.Fatal("Default must return the same pool")
+	}
+	if a.Size() < 2 {
+		t.Fatalf("default pool size %d, want >= 2", a.Size())
+	}
+	if SetDefaultSize(64) {
+		t.Fatal("SetDefaultSize must refuse once the default pool exists")
+	}
+}
+
+// TestPoolGoroutineCountStable: pool goroutines are persistent and
+// bounded — churning tasks does not grow the process goroutine count
+// beyond the pool size.
+func TestPoolGoroutineCountStable(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := New(4)
+	defer p.Close()
+	for round := 0; round < 20; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < 32; i++ {
+			wg.Add(1)
+			task := func() { wg.Done() }
+			if !p.TryRun(task) {
+				task()
+			}
+		}
+		wg.Wait()
+	}
+	// Workers may be parked; allow the pool size plus slack for test
+	// runtime goroutines.
+	if got := runtime.NumGoroutine(); got > base+4+2 {
+		t.Fatalf("goroutines grew from %d to %d with a 4-worker pool", base, got)
+	}
+}

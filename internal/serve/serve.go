@@ -46,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/runtime"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 )
 
@@ -88,6 +89,17 @@ type Options struct {
 	// operations inside one batch, and results stay bit-identical to
 	// serial execution.
 	InterOpWorkers int
+	// IntraOpWorkers is the real intra-op width of each worker
+	// session's kernel pools (default 1 = serial kernels). Helpers
+	// come from the shared process-wide worker pool, so the engine's
+	// total execution goroutines stay bounded by that pool's size no
+	// matter how many sessions or engines run — and results stay
+	// bit-identical to serial execution (deterministic chunking and
+	// reduction order; see tensor.Pool).
+	IntraOpWorkers int
+	// WorkerPool overrides the shared execution pool sessions lease
+	// helpers from (default sched.Default()); tests use scoped pools.
+	WorkerPool *sched.Pool
 	// QueueLen is the pending-request buffer (default 4×MaxBatch).
 	QueueLen int
 }
@@ -132,6 +144,10 @@ type Engine struct {
 	done      chan struct{}
 	stopped   chan struct{} // closed when dispatcher+workers have exited
 	closeOnce sync.Once
+
+	// sessions are the worker sessions, retained so shutdown can Close
+	// them — releasing each session's lease on the shared worker pool.
+	sessions []*runtime.Session
 
 	stats stats
 }
@@ -219,7 +235,15 @@ func New(m core.Model, opts Options) (*Engine, error) {
 		if opts.InterOpWorkers > 1 {
 			sessOpts = append(sessOpts, runtime.WithInterOpWorkers(opts.InterOpWorkers))
 		}
-		ws := newWorkerState(e, runtime.NewSession(m.Graph(), sessOpts...))
+		if opts.IntraOpWorkers > 1 {
+			sessOpts = append(sessOpts, runtime.WithIntraOpWorkers(opts.IntraOpWorkers))
+		}
+		if opts.WorkerPool != nil {
+			sessOpts = append(sessOpts, runtime.WithWorkerPool(opts.WorkerPool))
+		}
+		sess := runtime.NewSession(m.Graph(), sessOpts...)
+		e.sessions = append(e.sessions, sess)
+		ws := newWorkerState(e, sess)
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
@@ -231,6 +255,9 @@ func New(m core.Model, opts Options) (*Engine, error) {
 	go func() {
 		e.dispatch()
 		workers.Wait() // workers finish the already-dispatched batches
+		for _, sess := range e.sessions {
+			sess.Close() // release each session's shared-pool lease
+		}
 		close(e.stopped)
 	}()
 	return e, nil

@@ -9,6 +9,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	goruntime "runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/runtime"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 
 	_ "repro/internal/models/all"
@@ -472,5 +474,145 @@ func TestEngineInterOpWorkersMatchesSequential(t *testing.T) {
 				t.Fatalf("request %d output %q differs under inter-op workers", i, outName)
 			}
 		}
+	}
+}
+
+// TestEngineIntraOpWorkersMatchesSequential: real intra-op kernel
+// parallelism on the shared pool composes with pooling, micro-batching
+// and inter-op scheduling without perturbing a single bit.
+func TestEngineIntraOpWorkersMatchesSequential(t *testing.T) {
+	const clients, perClient = 6, 3
+	m := buildModel(t, "memnet", 4)
+	examples := sampleExamples(t, m, clients*perClient)
+
+	ref := runtime.NewSession(m.Graph(), runtime.WithSeed(99))
+	want := make([]map[string]*tensor.Tensor, len(examples))
+	for i, ex := range examples {
+		want[i] = referenceInfer(t, m, ref, ex)
+	}
+
+	pool := sched.New(3)
+	defer pool.Close()
+	e, err := New(m, Options{
+		Sessions: 2, MaxBatch: 4, MaxDelay: time.Millisecond,
+		InterOpWorkers: 2, IntraOpWorkers: 4, WorkerPool: pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	got := make([]map[string]*tensor.Tensor, len(examples))
+	errs := make([]error, len(examples))
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				i := c*perClient + k
+				got[i], errs[i] = e.Infer(context.Background(), examples[i])
+			}
+		}(c)
+	}
+	wg.Wait()
+	for i := range examples {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		for outName, w := range want[i] {
+			if !tensorsEqual(got[i][outName], w) {
+				t.Fatalf("request %d output %q differs from sequential reference", i, outName)
+			}
+		}
+	}
+}
+
+// TestManyEnginesOneSharedPool hammers one bounded pool from several
+// engines' worth of parallel sessions at once — the race detector
+// checks every handoff, and the pool must bound execution goroutines
+// across all engines combined.
+func TestManyEnginesOneSharedPool(t *testing.T) {
+	pool := sched.New(3)
+	defer pool.Close()
+	const engines = 3
+	var es []*Engine
+	var exs [][]map[string]*tensor.Tensor
+	for i := 0; i < engines; i++ {
+		m := buildModel(t, "memnet", 4)
+		e, err := New(m, Options{
+			Sessions: 2, MaxBatch: 4, MaxDelay: 500 * time.Microsecond,
+			InterOpWorkers: 2, IntraOpWorkers: 2, WorkerPool: pool,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		es = append(es, e)
+		exs = append(exs, sampleExamples(t, m, 8))
+	}
+	var wg sync.WaitGroup
+	for i, e := range es {
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(e *Engine, examples []map[string]*tensor.Tensor) {
+				defer wg.Done()
+				for r := 0; r < 6; r++ {
+					if _, err := e.Infer(context.Background(), examples[r%len(examples)]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(e, exs[i])
+		}
+	}
+	wg.Wait()
+	if pool.Spawned() > pool.Size() {
+		t.Fatalf("pool spawned %d workers, size %d", pool.Spawned(), pool.Size())
+	}
+	for _, e := range es {
+		e.Close()
+	}
+}
+
+// TestEngineShutdownReleasesGoroutines is the leak check: engine
+// workers, dispatcher and session leases all wind down on Close, and
+// the only persistent goroutines left are the shared pool's bounded
+// workers.
+func TestEngineShutdownReleasesGoroutines(t *testing.T) {
+	pool := sched.New(2)
+	defer pool.Close()
+	base := goruntime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		m := buildModel(t, "memnet", 2)
+		e, err := New(m, Options{
+			Sessions: 3, MaxBatch: 2, MaxDelay: 200 * time.Microsecond,
+			InterOpWorkers: 2, IntraOpWorkers: 2, WorkerPool: pool,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		examples := sampleExamples(t, m, 4)
+		var wg sync.WaitGroup
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				if _, err := e.Infer(context.Background(), examples[c]); err != nil {
+					t.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+		e.Close()
+	}
+	// Everything engine-owned is gone; at most the pool's persistent
+	// workers (plus test-runtime slack) remain.
+	deadline := time.Now().Add(3 * time.Second)
+	for goruntime.NumGoroutine() > base+pool.Size()+1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := goruntime.NumGoroutine(); got > base+pool.Size()+1 {
+		t.Fatalf("goroutines %d after 3 engine lifecycles (baseline %d, pool %d): leak",
+			got, base, pool.Size())
 	}
 }

@@ -140,10 +140,12 @@ func matmulInto(p *Pool, dst, a, b []float32, m, n, k, lda, ldb int, transA, tra
 // column panels and blockK-deep reduction slabs, packing the active A
 // and B panels into contiguous, cache-resident scratch so the
 // register-tiled microkernel reads them independently of the operands'
-// transpose state. Chunks of the row loop execute serially under the
-// virtual pool, so the per-pool scratch panels are shared safely.
+// transpose state. The row loop may really run in parallel, so each
+// executing lane packs A into its own per-lane panel (packA contents
+// are a pure function of the chunk's rows, so lane assignment cannot
+// perturb results); the read-only B panel is packed once per slab on
+// the calling goroutine and shared by every lane.
 func matmulBlocked(p *Pool, dst, a, b []float32, m, n, k, lda, ldb int, transA, transB bool) {
-	packA := p.scratchBuf(scratchPackA, blockM*blockK)
 	packB := p.scratchBuf(scratchPackB, blockK*blockN)
 	for jc := 0; jc < n; jc += blockN {
 		nc := min(blockN, n-jc)
@@ -154,7 +156,8 @@ func matmulBlocked(p *Pool, dst, a, b []float32, m, n, k, lda, ldb int, transA, 
 			// repacking it.
 			packPanelB(packB, b, pc, kc, jc, nc, ldb, transB)
 			grain := 1 + 65536/(nc*kc+1)
-			p.For(m, grain, func(lo, hi int) {
+			p.ForLane(m, grain, func(lane, lo, hi int) {
+				packA := p.laneScratch(lane, scratchPackA, blockM*blockK)
 				for ic := lo; ic < hi; ic += blockM {
 					mc := min(blockM, hi-ic)
 					packPanelA(packA, a, ic, mc, pc, kc, lda, transA)

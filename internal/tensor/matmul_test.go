@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/sched"
 )
 
 // naiveMatMul is an obviously-correct reference implementation.
@@ -226,5 +228,85 @@ func TestMatMulTransposeIdentityQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMatMulParallelBitIdentical drives both kernel paths (streaming
+// and blocked/packed — the latter via a product over the
+// blockedMinWork threshold) at several real-parallel widths and
+// demands bitwise equality with the serial pool: chunk boundaries are
+// width-independent and per-row accumulation order never changes, so
+// the parallel strategy must be invisible in the result bits.
+func TestMatMulParallelBitIdentical(t *testing.T) {
+	ex := sched.New(4)
+	defer ex.Close()
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct{ m, k, n int }{
+		{33, 40, 29},   // streaming kernel
+		{128, 96, 128}, // streaming kernel, larger
+		{160, 144, 80}, // blocked kernel (m·n·k ≥ 2^20)
+		{256, 128, 64}, // blocked kernel, uneven tiles
+	}
+	for _, tc := range cases {
+		a := RandNormal(rng, 0, 1, tc.m, tc.k)
+		b := RandNormal(rng, 0, 1, tc.k, tc.n)
+		want, err := MatMul(NewPool(1), a, b, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4} {
+			p := NewParallelPool(w, ex)
+			for _, tr := range []struct{ ta, tb bool }{{false, false}} {
+				got, err := MatMul(p, a, b, tr.ta, tr.tb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := MaxAbsDiff(got, want); d != 0 {
+					t.Fatalf("(%d,%d,%d) width %d: parallel matmul differs (max |Δ| %g)", tc.m, tc.k, tc.n, w, d)
+				}
+			}
+		}
+		// Transposed operands through the blocked path too.
+		at := RandNormal(rng, 0, 1, tc.k, tc.m)
+		wantT, err := MatMul(NewPool(1), at, b, true, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotT, err := MatMul(NewParallelPool(4, ex), at, b, true, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(gotT, wantT); d != 0 {
+			t.Fatalf("(%d,%d,%d) transA width 4: differs (max |Δ| %g)", tc.m, tc.k, tc.n, d)
+		}
+	}
+}
+
+// TestConv2DParallelBitIdentical covers the conv kernels (direct and
+// im2col dispatch) under the real parallel strategy.
+func TestConv2DParallelBitIdentical(t *testing.T) {
+	ex := sched.New(4)
+	defer ex.Close()
+	rng := rand.New(rand.NewSource(5))
+	in := RandNormal(rng, 0, 1, 2, 12, 12, 8)
+	filt := RandNormal(rng, 0, 1, 3, 3, 8, 16)
+	spec := ConvSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	want, err := Conv2D(NewPool(1), in, filt, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Conv2D(NewParallelPool(4, ex), in, filt, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(got, want); d != 0 {
+		t.Fatalf("parallel conv differs (max |Δ| %g)", d)
+	}
+	// Strided direct path.
+	spec2 := ConvSpec{StrideH: 2, StrideW: 2}
+	want2, _ := Conv2D(NewPool(1), in, filt, spec2)
+	got2, _ := Conv2D(NewParallelPool(4, ex), in, filt, spec2)
+	if d := MaxAbsDiff(got2, want2); d != 0 {
+		t.Fatalf("parallel strided conv differs (max |Δ| %g)", d)
 	}
 }

@@ -1,70 +1,162 @@
 package tensor
 
-import "time"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
-// Pool models an intra-operation worker pool, the analogue of the Eigen
-// thread pool TensorFlow used on CPUs when the paper was written.
+// Executor supplies helper goroutines to a parallel Pool. It is
+// implemented by sched.Pool and sched.Lease (the tensor package stays
+// dependency-free by naming only the interface). TryRun must never
+// block: it either accepts the task — which then must run — or reports
+// false, in which case the pool runs the chunk on the calling
+// goroutine instead.
+type Executor interface {
+	TryRun(task func()) bool
+}
+
+// Pool runs the chunked loops of tensor kernels — the analogue of the
+// Eigen thread pool TensorFlow used on CPUs when the paper was
+// written. It has two execution strategies behind one interface, used
+// by the matmul, conv, reduce and broadcast kernels alike:
 //
-// The reproduction environment has a single physical core, so real
-// threads cannot exhibit parallel speedup. Instead the pool executes
-// every chunk serially and *measures* each chunk, then reports the
-// makespan the kernel would have had under static scheduling across
-// Workers threads: max over workers of the summed chunk times. Kernels
-// whose trip count is below the parallel grain refuse to split and run
-// (and are accounted) serially, which reproduces the paper's
-// observation that small, skinny tensors do not parallelize.
+//   - Serial + simulated (NewPool): every chunk executes serially on
+//     the calling goroutine and is measured; the pool then reports the
+//     makespan the kernel would have had under list scheduling of the
+//     measured chunks across Workers modeled lanes. This is the
+//     strategy behind the paper's Fig. 6 intra-op profiles, where the
+//     host may not have the cores the model assumes.
+//   - Real parallel (NewParallelPool): chunks execute on up to Workers
+//     goroutines — the caller plus helpers drawn non-blockingly from a
+//     shared Executor (the process-wide sched pool) — and OpTime
+//     reports plain wall time. Helper scarcity degrades to serial
+//     execution on the caller, never blocks, never deadlocks.
 //
-// A Pool is not safe for concurrent use; the executor runs operations
-// sequentially (TensorFlow's inter-op parallelism is outside the scope
-// of the intra-op study in Fig. 6).
+// # Determinism contract
+//
+// Chunk boundaries are a function of the trip count and grain only —
+// never of the worker count and never of how many helpers showed up —
+// so the chunks of a region are identical at every configured width.
+// For's body must be index-pure (chunk [lo,hi) writes only outputs
+// indexed by [lo,hi) and reads no other chunk's output), which makes
+// results bit-identical across widths and lane assignments; ForSum and
+// ForMax carry cross-chunk float32 reductions by combining per-chunk
+// partials in ascending chunk order, at every width including 1, so
+// reductions are bit-identical too. The determinism harness
+// (internal/models/determinism_test.go) pins this across intra-op ×
+// inter-op width combinations for all nine workloads.
+//
+// A Pool is confined to one goroutine from the caller's perspective:
+// only the internal parallel strategy fans chunks out, and every
+// region joins before For returns. Width is immutable after the first
+// region executes (SetWorkers panics), so a plan's modeled makespans
+// can never be skewed by a mid-plan width change.
 type Pool struct {
 	workers int
+	frozen  bool // width immutable once any region has executed
+	exec    Executor
 
-	// Accumulators for the operation currently executing. ResetOp
-	// clears them; OpTime folds them into a simulated duration.
+	// Accumulators for the operation currently executing, maintained
+	// by the serial+simulated strategy. ResetOp clears them; OpTime
+	// folds them into a simulated duration. The parallel strategy
+	// leaves them zero, so OpTime degenerates to measured wall time.
 	simPar  time.Duration // modeled parallel time of For regions
 	realPar time.Duration // measured serial time of For regions
 	regions int           // number of For regions that actually split
 
-	// Persistent kernel scratch buffers (see scratchBuf). They survive
-	// across operations so steady-state kernels allocate nothing.
-	scratch [scratchSlots][]float32
+	// Persistent per-lane kernel scratch (see laneScratch). Lane 0 is
+	// the calling goroutine; parallel helpers use lanes 1..Workers-1.
+	// They survive across operations so steady-state kernels allocate
+	// nothing.
+	lanes []laneScratchSet
+
+	clocks   []time.Duration // modeled lane clocks, reused per region
+	partials []float32       // ForSum/ForMax chunk partials, reused
 }
+
+type laneScratchSet [scratchSlots][]float32
 
 // Scratch slot assignments for the pool's kernel workspaces. Kernels
 // may nest (Conv2D's im2col path calls the matmul kernel), so each
 // concern owns a distinct slot.
 const (
-	scratchPackA  = iota // matmul: packed A panel
-	scratchPackB         // matmul: packed B panel
-	scratchIm2col        // conv: im2col patch matrix
+	scratchPackA  = iota // matmul: packed A panel (per lane)
+	scratchPackB         // matmul: packed B panel (caller-side)
+	scratchIm2col        // conv: im2col patch matrix (caller-side)
 	scratchSlots
 )
 
-// scratchBuf returns the pool's persistent workspace for a slot, grown
-// to at least n elements. Contents are unspecified. Chunks of a For
-// region execute serially (see above), so a single buffer per slot is
-// safe even under modeled parallelism.
-func (p *Pool) scratchBuf(slot, n int) []float32 {
-	if cap(p.scratch[slot]) < n {
-		p.scratch[slot] = make([]float32, n)
+// maxRegionChunks caps how many chunks one region splits into. The cap
+// is a constant — independent of worker count — so boundaries never
+// depend on width; it merely bounds per-chunk bookkeeping while
+// keeping enough chunks (4× a typical width) for load balance.
+const maxRegionChunks = 32
+
+// regionChunks is the deterministic chunking rule shared by both
+// strategies and every For variant: purely a function of (n, grain).
+// A region below 2×grain does not split; otherwise it splits into
+// n/grain chunks (each at least grain iterations) capped at
+// maxRegionChunks.
+func regionChunks(n, grain int) int {
+	if grain < 1 {
+		grain = 1
 	}
-	return p.scratch[slot][:n]
+	if n < 2*grain {
+		return 1
+	}
+	c := n / grain
+	if c > maxRegionChunks {
+		c = maxRegionChunks
+	}
+	return c
 }
 
-// NewPool returns a pool modeling n workers. n < 1 is treated as 1.
+// chunkBounds returns chunk i of [0,n) split into `chunks` pieces.
+// Boundaries i*n/chunks are strictly increasing because chunks <=
+// n/grain <= n, which also keeps every chunk at least grain iterations
+// (floor(n/chunks) >= grain); no chunk is ever empty.
+// TestPoolChunkAccounting pins both invariants across a sweep of
+// (n, grain, workers).
+func chunkBounds(n, chunks, i int) (lo, hi int) {
+	return i * n / chunks, (i + 1) * n / chunks
+}
+
+// NewPool returns a serial pool modeling n workers. n < 1 is treated
+// as 1.
 func NewPool(n int) *Pool {
 	if n < 1 {
 		n = 1
 	}
-	return &Pool{workers: n}
+	return &Pool{workers: n, lanes: make([]laneScratchSet, 1)}
 }
 
-// Workers returns the modeled worker count.
+// NewParallelPool returns a pool that really executes chunks on up to
+// n goroutines: the caller plus helpers drawn from ex. A nil ex or
+// n <= 1 yields caller-only execution (still deterministic — the
+// chunking rule does not change with width).
+func NewParallelPool(n int, ex Executor) *Pool {
+	p := NewPool(n)
+	p.exec = ex
+	return p
+}
+
+// Workers returns the pool width: modeled lanes for the serial
+// strategy, the max concurrent executors for the parallel one.
 func (p *Pool) Workers() int { return p.workers }
 
-// SetWorkers changes the modeled worker count.
+// Parallel reports whether the pool really executes chunks
+// concurrently (vs. modeling the speedup).
+func (p *Pool) Parallel() bool { return p.exec != nil && p.workers > 1 }
+
+// SetWorkers changes the pool width. The width is immutable once any
+// region has executed: a mid-plan change would silently skew modeled
+// makespans (and per-lane scratch sizing), so SetWorkers panics after
+// the first For.
 func (p *Pool) SetWorkers(n int) {
+	if p.frozen {
+		panic("tensor: Pool width is immutable after the first For region")
+	}
 	if n < 1 {
 		n = 1
 	}
@@ -82,7 +174,9 @@ func (p *Pool) ResetOp() {
 // OpTime converts the measured wall time of an operation into its
 // simulated duration: serial (non-For) time is kept as-is, while each
 // For region contributes its modeled makespan instead of its measured
-// serial time.
+// serial time. For the parallel strategy the accumulators stay zero
+// and OpTime returns the wall time unchanged — the op really ran that
+// fast.
 func (p *Pool) OpTime(wall time.Duration) time.Duration {
 	d := wall - p.realPar + p.simPar
 	if d < 0 {
@@ -95,54 +189,275 @@ func (p *Pool) OpTime(wall time.Duration) time.Duration {
 // operation (used by tests).
 func (p *Pool) Regions() int { return p.regions }
 
-// For executes fn over [0,n) in per-worker chunks. grain is the minimum
-// number of iterations that justifies splitting: if n < grain*2 or the
-// pool has one worker, the loop runs as a single serial chunk and its
-// time counts fully toward the operation (no modeled speedup).
+// growLanes ensures per-lane scratch exists for lanes [0,n). It runs
+// on the owning goroutine before helpers spawn, so laneScratch never
+// appends concurrently.
+func (p *Pool) growLanes(n int) {
+	for len(p.lanes) < n {
+		p.lanes = append(p.lanes, laneScratchSet{})
+	}
+}
+
+// laneScratch returns lane's persistent workspace for a slot, grown to
+// at least n elements. Contents are unspecified. A lane is owned by
+// exactly one executing goroutine at a time (the chunk driver hands
+// each concurrent executor a distinct lane), so per-lane buffers are
+// race-free without locking.
+func (p *Pool) laneScratch(lane, slot, n int) []float32 {
+	b := p.lanes[lane][slot]
+	if cap(b) < n {
+		b = make([]float32, n)
+		p.lanes[lane][slot] = b
+	}
+	return b[:n]
+}
+
+// scratchBuf returns lane 0's workspace for a slot: the caller-side
+// scratch used outside parallel regions (packed B panels, im2col patch
+// matrices).
+func (p *Pool) scratchBuf(slot, n int) []float32 {
+	return p.laneScratch(0, slot, n)
+}
+
+// For executes fn over [0,n) in chunks fixed by (n, grain); see the
+// determinism contract above. fn must be index-pure: chunk [lo,hi)
+// writes only outputs indexed by it. Under the serial strategy chunks
+// run in order and are measured; under the parallel strategy they run
+// on the caller plus available helpers. Either way every chunk
+// completes before For returns.
 //
-// When the loop does split, it is divided into exactly Workers
-// contiguous chunks; chunk i is assigned to worker i. Each chunk runs
-// serially and is timed; the modeled parallel contribution is the
-// maximum chunk time (workers run disjoint chunks concurrently in the
-// model).
+// grain is the minimum number of iterations that justifies splitting:
+// if n < grain*2 or the pool has one worker, the loop runs as a single
+// serial chunk and its time counts fully toward the operation (no
+// modeled speedup) — a coalescing that index-purity makes bitwise
+// invisible.
 func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	if grain < 1 {
-		grain = 1
-	}
-	w := p.workers
-	if w == 1 || n < grain*2 {
-		fn(0, n)
-		return
-	}
-	chunks := w
-	if c := n / grain; c < chunks {
-		chunks = c // keep every chunk at least grain iterations
-	}
-	if chunks < 2 {
+	p.frozen = true
+	chunks := regionChunks(n, grain)
+	if chunks == 1 || p.workers == 1 {
 		fn(0, n)
 		return
 	}
 	p.regions++
-	var maxChunk, sum time.Duration
-	// Chunk boundaries i*n/chunks are strictly increasing because
-	// chunks <= n/grain <= n, which also keeps every chunk at least
-	// grain iterations (floor(n/chunks) >= grain); no chunk is ever
-	// empty. TestPoolChunkAccounting pins both invariants across a
-	// sweep of (n, grain, workers).
-	for i := 0; i < chunks; i++ {
-		lo := i * n / chunks
-		hi := (i + 1) * n / chunks
-		t0 := time.Now()
-		fn(lo, hi)
-		d := time.Since(t0)
-		sum += d
-		if d > maxChunk {
-			maxChunk = d
+	if p.exec == nil {
+		p.runModeled(n, chunks, func(chunk, lo, hi int) { fn(lo, hi) })
+		return
+	}
+	p.runChunks(n, chunks, func(lane, chunk, lo, hi int) { fn(lo, hi) })
+}
+
+// ForLane is For for kernels that need per-executor scratch: fn
+// additionally receives the lane owning the chunk, valid for
+// laneScratch access. Lanes identify concurrent executors, not chunks
+// — two chunks may share a lane (sequentially), and which lane runs
+// which chunk is not deterministic; only per-chunk outputs are, so the
+// index-purity contract applies unchanged and lane state must not leak
+// into results.
+func (p *Pool) ForLane(n, grain int, fn func(lane, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p.frozen = true
+	chunks := regionChunks(n, grain)
+	if chunks == 1 || p.workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	p.regions++
+	if p.exec == nil {
+		p.runModeled(n, chunks, func(chunk, lo, hi int) { fn(0, lo, hi) })
+		return
+	}
+	p.runChunks(n, chunks, func(lane, chunk, lo, hi int) { fn(lane, lo, hi) })
+}
+
+// ForSum reduces [0,n) to a float32 sum: fn returns each chunk's
+// partial and ForSum combines the partials in ascending chunk order.
+// Unlike For, the region is chunked identically at every width —
+// including width 1 — so the float32 combination order, and therefore
+// the result bits, never depend on the configured parallelism.
+func (p *Pool) ForSum(n, grain int, fn func(lo, hi int) float32) float32 {
+	parts, chunks := p.forPartials(n, grain, fn)
+	if chunks == 0 {
+		return 0
+	}
+	if chunks == 1 {
+		return parts[0]
+	}
+	var s float32
+	for _, v := range parts[:chunks] {
+		s += v
+	}
+	return s
+}
+
+// ForMax reduces [0,n) to a float32 maximum with the same
+// deterministic chunking as ForSum. fn returns each chunk's maximum;
+// chunks of an empty region yield none and ForMax returns negInf.
+func (p *Pool) ForMax(n, grain int, fn func(lo, hi int) float32) float32 {
+	parts, chunks := p.forPartials(n, grain, fn)
+	if chunks == 0 {
+		return negInf
+	}
+	m := parts[0]
+	for _, v := range parts[1:chunks] {
+		if v > m {
+			m = v
 		}
 	}
+	return m
+}
+
+// forPartials runs the deterministic chunks of a reduction region and
+// returns the per-chunk partials (valid until the next reduction on
+// this pool) along with the chunk count.
+func (p *Pool) forPartials(n, grain int, fn func(lo, hi int) float32) ([]float32, int) {
+	if n <= 0 {
+		return nil, 0
+	}
+	p.frozen = true
+	chunks := regionChunks(n, grain)
+	if cap(p.partials) < chunks {
+		p.partials = make([]float32, chunks)
+	}
+	parts := p.partials[:chunks]
+	if chunks == 1 {
+		parts[0] = fn(0, n)
+		return parts, 1
+	}
+	switch {
+	case p.exec != nil && p.workers > 1:
+		p.regions++
+		p.runChunks(n, chunks, func(lane, chunk, lo, hi int) {
+			parts[chunk] = fn(lo, hi)
+		})
+	case p.workers > 1:
+		// Serial strategy with modeled lanes: measure and model.
+		p.regions++
+		p.runModeled(n, chunks, func(chunk, lo, hi int) { parts[chunk] = fn(lo, hi) })
+	default:
+		// Width 1: same chunks, same combination order, no modeling.
+		for i := 0; i < chunks; i++ {
+			lo, hi := chunkBounds(n, chunks, i)
+			parts[i] = fn(lo, hi)
+		}
+	}
+	return parts, chunks
+}
+
+// runModeled is the serial+simulated strategy's chunk driver: every
+// chunk executes in order on the calling goroutine and is measured,
+// and each measurement is assigned to the earliest-free of Workers
+// modeled lanes (in-order list scheduling). The region's measured
+// serial time and modeled makespan feed OpTime. One driver serves
+// For, ForLane and the reductions so the three variants can never
+// model different makespans.
+func (p *Pool) runModeled(n, chunks int, fn func(chunk, lo, hi int)) {
+	clocks := p.laneClocks()
+	var sum time.Duration
+	for i := 0; i < chunks; i++ {
+		lo, hi := chunkBounds(n, chunks, i)
+		t0 := time.Now()
+		fn(i, lo, hi)
+		d := time.Since(t0)
+		sum += d
+		l := 0
+		for j := 1; j < len(clocks); j++ {
+			if clocks[j] < clocks[l] {
+				l = j
+			}
+		}
+		clocks[l] += d
+	}
 	p.realPar += sum
-	p.simPar += maxChunk
+	p.simPar += maxClock(clocks)
+}
+
+// laneClocks returns the zeroed modeled-lane clock array (len Workers),
+// reused across regions so the serial strategy stays allocation-free.
+func (p *Pool) laneClocks() []time.Duration {
+	if cap(p.clocks) < p.workers {
+		p.clocks = make([]time.Duration, p.workers)
+	}
+	c := p.clocks[:p.workers]
+	for i := range c {
+		c[i] = 0
+	}
+	return c
+}
+
+func maxClock(clocks []time.Duration) time.Duration {
+	var m time.Duration
+	for _, c := range clocks {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// runChunks is the parallel strategy's chunk driver: a shared atomic
+// cursor feeds chunks to the caller (lane 0) and up to Workers-1
+// helpers acquired non-blockingly from the Executor (each on a
+// distinct lane, so laneScratch stays executor-private). The caller
+// always participates, so progress never depends on helper
+// availability. A panic on a helper is captured and re-raised on the
+// calling goroutine after every lane has joined, preserving the
+// serial strategy's panic semantics.
+func (p *Pool) runChunks(n, chunks int, fn func(lane, chunk, lo, hi int)) {
+	p.growLanes(p.workers)
+	var cursor atomic.Int64
+	run := func(lane int) {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= chunks {
+				return
+			}
+			lo, hi := chunkBounds(n, chunks, i)
+			fn(lane, i, lo, hi)
+		}
+	}
+	helpers := p.workers - 1
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	var (
+		wg    sync.WaitGroup
+		pmu   sync.Mutex
+		pval  any
+		pseen bool
+	)
+	for h := 1; h <= helpers; h++ {
+		lane := h
+		wg.Add(1)
+		ok := p.exec.TryRun(func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pmu.Lock()
+					if !pseen {
+						pseen, pval = true, r
+					}
+					pmu.Unlock()
+				}
+			}()
+			run(lane)
+		})
+		if !ok {
+			wg.Done()
+			break // no helper free: the caller absorbs the rest
+		}
+	}
+	// Join helpers even if the caller's own chunk panics: they may be
+	// touching lane scratch this pool owns.
+	defer func() {
+		wg.Wait()
+		if pseen {
+			panic(pval)
+		}
+	}()
+	run(0)
 }

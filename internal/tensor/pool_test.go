@@ -1,8 +1,13 @@
 package tensor
 
 import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/sched"
 )
 
 func TestPoolSerialWhenOneWorker(t *testing.T) {
@@ -190,4 +195,275 @@ func TestPoolZeroIterations(t *testing.T) {
 	if called {
 		t.Fatal("For(0) must not invoke fn")
 	}
+}
+
+// ---- real parallel strategy (shared sched pool) ----
+
+func newTestExec(n int) *sched.Pool { return sched.New(n) }
+
+func TestParallelPoolCoversRangeExactlyOnce(t *testing.T) {
+	ex := newTestExec(4)
+	defer ex.Close()
+	for _, w := range []int{1, 2, 4, 8} {
+		p := NewParallelPool(w, ex)
+		var seen [1000]int32
+		p.For(1000, 10, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i := range seen {
+			if seen[i] != 1 {
+				t.Fatalf("workers=%d index %d covered %d times", w, i, seen[i])
+			}
+		}
+	}
+}
+
+// TestParallelPoolBitIdenticalToSerial: an index-pure region produces
+// the same bits at every width and strategy.
+func TestParallelPoolBitIdenticalToSerial(t *testing.T) {
+	ex := newTestExec(4)
+	defer ex.Close()
+	rng := rand.New(rand.NewSource(7))
+	in := make([]float32, 5000)
+	for i := range in {
+		in[i] = rng.Float32()*2 - 1
+	}
+	ref := make([]float32, len(in))
+	NewPool(1).For(len(in), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ref[i] = in[i]*in[i] + 0.5
+		}
+	})
+	for _, w := range []int{2, 4, 8} {
+		got := make([]float32, len(in))
+		NewParallelPool(w, ex).For(len(in), 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = in[i]*in[i] + 0.5
+			}
+		})
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("width %d differs at %d", w, i)
+			}
+		}
+	}
+}
+
+// TestForSumBitIdenticalAcrossWidths is the reduction half of the
+// determinism contract: chunk partials combined in chunk order give
+// the same float32 bits for the serial strategy at width 1, the
+// modeled strategy at width 4, and the parallel strategy at any width.
+func TestForSumBitIdenticalAcrossWidths(t *testing.T) {
+	ex := newTestExec(4)
+	defer ex.Close()
+	rng := rand.New(rand.NewSource(11))
+	in := make([]float32, 30000)
+	for i := range in {
+		in[i] = rng.Float32()*2e3 - 1e3
+	}
+	sum := func(p *Pool) float32 {
+		return p.ForSum(len(in), 1024, func(lo, hi int) float32 {
+			var s float32
+			for _, v := range in[lo:hi] {
+				s += v
+			}
+			return s
+		})
+	}
+	want := sum(NewPool(1))
+	for name, p := range map[string]*Pool{
+		"serial-w4":   NewPool(4),
+		"parallel-w2": NewParallelPool(2, ex),
+		"parallel-w4": NewParallelPool(4, ex),
+		"parallel-w8": NewParallelPool(8, ex),
+	} {
+		if got := sum(p); got != want {
+			t.Fatalf("%s: ForSum %v != serial %v", name, got, want)
+		}
+	}
+	// And the chunked sum is genuinely chunked: it should equal the
+	// explicit chunk-ordered reference, not necessarily the linear fold.
+	chunks := len(in) / 1024
+	if chunks > maxRegionChunks {
+		chunks = maxRegionChunks
+	}
+	var ref float32
+	for i := 0; i < chunks; i++ {
+		lo, hi := chunkBounds(len(in), chunks, i)
+		var s float32
+		for _, v := range in[lo:hi] {
+			s += v
+		}
+		ref += s
+	}
+	if want != ref {
+		t.Fatalf("ForSum %v != chunk-ordered reference %v", want, ref)
+	}
+}
+
+func TestForMaxMatchesSerial(t *testing.T) {
+	ex := newTestExec(4)
+	defer ex.Close()
+	rng := rand.New(rand.NewSource(13))
+	in := make([]float32, 20000)
+	for i := range in {
+		in[i] = rng.Float32()
+	}
+	in[13777] = 9.5
+	maxOf := func(p *Pool) float32 {
+		return p.ForMax(len(in), 512, func(lo, hi int) float32 {
+			m := in[lo]
+			for _, v := range in[lo+1 : hi] {
+				if v > m {
+					m = v
+				}
+			}
+			return m
+		})
+	}
+	if got := maxOf(NewParallelPool(4, ex)); got != 9.5 {
+		t.Fatalf("ForMax = %v, want 9.5", got)
+	}
+	if got := maxOf(NewPool(1)); got != 9.5 {
+		t.Fatalf("serial ForMax = %v, want 9.5", got)
+	}
+}
+
+// TestSetWorkersImmutableAfterFor pins the width-mutability fix: a
+// mid-plan SetWorkers would silently skew modeled makespans, so it
+// panics once any region has executed.
+func TestSetWorkersImmutableAfterFor(t *testing.T) {
+	p := NewPool(2)
+	p.For(100, 1, func(lo, hi int) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetWorkers after a For region must panic")
+		}
+	}()
+	p.SetWorkers(4)
+}
+
+// TestForLaneScratchIsolation: concurrent lanes own disjoint scratch.
+// Each chunk stamps its lane scratch and verifies the stamp survives
+// the chunk's computation — a shared buffer would be clobbered by
+// whichever lane runs concurrently.
+func TestForLaneScratchIsolation(t *testing.T) {
+	ex := newTestExec(4)
+	defer ex.Close()
+	p := NewParallelPool(4, ex)
+	var bad atomic.Int32
+	p.ForLane(64, 1, func(lane, lo, hi int) {
+		s := p.laneScratch(lane, scratchPackA, 256)
+		stamp := float32(lo + 1)
+		for i := range s {
+			s[i] = stamp
+		}
+		// Simulate kernel work long enough for lanes to overlap.
+		acc := float32(0)
+		for i := 0; i < 20000; i++ {
+			acc += float32(i)
+		}
+		_ = acc
+		for i := range s {
+			if s[i] != stamp {
+				bad.Add(1)
+				return
+			}
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d chunks saw their lane scratch clobbered", bad.Load())
+	}
+}
+
+// TestParallelPoolPanicRethrown: a panic on a helper lane surfaces on
+// the calling goroutine, after every lane joined.
+func TestParallelPoolPanicRethrown(t *testing.T) {
+	ex := newTestExec(4)
+	defer ex.Close()
+	p := NewParallelPool(4, ex)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	p.For(1000, 1, func(lo, hi int) {
+		if lo > 0 {
+			panic("boom")
+		}
+	})
+	t.Fatal("For should have panicked")
+}
+
+// TestManyPoolsOneExecutor hammers a single shared executor from many
+// goroutine-confined pools — the race detector checks the handoffs,
+// and results must stay bit-identical to serial everywhere.
+func TestManyPoolsOneExecutor(t *testing.T) {
+	ex := newTestExec(3)
+	defer ex.Close()
+	in := make([]float32, 4096)
+	for i := range in {
+		in[i] = float32(i%17) * 0.25
+	}
+	var want float32
+	{
+		p := NewPool(1)
+		want = p.ForSum(len(in), 128, func(lo, hi int) float32 {
+			var s float32
+			for _, v := range in[lo:hi] {
+				s += v
+			}
+			return s
+		})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := NewParallelPool(1+g%4, ex)
+			for rep := 0; rep < 50; rep++ {
+				got := p.ForSum(len(in), 128, func(lo, hi int) float32 {
+					var s float32
+					for _, v := range in[lo:hi] {
+						s += v
+					}
+					return s
+				})
+				if got != want {
+					t.Errorf("goroutine %d rep %d: %v != %v", g, rep, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkPoolFor compares the strategies on a memory-light compute
+// loop; run with -cpu 1,4 in CI to exercise both host widths.
+func BenchmarkPoolFor(b *testing.B) {
+	work := func(lo, hi int) {
+		s := float32(0)
+		for i := lo; i < hi; i++ {
+			s += float32(i) * 1e-9
+		}
+		_ = s
+	}
+	b.Run("serial", func(b *testing.B) {
+		p := NewPool(1)
+		for i := 0; i < b.N; i++ {
+			p.For(1<<16, 1024, work)
+		}
+	})
+	b.Run("parallel4", func(b *testing.B) {
+		ex := newTestExec(4)
+		defer ex.Close()
+		p := NewParallelPool(4, ex)
+		for i := 0; i < b.N; i++ {
+			p.For(1<<16, 1024, work)
+		}
+	})
 }

@@ -55,6 +55,22 @@ func ReducedShape(shape, axes []int, keepDims bool) ([]int, error) {
 	return out, nil
 }
 
+// reduceGrain is the minimum per-chunk element count of a parallel
+// full reduction — small enough that the losses of the tiny presets
+// still split deterministically, large enough that chunk bookkeeping
+// stays negligible.
+const reduceGrain = 4096
+
+// sumRange folds id[lo:hi] left to right — each chunk's partial is
+// computed in the same index order at every width.
+func sumRange(id []float32, lo, hi int) float32 {
+	var s float32
+	for _, v := range id[lo:hi] {
+		s += v
+	}
+	return s
+}
+
 // Reduce applies a sum/max reduction over the given axes (empty axes =
 // all). kind is "sum", "mean" or "max".
 func Reduce(p *Pool, in *Tensor, axes []int, keepDims bool, kind string) (*Tensor, error) {
@@ -82,6 +98,35 @@ func ReduceInto(p *Pool, out, in *Tensor, axes []int, keepDims bool, kind string
 	}
 	set, _ := normAxes(in.Rank(), axes)
 	reduceAll := len(axes) == 0
+	// Full reductions take the parallel path: per-chunk float32
+	// partials combined in ascending chunk order (see Pool.ForSum), so
+	// the result bits are identical at every pool width. The chunking
+	// applies at width 1 too — a full reduction is never a plain linear
+	// fold anymore, which is what keeps serial and parallel sessions
+	// bit-identical.
+	if reduceAll {
+		id, od := in.data, out.data
+		switch kind {
+		case "sum", "mean":
+			od[0] = p.ForSum(len(id), reduceGrain, func(lo, hi int) float32 {
+				return sumRange(id, lo, hi)
+			})
+			if count := float64(in.Size()) / float64(max(1, out.Size())); kind == "mean" && count > 0 {
+				od[0] *= float32(1 / count)
+			}
+		case "max":
+			od[0] = p.ForMax(len(id), reduceGrain, func(lo, hi int) float32 {
+				m := id[lo]
+				for _, v := range id[lo+1 : hi] {
+					if v > m {
+						m = v
+					}
+				}
+				return m
+			})
+		}
+		return nil
+	}
 	if kind == "max" {
 		out.Fill(negInf)
 	} else {

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/sched"
 )
 
 func TestReduceSumAll(t *testing.T) {
@@ -161,5 +163,61 @@ func TestReduceSumDecompositionQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestReduceAllDeterministicAcrossWidths: the full-reduction path
+// combines chunk partials in chunk order, so sum/mean/max bits match
+// across the serial pool, the modeled pool and real parallel pools of
+// any width.
+func TestReduceAllDeterministicAcrossWidths(t *testing.T) {
+	ex := sched.New(4)
+	defer ex.Close()
+	rng := rand.New(rand.NewSource(19))
+	in := New(64, 512) // big enough that reduceGrain splits it
+	for i := range in.Data() {
+		in.Data()[i] = rng.Float32()*2 - 1
+	}
+	pools := map[string]*Pool{
+		"serial-1":    NewPool(1),
+		"serial-8":    NewPool(8),
+		"parallel-2":  NewParallelPool(2, ex),
+		"parallel-4":  NewParallelPool(4, ex),
+		"parallel-16": NewParallelPool(16, ex),
+	}
+	for _, kind := range []string{"sum", "mean", "max"} {
+		ref, err := Reduce(NewPool(1), in, nil, false, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, p := range pools {
+			got, err := Reduce(p, in, nil, false, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Data()[0] != ref.Data()[0] {
+				t.Fatalf("%s %s: %v != %v", kind, name, got.Data()[0], ref.Data()[0])
+			}
+		}
+	}
+}
+
+// TestReduceAllMatchesFloat64 keeps the chunked sum honest against a
+// float64 reference within float32 tolerance.
+func TestReduceAllMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	in := New(40000)
+	var want float64
+	for i := range in.Data() {
+		v := rng.Float32()
+		in.Data()[i] = v
+		want += float64(v)
+	}
+	got, err := Reduce(NewPool(1), in, nil, false, "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(got.Data()[0])-want)/want > 1e-4 {
+		t.Fatalf("chunked sum %v vs float64 %v", got.Data()[0], want)
 	}
 }
