@@ -14,9 +14,11 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/profiling"
 	"repro/internal/runtime"
+	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 
@@ -270,6 +272,42 @@ func benchServeOpts(b *testing.B, name string, clients int, opts serve.Options) 
 	b.ReportMetric(s.MeanBatchFill, "fill")
 	b.ReportMetric(float64(s.P99Latency.Microseconds()), "p99-µs")
 }
+
+// benchTrainReplicas measures data-parallel training throughput: one
+// global step (4 chunks of the tiny-preset batch, gradients +
+// ascending-chunk all-reduce + replicated apply) per iteration at the
+// given replica count on a scoped shared pool. Comparing the
+// replicas=1 and replicas=4 variants on a multi-core runner shows the
+// wall speedup the deterministic all-reduce leaves on the table;
+// results are bit-identical at every width (the dist harness pins it).
+func benchTrainReplicas(b *testing.B, replicas int) {
+	pool := sched.New(8)
+	defer pool.Close()
+	tr, err := dist.New("autoenc", dist.Options{
+		Replicas: replicas, Chunks: 4, Preset: core.PresetTiny, Seed: 1, Pool: pool,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Train(1); err != nil { // compile plans outside the timer
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	t := tr.Timing()
+	if t.Wall > 0 {
+		b.ReportMetric(float64(t.GradMax)/float64(t.Wall), "grad-frac")
+	}
+}
+
+func BenchmarkTrainReplicas1(b *testing.B) { benchTrainReplicas(b, 1) }
+func BenchmarkTrainReplicas4(b *testing.B) { benchTrainReplicas(b, 4) }
 
 func BenchmarkServeAlexnet(b *testing.B) { benchServe(b, "alexnet", 2, 8, 8) }
 func BenchmarkServeMemnet(b *testing.B)  { benchServe(b, "memnet", 2, 8, 8) }

@@ -6,6 +6,7 @@
 //	fathom list                         # registered workloads (Table II)
 //	fathom run   -model alexnet ...     # profile one workload
 //	fathom profile -interop 4 ...       # inter-op parallelism report
+//	fathom train -replicas 4 ...        # data-parallel training scaling
 //	fathom serve -model alexnet ...     # HTTP/JSON inference serving
 //	fathom table1 | table2              # the paper's tables
 //	fathom fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | overhead
@@ -60,6 +61,8 @@ func main() {
 	sessions := fs.Int("sessions", 2, "worker sessions per served model (serve)")
 	maxBatch := fs.Int("maxbatch", 8, "micro-batch window: max coalesced requests per run (serve)")
 	maxDelay := fs.Duration("maxdelay", 2*time.Millisecond, "max wait for a micro-batch to fill (serve)")
+	replicas := fs.Int("replicas", 4, "data-parallel model replicas (train)")
+	chunks := fs.Int("chunks", 4, "micro-batch chunks per global step; replicas must divide it (train)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -140,6 +143,16 @@ func main() {
 		}
 		must(experiments.ProfileParallel(
 			experiments.Options{Preset: preset, Steps: *steps, Warmup: *warmup, Seed: *seed}, md, *interop, ia, names, *device))(emit)
+	case "train":
+		// Data-parallel training: replicate each workload over shards
+		// of its global batch on the shared pool, report achieved vs
+		// achievable scaling, and live-check the bit-identical-across-
+		// replica-counts contract. Emits CSV with -out.
+		var names []string
+		if *model != "" {
+			names = strings.Split(*model, ",")
+		}
+		must(experiments.TrainScaling(opts, *replicas, *chunks, *intraop, names))(emit)
 	case "serve":
 		if *model == "" {
 			fatal(fmt.Errorf("serve requires -model (comma-separated workload names)"))
@@ -243,6 +256,7 @@ func main() {
 			must(experiments.Fig6(opts, m))(emit)
 		}
 		must(experiments.ProfileParallel(opts, core.ModeTraining, 4, 4, nil, ""))(emit)
+		must(experiments.TrainScaling(opts, *replicas, *chunks, 1, nil))(emit)
 		must(experiments.Overhead(opts))(emit)
 		must(experiments.Ablation(opts))(emit)
 	default:
@@ -271,6 +285,8 @@ commands:
   run        profile one workload        (-model, -mode, -device, -workers, -intraop, -interop)
   profile    parallelism report          (-interop N -intraop N; critical path, achieved vs
              achievable inter-op speedup, real vs modeled intra-op speedup; CSV with -out)
+  train      data-parallel training      (-replicas N -chunks K -model a,b -steps N -intraop N;
+             achieved vs achievable scaling, bit-identical across replica counts)
   serve      HTTP/JSON inference serving (-model a,b -addr -sessions -maxbatch -maxdelay -interop -intraop)
   table1     architecture-survey table
   table2     workload inventory

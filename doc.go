@@ -114,4 +114,41 @@
 // stats block (throughput, p50/p99 latency, batch fill). serve.Server
 // and `fathom serve` expose any registered workload over HTTP/JSON
 // (POST /v1/models/<name>:infer, GET /v1/models, /healthz, /stats).
+// /stats additionally carries the shared worker pool's busy/spawned
+// gauges and each engine's lease claim, the signals a load-shedding
+// layer keys off.
+//
+// # Distributed training
+//
+// internal/dist adds the third scaling axis: data-parallel training of
+// N model replicas, each with its own graph and session, driven by
+// `fathom train -replicas N`. A global training step is decomposed
+// into a canonical grid of micro-batches ("chunks", dataset.Partition)
+// whose size is fixed per run — independent of the replica count —
+// and replicas own contiguous ascending chunk ranges. Per chunk, a
+// replica reseeds its session RNG and draws its batch from a generator
+// keyed by dataset.ChunkSeed(seed, step, chunk) (core.TrainSampler),
+// then fetches the loss and raw parameter gradients through the
+// gradient/update surface nn.BuildTraining records (nn.TrainPlan) —
+// forward and backward only, no variable is touched. The all-reduce
+// then combines the per-chunk gradients of each parameter in fixed
+// ascending-replica, ascending-chunk float32 order — exactly ascending
+// order over the chunk grid — scales by 1/chunks, and every replica
+// applies the identical combined update through TrainPlan's
+// fed-gradient placeholders, keeping all replica variables bitwise
+// identical forever.
+//
+// The resulting contract extends the determinism harness: for a fixed
+// global batch, chunk count and seed, losses and final variables are
+// bit-identical across replica counts {1, 2, 4} and across replica ×
+// intra-op widths — the replica count changes only the partition,
+// never the math. Replicas execute concurrently as clients of the
+// shared worker pool under the usual rules (leases,
+// caller-participates-first, degrade-to-serial on exhaustion), so
+// execution goroutines stay bounded by the pool size; dist checkpoints
+// (a step header plus the variable checkpoint) restore at any replica
+// count dividing the chunk grid with bit-identical continuation.
+// `fathom train` reports achieved wall speedup against the Amdahl
+// bound of the run's own phase structure (profiling.TrainScaling) and
+// live-checks the bit-identity invariant.
 package repro

@@ -160,6 +160,21 @@ type Sampler interface {
 	Sample() map[string]*tensor.Tensor
 }
 
+// TrainSampler is the data surface of data-parallel training
+// (internal/dist): one training minibatch — feeds for the training
+// signature, keyed by input name — drawn from a generator derived
+// entirely from seed. The same seed must yield the same batch
+// regardless of model history or which replica asks, so any partition
+// of a chunk grid over replicas sees identical data (the dist driver
+// derives one seed per (step, chunk) via dataset.ChunkSeed). The
+// session is provided for workloads whose batch assembly needs a
+// forward pass — deepq bootstraps its Q-targets through its frozen
+// target network — and implementations may only read variables
+// through it, never mutate them.
+type TrainSampler interface {
+	TrainSample(s *runtime.Session, seed int64) (map[string]*tensor.Tensor, error)
+}
+
 // InferenceStepper is implemented by workloads whose self-driven
 // inference step is more than Infer on a sampled batch — deepq's
 // greedy policy evaluation acts in its emulator. Step prefers it over

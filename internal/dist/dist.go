@@ -1,0 +1,663 @@
+// Package dist is the suite's data-parallel training subsystem: N
+// model replicas of one workload, each with its own graph and session,
+// trained in lockstep over shards of a synthetic dataset with a
+// deterministic gradient all-reduce.
+//
+// # Architecture
+//
+// A global training step consumes a fixed global batch, decomposed
+// into a canonical grid of micro-batches ("chunks", see
+// dataset.Partition). Each replica owns a contiguous ascending range
+// of the chunk grid. A step has three phases:
+//
+//  1. Gradients: every replica runs, for each owned chunk, one
+//     forward+backward of its workload's training graph — fetching the
+//     loss and the raw parameter gradients through nn.TrainPlan,
+//     without touching any variable. The chunk's data comes from
+//     core.TrainSampler keyed by dataset.ChunkSeed(seed, step, chunk),
+//     and the session RNG is reseeded with the same chunk seed, so a
+//     chunk's batch AND its stochastic ops (dropout masks, VAE
+//     sampling) are pure functions of the chunk coordinates.
+//  2. All-reduce: for every parameter, the per-chunk gradients combine
+//     in fixed ascending-replica, ascending-chunk float32 order —
+//     replica ranges are contiguous and ascending, so this is exactly
+//     ascending order over the global chunk grid — then scale by
+//     1/chunks (the gradient of the global-batch mean loss). Distinct
+//     parameters reduce independently (possibly on different shared-
+//     pool workers); each parameter's combine order is fixed.
+//  3. Apply: every replica feeds the same combined tensors into its
+//     TrainPlan's fed-gradient placeholders and fetches the same
+//     apply node, taking one identical optimizer step. Replica
+//     variable state therefore stays bitwise identical forever.
+//
+// # Determinism contract
+//
+// For a fixed global batch, chunk count and seed, the training
+// trajectory — per-step losses and every variable's final bits — is
+// identical for ANY replica count dividing the chunk count, and for
+// any intra-op/inter-op session widths: the replica count changes only
+// which session executes a chunk, never the chunk's math, data, RNG
+// stream, or the combine order. The cross-workload harness
+// (internal/models/determinism_test.go) pins this for all nine
+// workloads across replicas {1,2,4} × intra-op {1,4}.
+//
+// # Scheduling
+//
+// Replicas execute concurrently as clients of the shared worker pool
+// (internal/sched): the trainer leases replicas-1 helpers, offers
+// replica tasks non-blockingly, runs replica 0 itself, and absorbs any
+// replica the pool declined — caller-participates-first, so pool
+// exhaustion degrades to serial execution, never deadlock, and total
+// execution goroutines stay bounded by the pool size (replica sessions
+// lease their own intra-op/inter-op helpers under the same rules).
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/models/nn"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+// ErrClosed is returned by Step after Close.
+var ErrClosed = errors.New("dist: trainer closed")
+
+// Trainable is what a workload must implement to train data-parallel:
+// the standard model interface, a seed-keyed batch sampler, and the
+// gradient/update fetch surface nn.BuildTraining records. All nine
+// suite workloads qualify.
+type Trainable interface {
+	core.Model
+	core.TrainSampler
+	TrainPlan() *nn.TrainPlan
+}
+
+// StepListener is an optional workload hook: OnTrainStep(step) runs on
+// every replica after global step `step`'s combined update has been
+// applied, for state that must advance in lockstep outside the graph —
+// deepq syncs its target network here. Implementations may only
+// depend on replica-local state that is itself in lockstep.
+type StepListener interface {
+	OnTrainStep(step int)
+}
+
+// Options configures a Trainer.
+type Options struct {
+	// Replicas is the number of model replicas (default 1). It must
+	// divide Chunks.
+	Replicas int
+	// Chunks is the canonical micro-batch grid per global step
+	// (default 4). It — not Replicas — fixes the gradient combine
+	// order, so runs with equal Chunks are bit-identical at every
+	// replica count dividing it.
+	Chunks int
+	// GlobalBatch is the examples per global step; Chunks must divide
+	// it. 0 derives it as Chunks × the workload's preset batch (each
+	// chunk is one preset minibatch).
+	GlobalBatch int
+	// Preset selects the workload scale (default ref).
+	Preset core.Preset
+	// Seed keys model initialization and the per-(step, chunk) data
+	// and RNG streams (default 1).
+	Seed int64
+	// IntraOpWorkers is each replica session's real intra-op width
+	// (default 1); InterOpWorkers its inter-op scheduler width.
+	// Neither affects result bits.
+	IntraOpWorkers int
+	InterOpWorkers int
+	// Pool is the shared worker pool replicas (and their sessions)
+	// draw helpers from (default sched.Default()); tests use scoped
+	// pools.
+	Pool *sched.Pool
+}
+
+// replica is one model copy and its execution state.
+type replica struct {
+	model   Trainable
+	sess    *runtime.Session
+	fetches []*graph.Node // loss + raw grads, in TrainPlan order
+	inputs  map[string]*graph.Node
+
+	applyNode  *graph.Node
+	applyFeeds runtime.Feeds
+
+	lo, hi int // owned chunk range [lo, hi)
+
+	feeds      runtime.Feeds // per-chunk training feeds, reused
+	chunkLoss  []float64
+	chunkGrads [][]*tensor.Tensor // [owned chunk][param]
+
+	gradWall time.Duration // grad phase wall of the current step
+	err      error
+}
+
+// Timing accumulates the trainer's phase walls, the raw material of
+// the achieved-vs-achievable scaling report (profiling.TrainScaling):
+// the gradient phase parallelizes across replicas, while the reduce
+// and apply phases bound the speedup Amdahl-style.
+type Timing struct {
+	Steps int
+	// GradSum is the summed gradient-phase wall across replicas and
+	// steps (the serial work); GradMax sums each step's slowest
+	// replica (the parallel phase's wall).
+	GradSum, GradMax time.Duration
+	// Reduce and Apply are the all-reduce and update phase walls.
+	Reduce, Apply time.Duration
+	// Wall is the total step wall.
+	Wall time.Duration
+}
+
+// Trainer drives data-parallel training of one workload. It is
+// confined to a single goroutine: Step, checkpointing and Close must
+// not be called concurrently (internally Step fans replicas out on the
+// shared pool).
+type Trainer struct {
+	name     string
+	opts     Options
+	part     dataset.Partition
+	pool     *sched.Pool
+	lease    *sched.Lease
+	replicas []*replica
+	params   int
+
+	comb   []*tensor.Tensor // combined gradients, one per parameter
+	step   int
+	losses []float64
+	timing Timing
+	closed bool
+}
+
+// New builds a trainer: Replicas instances of the workload, each Setup
+// with an identical config (bit-identical initial variables) at the
+// chunk micro-batch size, each with its own session on the shared
+// pool.
+func New(name string, opts Options) (*Trainer, error) {
+	if opts.Replicas < 1 {
+		opts.Replicas = 1
+	}
+	if opts.Chunks < 1 {
+		opts.Chunks = 4
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Pool == nil {
+		opts.Pool = sched.Default()
+	}
+	if opts.Chunks%opts.Replicas != 0 {
+		return nil, fmt.Errorf("dist: replicas %d does not divide chunks %d", opts.Replicas, opts.Chunks)
+	}
+	chunkBatch := 0 // 0 = the workload's preset batch
+	if opts.GlobalBatch > 0 {
+		if opts.GlobalBatch%opts.Chunks != 0 {
+			return nil, fmt.Errorf("dist: chunks %d does not divide global batch %d", opts.Chunks, opts.GlobalBatch)
+		}
+		chunkBatch = opts.GlobalBatch / opts.Chunks
+	}
+	t := &Trainer{name: name, opts: opts, pool: opts.Pool}
+	// Until construction succeeds, any error return must release the
+	// sessions (and their shared-pool leases) built so far.
+	built := false
+	defer func() {
+		if !built {
+			t.Close()
+		}
+	}()
+	for r := 0; r < opts.Replicas; r++ {
+		m, err := core.New(name)
+		if err != nil {
+			return nil, err
+		}
+		tr, ok := m.(Trainable)
+		if !ok {
+			return nil, fmt.Errorf("dist: workload %s is not data-parallel trainable (wants core.TrainSampler + TrainPlan)", name)
+		}
+		if err := m.Setup(core.Config{Preset: opts.Preset, Seed: opts.Seed, Batch: chunkBatch}); err != nil {
+			return nil, fmt.Errorf("dist: setup %s replica %d: %w", name, r, err)
+		}
+		plan := tr.TrainPlan()
+		if plan == nil {
+			return nil, fmt.Errorf("dist: workload %s has no TrainPlan after Setup", name)
+		}
+		// Build the fed-gradient apply path eagerly so every replica
+		// graph has it (checkpoints then agree across replica counts).
+		applyNode, gradIn, err := plan.DistApply()
+		if err != nil {
+			return nil, fmt.Errorf("dist: %s apply path: %w", name, err)
+		}
+		sessOpts := []runtime.Option{
+			runtime.WithSeed(opts.Seed),
+			runtime.WithWorkerPool(opts.Pool),
+		}
+		if opts.IntraOpWorkers > 1 {
+			sessOpts = append(sessOpts, runtime.WithIntraOpWorkers(opts.IntraOpWorkers))
+		}
+		if opts.InterOpWorkers > 1 {
+			sessOpts = append(sessOpts, runtime.WithInterOpWorkers(opts.InterOpWorkers))
+		}
+		rep := &replica{
+			model:      tr,
+			sess:       runtime.NewSession(m.Graph(), sessOpts...),
+			fetches:    append([]*graph.Node{plan.Loss()}, plan.Grads()...),
+			inputs:     map[string]*graph.Node{},
+			applyNode:  applyNode,
+			applyFeeds: make(runtime.Feeds, len(gradIn)),
+			feeds:      runtime.Feeds{},
+		}
+		for _, in := range m.Signature(core.ModeTraining).Inputs {
+			rep.inputs[in.Name] = in.Node
+		}
+		if r == 0 {
+			t.params = len(plan.Params())
+			if chunkBatch == 0 {
+				chunkBatch = m.Signature(core.ModeTraining).BatchCapacity()
+			}
+			t.comb = make([]*tensor.Tensor, t.params)
+			for p, pn := range plan.Params() {
+				t.comb[p] = tensor.New(pn.Shape()...)
+			}
+		}
+		for p, in := range gradIn {
+			rep.applyFeeds[in] = t.comb[p]
+		}
+		t.replicas = append(t.replicas, rep)
+	}
+	part, err := dataset.NewPartition(chunkBatch*opts.Chunks, opts.Chunks, opts.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	t.part = part
+	per := part.ChunksPerReplica()
+	for r, rep := range t.replicas {
+		rep.lo, rep.hi = part.Range(r)
+		rep.chunkLoss = make([]float64, per)
+		rep.chunkGrads = make([][]*tensor.Tensor, per)
+	}
+	t.lease = t.pool.Lease(opts.Replicas - 1)
+	built = true
+	return t, nil
+}
+
+// Name returns the trained workload's name.
+func (t *Trainer) Name() string { return t.name }
+
+// Partition returns the chunk grid.
+func (t *Trainer) Partition() dataset.Partition { return t.part }
+
+// Steps returns the number of applied global steps.
+func (t *Trainer) Steps() int { return t.step }
+
+// Losses returns the per-step global losses so far.
+func (t *Trainer) Losses() []float64 { return t.losses }
+
+// Timing returns the accumulated phase walls.
+func (t *Trainer) Timing() Timing { return t.timing }
+
+// ResetTiming zeroes the accumulated phase walls — e.g. after warmup
+// steps, so steady-state scaling numbers exclude one-time plan
+// compilation (losses and the step counter are untouched).
+func (t *Trainer) ResetTiming() { t.timing = Timing{} }
+
+// Replica exposes replica r's model (tests compare variable bits
+// across trainers; examples inspect the trained graph).
+func (t *Trainer) Replica(r int) core.Model { return t.replicas[r].model }
+
+// Close closes every replica session and releases the trainer's lease
+// on the shared pool. Idempotent; Step afterwards fails with
+// ErrClosed.
+func (t *Trainer) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, r := range t.replicas {
+		if r.sess != nil {
+			r.sess.Close()
+		}
+	}
+	if t.lease != nil {
+		t.lease.Close()
+	}
+}
+
+// runReplicas executes fn for every replica concurrently: replicas
+// beyond the first are offered to the shared pool through the
+// trainer's lease (never blocking), the caller runs replica 0 and then
+// absorbs any replica the pool declined. Helper panics are re-raised
+// on the caller after every replica has joined.
+func (t *Trainer) runReplicas(fn func(*replica)) {
+	if len(t.replicas) == 1 {
+		fn(t.replicas[0])
+		return
+	}
+	var (
+		wg       sync.WaitGroup
+		pmu      sync.Mutex
+		pval     any
+		pseen    bool
+		declined []*replica
+	)
+	for _, r := range t.replicas[1:] {
+		r := r
+		wg.Add(1)
+		ok := t.lease.TryRun(func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					pmu.Lock()
+					if !pseen {
+						pseen, pval = true, p
+					}
+					pmu.Unlock()
+				}
+			}()
+			fn(r)
+		})
+		if !ok {
+			wg.Done()
+			declined = append(declined, r)
+		}
+	}
+	defer func() {
+		wg.Wait()
+		if pseen {
+			panic(pval)
+		}
+	}()
+	fn(t.replicas[0])
+	for _, r := range declined {
+		fn(r)
+	}
+}
+
+// gradPhase computes replica r's owned chunks: per chunk, reseed the
+// session to the chunk seed, sample the chunk's batch, and fetch loss
+// + raw gradients. No variable is touched.
+func (t *Trainer) gradPhase(r *replica) {
+	t0 := time.Now()
+	r.err = nil
+	r.sess.SetTraining(true)
+	for ci, c := 0, r.lo; c < r.hi; ci, c = ci+1, c+1 {
+		seed := dataset.ChunkSeed(t.opts.Seed, t.step, c)
+		r.sess.Reseed(seed)
+		sample, err := r.model.TrainSample(r.sess, seed)
+		if err != nil {
+			r.err = fmt.Errorf("dist: %s chunk %d sample: %w", t.name, c, err)
+			return
+		}
+		clear(r.feeds)
+		for name, v := range sample {
+			node, ok := r.inputs[name]
+			if !ok {
+				r.err = fmt.Errorf("dist: %s sampled unknown training input %q", t.name, name)
+				return
+			}
+			r.feeds[node] = v
+		}
+		out, err := r.sess.Run(r.fetches, r.feeds)
+		if err != nil {
+			r.err = fmt.Errorf("dist: %s chunk %d: %w", t.name, c, err)
+			return
+		}
+		r.chunkLoss[ci] = float64(out[0].Data()[0])
+		r.chunkGrads[ci] = out[1:]
+	}
+	r.gradWall = time.Since(t0)
+}
+
+// chunkGrad returns chunk c's gradient for parameter p.
+func (t *Trainer) chunkGrad(c, p int) *tensor.Tensor {
+	r := t.replicas[t.part.Owner(c)]
+	return r.chunkGrads[c-r.lo][p]
+}
+
+// reduceParam combines parameter p across the chunk grid: the
+// per-chunk gradients sum elementwise in ascending chunk order —
+// ascending replica, ascending chunk within the replica, which is the
+// same thing — then scale by 1/Chunks, yielding the gradient of the
+// global-batch mean loss. The order is a constant of the chunk grid,
+// so the result bits never depend on the replica count or on which
+// worker reduces the parameter.
+func (t *Trainer) reduceParam(p int) {
+	out := t.comb[p].Data()
+	copy(out, t.chunkGrad(0, p).Data())
+	for c := 1; c < t.part.Chunks; c++ {
+		g := t.chunkGrad(c, p).Data()
+		for i := range out {
+			out[i] += g[i]
+		}
+	}
+	inv := 1 / float32(t.part.Chunks)
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// reduce runs the all-reduce: parameters are distributed over the
+// caller plus lease helpers via a work-stealing cursor — safe because
+// each parameter's combine is self-contained and deterministic, so
+// placement affects only timing.
+func (t *Trainer) reduce() {
+	if t.params == 0 {
+		return
+	}
+	var cursor atomic.Int64
+	work := func() {
+		for {
+			p := int(cursor.Add(1)) - 1
+			if p >= t.params {
+				return
+			}
+			t.reduceParam(p)
+		}
+	}
+	helpers := len(t.replicas) - 1
+	if helpers > t.params-1 {
+		helpers = t.params - 1
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < helpers; h++ {
+		wg.Add(1)
+		if !t.lease.TryRun(func() { defer wg.Done(); work() }) {
+			wg.Done()
+			break
+		}
+	}
+	work()
+	wg.Wait()
+}
+
+// applyPhase applies the combined gradients on replica r: one fetch of
+// the fed-gradient apply node, then the workload's step hook. Every
+// replica executes the identical update, keeping variable state in
+// lockstep.
+func (t *Trainer) applyPhase(r *replica) {
+	r.err = nil
+	if _, err := r.sess.Run([]*graph.Node{r.applyNode}, r.applyFeeds); err != nil {
+		r.err = fmt.Errorf("dist: %s apply: %w", t.name, err)
+		return
+	}
+	if l, ok := r.model.(StepListener); ok {
+		l.OnTrainStep(t.step)
+	}
+}
+
+// Step executes one global training step — gradients over the chunk
+// grid, deterministic all-reduce, one identical update per replica —
+// and returns the global loss: the mean of the per-chunk losses,
+// combined in ascending chunk order.
+func (t *Trainer) Step() (float64, error) {
+	if t.closed {
+		return 0, ErrClosed
+	}
+	t0 := time.Now()
+	t.runReplicas(t.gradPhase)
+	var gradMax time.Duration
+	for _, r := range t.replicas {
+		if r.err != nil {
+			return 0, r.err
+		}
+		t.timing.GradSum += r.gradWall
+		if r.gradWall > gradMax {
+			gradMax = r.gradWall
+		}
+	}
+	t.timing.GradMax += gradMax
+
+	tr := time.Now()
+	t.reduce()
+	t.timing.Reduce += time.Since(tr)
+
+	ta := time.Now()
+	t.runReplicas(t.applyPhase)
+	t.timing.Apply += time.Since(ta)
+	for _, r := range t.replicas {
+		if r.err != nil {
+			return 0, r.err
+		}
+	}
+
+	// Global loss: ascending-chunk mean — float64 accumulation in a
+	// fixed order, so the loss trajectory is replica-count invariant
+	// bit for bit.
+	var loss float64
+	for c := 0; c < t.part.Chunks; c++ {
+		r := t.replicas[t.part.Owner(c)]
+		loss += r.chunkLoss[c-r.lo]
+	}
+	loss /= float64(t.part.Chunks)
+
+	t.step++
+	t.losses = append(t.losses, loss)
+	t.timing.Steps++
+	t.timing.Wall += time.Since(t0)
+	return loss, nil
+}
+
+// Train runs n global steps, returning the per-step losses.
+func (t *Trainer) Train(n int) ([]float64, error) {
+	start := len(t.losses)
+	for i := 0; i < n; i++ {
+		if _, err := t.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return t.losses[start:], nil
+}
+
+// Checkpointing: a dist checkpoint is a small header — magic, version,
+// the global step counter, and the training-stream coordinates (chunk
+// count, chunk batch, seed) — followed by a standard runtime
+// checkpoint of replica 0's graph (all replicas are bitwise identical,
+// any one serves). The step counter makes a resumed run continue the
+// same per-(step, chunk) data and RNG streams; the stream coordinates
+// are validated on load, because a resumed run under a different chunk
+// grid or seed would draw different data and silently diverge from the
+// donor — the contract deliberately leaves only the replica count
+// free. Loading restores the same bytes into EVERY replica's graph, so
+// a resumed trainer is in lockstep immediately — at any replica count
+// dividing the chunk grid, which is what makes checkpoints the interop
+// point between replica counts: save under 2 replicas, resume under 1
+// or 4, and the continuations are bit-identical to each other.
+// (Optimizer slot state is operation state, not a graph variable, and
+// is not checkpointed — restore resets it identically on every
+// replica, so cross-replica-count equality is unaffected; for slotless
+// optimizers such as plain SGD a resumed run also matches the
+// uninterrupted one bit for bit.)
+const (
+	checkpointMagic   = "FDST"
+	checkpointVersion = 1
+)
+
+// SaveCheckpoint writes the trainer's state: step header plus replica
+// 0's variables.
+func (t *Trainer) SaveCheckpoint(w io.Writer) error {
+	if t.closed {
+		return ErrClosed
+	}
+	if _, err := w.Write([]byte(checkpointMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(checkpointVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(t.step)); err != nil {
+		return err
+	}
+	for _, v := range []uint32{uint32(t.part.Chunks), uint32(t.part.ChunkBatch())} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, t.opts.Seed); err != nil {
+		return err
+	}
+	return runtime.SaveCheckpoint(w, t.replicas[0].model.Graph())
+}
+
+// LoadCheckpoint restores every replica's variables and the global
+// step counter from a dist checkpoint.
+func (t *Trainer) LoadCheckpoint(r io.Reader) error {
+	if t.closed {
+		return ErrClosed
+	}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("dist: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("dist: not a dist checkpoint (magic %q)", magic)
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != checkpointVersion {
+		return fmt.Errorf("dist: unsupported checkpoint version %d", version)
+	}
+	var step uint64
+	if err := binary.Read(r, binary.LittleEndian, &step); err != nil {
+		return err
+	}
+	var chunks, chunkBatch uint32
+	var seed int64
+	if err := binary.Read(r, binary.LittleEndian, &chunks); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &chunkBatch); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &seed); err != nil {
+		return err
+	}
+	if int(chunks) != t.part.Chunks || int(chunkBatch) != t.part.ChunkBatch() || seed != t.opts.Seed {
+		return fmt.Errorf(
+			"dist: checkpoint trained with chunks %d × batch %d, seed %d; this trainer uses chunks %d × batch %d, seed %d — only the replica count may change across a resume",
+			chunks, chunkBatch, seed, t.part.Chunks, t.part.ChunkBatch(), t.opts.Seed)
+	}
+	// The runtime checkpoint is consumed once; replay the bytes into
+	// every replica graph.
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	for i, rep := range t.replicas {
+		if err := runtime.LoadCheckpoint(bytes.NewReader(body), rep.model.Graph(), false); err != nil {
+			return fmt.Errorf("dist: restoring replica %d: %w", i, err)
+		}
+	}
+	t.step = int(step)
+	return nil
+}

@@ -231,6 +231,40 @@ func TestAblation(t *testing.T) {
 	}
 }
 
+// TestTrainScaling pins the train command's Result shape: the CSV
+// carries the scaling columns, the achievable bound stays within
+// [1, replicas], and both workloads' loss trajectories are
+// bit-identical across replica counts (no WARNING row).
+func TestTrainScaling(t *testing.T) {
+	r, err := TrainScaling(tinyOpts(), 2, 4, 1, []string{"autoenc", "memnet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "train" {
+		t.Fatalf("ID = %q", r.ID)
+	}
+	if strings.Contains(r.Text, "WARNING") {
+		t.Fatalf("train scaling reports a determinism violation:\n%s", r.Text)
+	}
+	lines := strings.Split(strings.TrimSpace(r.CSV), "\n")
+	if lines[0] != "workload,replicas,chunks,global_batch,steps,final_loss,serial_steps_per_s,parallel_steps_per_s,achieved,achievable,bit_identical" {
+		t.Fatalf("train CSV header %q", lines[0])
+	}
+	if len(lines) != 1+2 {
+		t.Fatalf("train CSV rows = %d", len(lines))
+	}
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if f[10] != "true" {
+			t.Errorf("%s: loss trajectory not bit-identical across replica counts", f[0])
+		}
+		bound, _ := strconv.ParseFloat(f[9], 64)
+		if bound < 1 || bound > 2.0001 {
+			t.Errorf("%s: achievable %v outside [1, replicas]", f[0], bound)
+		}
+	}
+}
+
 // TestProfileParallel pins the profile command's Result shape: all
 // workloads present, the CSV carries both parallelism axes, and the
 // inter-op columns respect achieved ≤ achievable.

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/profiling"
+)
+
+// trainRun is one data-parallel training measurement.
+type trainRun struct {
+	losses []float64
+	timing dist.Timing
+	batch  int
+	chunks int
+}
+
+// runTrain trains one workload for o.Warmup untimed plus steps timed
+// global steps at the given replica count on the process-wide pool —
+// warmup compiles every replica's forward/backward and apply plans, so
+// the reported timings are steady-state, as in every other experiment.
+func runTrain(name string, o Options, replicas, chunks, intraop, steps int) (trainRun, error) {
+	tr, err := dist.New(name, dist.Options{
+		Replicas:       replicas,
+		Chunks:         chunks,
+		Preset:         o.Preset,
+		Seed:           o.Seed,
+		IntraOpWorkers: intraop,
+	})
+	if err != nil {
+		return trainRun{}, err
+	}
+	defer tr.Close()
+	if _, err := tr.Train(o.Warmup); err != nil {
+		return trainRun{}, err
+	}
+	tr.ResetTiming()
+	if _, err := tr.Train(steps); err != nil {
+		return trainRun{}, err
+	}
+	return trainRun{
+		losses: append([]float64(nil), tr.Losses()...),
+		timing: tr.Timing(),
+		batch:  tr.Partition().GlobalBatch,
+		chunks: tr.Partition().Chunks,
+	}, nil
+}
+
+// TrainScaling is the data-parallel training report (`fathom train`,
+// part of `fathom all`): per workload, it trains the same fixed global
+// batch at 1 replica and at `replicas` replicas on the shared worker
+// pool and puts the achieved wall-clock speedup next to the achievable
+// bound the run's own phase structure admits
+// (profiling.TrainScaling). The ident column live-checks the
+// subsystem's headline invariant — both runs' loss trajectories must
+// be bit-identical, because the replica count only repartitions the
+// chunk grid.
+func TrainScaling(o Options, replicas, chunks, intraop int, names []string) (Result, error) {
+	o = o.withDefaults()
+	if replicas < 1 {
+		replicas = 1
+	}
+	if chunks < 1 {
+		chunks = 4
+	}
+	if intraop < 1 {
+		intraop = 1
+	}
+	if len(names) == 0 {
+		names = core.Names()
+	}
+	var text, csv strings.Builder
+	fmt.Fprintf(&text, "data-parallel training: %d steps, %d chunks/step, replicas 1 vs %d, intra-op %d\n\n",
+		o.Steps, chunks, replicas, intraop)
+	fmt.Fprintf(&text, "%-10s %6s %10s %11s %11s %9s %10s %6s\n",
+		"workload", "batch", "loss", "step/s@1", "step/s@N", "achieved", "achievable", "ident")
+	csv.WriteString("workload,replicas,chunks,global_batch,steps,final_loss,serial_steps_per_s,parallel_steps_per_s,achieved,achievable,bit_identical\n")
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		base, err := runTrain(name, o, 1, chunks, intraop, o.Steps)
+		if err != nil {
+			return Result{}, fmt.Errorf("train %s replicas=1: %w", name, err)
+		}
+		par, err := runTrain(name, o, replicas, chunks, intraop, o.Steps)
+		if err != nil {
+			return Result{}, fmt.Errorf("train %s replicas=%d: %w", name, replicas, err)
+		}
+		ident := len(base.losses) == len(par.losses)
+		for i := 0; ident && i < len(base.losses); i++ {
+			ident = base.losses[i] == par.losses[i]
+		}
+		ts := profiling.TrainScaling(replicas,
+			base.timing.Wall, par.timing.Wall,
+			par.timing.GradSum, par.timing.GradMax, par.timing.Reduce, par.timing.Apply)
+		perSec := func(t dist.Timing) float64 {
+			if t.Wall <= 0 {
+				return 0
+			}
+			return float64(t.Steps) / t.Wall.Seconds()
+		}
+		final := 0.0
+		if len(par.losses) > 0 {
+			final = par.losses[len(par.losses)-1]
+		}
+		fmt.Fprintf(&text, "%-10s %6d %10.4f %11.2f %11.2f %8.2fx %9.2fx %6v\n",
+			name, base.batch, final, perSec(base.timing), perSec(par.timing),
+			ts.Achieved, ts.Achievable, ident)
+		fmt.Fprintf(&csv, "%s,%d,%d,%d,%d,%.6f,%.4f,%.4f,%.4f,%.4f,%v\n",
+			name, replicas, chunks, base.batch, o.Steps, final,
+			perSec(base.timing), perSec(par.timing), ts.Achieved, ts.Achievable, ident)
+		if !ident {
+			// The determinism harness enforces this in CI; the report
+			// surfaces it rather than silently printing a broken run.
+			fmt.Fprintf(&text, "  WARNING: %s loss trajectory differs across replica counts\n", name)
+		}
+	}
+	text.WriteString("\nachieved: wall speedup over the 1-replica run of the same global batch\n")
+	text.WriteString("achievable: Amdahl bound from the run's phase walls (parallel gradients, serial reduce+apply)\n")
+	text.WriteString("ident: loss trajectories bit-identical across replica counts (the dist determinism contract)\n")
+	return Result{
+		ID:    "train",
+		Title: fmt.Sprintf("Data-parallel training scaling at %d replicas", replicas),
+		Text:  text.String(), CSV: csv.String(),
+	}, nil
+}

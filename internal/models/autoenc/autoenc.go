@@ -32,6 +32,7 @@ type Model struct {
 	g                    *graph.Graph
 	x                    *graph.Node
 	loss, trainOp, recon *graph.Node
+	train                *nn.TrainPlan
 	data                 *dataset.MNIST
 	lastLoss             float64
 }
@@ -127,8 +128,23 @@ func (m *Model) Setup(cfg core.Config) error {
 	m.loss = ops.Add(rec, kl)
 
 	var err error
-	m.trainOp, err = nn.ApplyUpdates(g, m.loss, params, nn.Adam, d.lr)
-	return err
+	m.train, err = nn.BuildTraining(g, m.loss, params, nn.Adam, d.lr)
+	if err != nil {
+		return err
+	}
+	m.trainOp = m.train.TrainOp()
+	return nil
+}
+
+// TrainPlan exposes the training structure (loss, gradient and update
+// fetch surface) for data-parallel training (internal/dist).
+func (m *Model) TrainPlan() *nn.TrainPlan { return m.train }
+
+// TrainSample implements core.TrainSampler: one training minibatch
+// drawn from a generator derived entirely from seed.
+func (m *Model) TrainSample(_ *runtime.Session, seed int64) (map[string]*tensor.Tensor, error) {
+	images, _ := dataset.NewMNIST(seed).Batch(m.dims.batch)
+	return map[string]*tensor.Tensor{"images": images}, nil
 }
 
 // Signature implements core.Model. Inference reconstructs the batch —

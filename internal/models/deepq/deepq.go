@@ -38,6 +38,7 @@ type Model struct {
 	qB      *graph.Node // (B, actions)
 	loss    *graph.Node
 	trainOp *graph.Node
+	train   *nn.TrainPlan
 
 	stateOne *graph.Node // (1, 84, 84, hist)
 	qOne     *graph.Node // (1, actions)
@@ -166,10 +167,11 @@ func (m *Model) Setup(cfg core.Config) error {
 	diff := ops.Sub(qsel, m.targetY)
 	m.loss = ops.Mean(ops.Huber(diff, 1))
 	var err error
-	m.trainOp, err = nn.ApplyUpdates(g, m.loss, m.onlineVars, nn.RMSProp, d.lr)
+	m.train, err = nn.BuildTraining(g, m.loss, m.onlineVars, nn.RMSProp, d.lr)
 	if err != nil {
 		return err
 	}
+	m.trainOp = m.train.TrainOp()
 
 	// Prefill the replay buffer with a random policy (the DQN
 	// "replay start size") so the first training step already
@@ -334,6 +336,68 @@ func (m *Model) TrainStep(s *runtime.Session) (float64, error) {
 		m.syncTarget()
 	}
 	return m.lastLoss, nil
+}
+
+// TrainPlan exposes the training structure (loss, gradient and update
+// fetch surface) for data-parallel training (internal/dist).
+func (m *Model) TrainPlan() *nn.TrainPlan { return m.train }
+
+// TrainSample implements core.TrainSampler. The self-feeding TrainStep
+// interleaves emulator acting with replay sampling — policy-coupled
+// state that cannot be partitioned deterministically — so the
+// data-parallel path trains the Q-network on synthetic transitions
+// instead: screen-shaped uniform states, random actions, DQN-clipped
+// rewards {-1, 0, +1} and ~5% terminal flags, all drawn from a
+// generator seeded only by seed. Q-targets bootstrap through the
+// frozen target network on the provided session (a pure read of its
+// variables, which dist keeps in lockstep across replicas), exactly
+// like the replay path.
+func (m *Model) TrainSample(s *runtime.Session, seed int64) (map[string]*tensor.Tensor, error) {
+	d := m.dims
+	rng := rand.New(rand.NewSource(seed))
+	actions := m.env.NumActions()
+	states := tensor.RandUniform(rng, 0, 1, d.batch, ale.Height, ale.Width, d.hist)
+	nexts := tensor.RandUniform(rng, 0, 1, d.batch, ale.Height, ale.Width, d.hist)
+	onehot := tensor.New(d.batch, actions)
+	rewards := make([]float32, d.batch)
+	dones := make([]bool, d.batch)
+	for i := 0; i < d.batch; i++ {
+		onehot.Set(1, i, rng.Intn(actions))
+		rewards[i] = float32(rng.Intn(3) - 1)
+		dones[i] = rng.Float64() < 0.05
+	}
+	out, err := s.Run([]*graph.Node{m.qTarget}, runtime.Feeds{m.stateNext: nexts})
+	if err != nil {
+		return nil, err
+	}
+	qn := out[0]
+	y := tensor.New(d.batch)
+	for i := 0; i < d.batch; i++ {
+		best := qn.At(i, 0)
+		for a := 1; a < actions; a++ {
+			if v := qn.At(i, a); v > best {
+				best = v
+			}
+		}
+		target := rewards[i]
+		if !dones[i] {
+			target += d.gamma * best
+		}
+		y.Set(target, i)
+	}
+	return map[string]*tensor.Tensor{"states": states, "actions_onehot": onehot, "target_q": y}, nil
+}
+
+// OnTrainStep is the data-parallel step hook (dist.StepListener):
+// after global optimizer step `step` has been applied on this replica,
+// sync the target network every syncEvery steps, mirroring the
+// self-feeding TrainStep's cadence. The online variables are in
+// lockstep across replicas when dist invokes it, so the copied target
+// weights stay in lockstep too.
+func (m *Model) OnTrainStep(step int) {
+	if (step+1)%m.dims.syncEvery == 0 {
+		m.syncTarget()
+	}
 }
 
 // Env exposes the emulator (examples and tests).

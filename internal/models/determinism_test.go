@@ -13,7 +13,9 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/runtime"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 
 	_ "repro/internal/models/all"
@@ -153,6 +155,78 @@ func TestCrossWorkloadDeterminism(t *testing.T) {
 			for _, w := range widths {
 				par := workloadFingerprint(t, name, w.intra, w.interop, trainSteps)
 				compareFingerprints(t, w.label, base, par)
+			}
+		})
+	}
+}
+
+// distFingerprint trains `name` data-parallel for trainSteps global
+// steps at the given replica count and intra-op width over a fixed
+// chunk grid, on a scoped shared pool, and snapshots the trajectory:
+// per-step global losses and the final bits of every replica-0
+// variable (every other replica is bitwise identical to it —
+// TestReplicasStayInLockstep in internal/dist pins that directly).
+func distFingerprint(t *testing.T, name string, replicas, intraop, interop, trainSteps int) fingerprint {
+	t.Helper()
+	pool := sched.New(8)
+	defer pool.Close()
+	tr, err := dist.New(name, dist.Options{
+		Replicas:       replicas,
+		Chunks:         4,
+		Preset:         core.PresetTiny,
+		Seed:           3,
+		IntraOpWorkers: intraop,
+		InterOpWorkers: interop,
+		Pool:           pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	fp := fingerprint{infer: map[string][]float32{}, vars: map[string][]float32{}}
+	losses, err := tr.Train(trainSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp.losses = losses
+	for _, v := range tr.Replica(0).Graph().Variables() {
+		fp.vars[v.Name()] = append([]float32(nil), v.Value().Data()...)
+	}
+	return fp
+}
+
+// TestDataParallelDeterminism extends the harness to the data-parallel
+// training subsystem (internal/dist): for all nine workloads, a fixed
+// global batch (the 4-chunk grid), chunk count and seed yield
+// bit-identical loss trajectories and final variables across replica
+// counts {1, 2, 4} and across replica × intra-op width combinations —
+// the replica count changes only the partition of the chunk grid,
+// never the math.
+func TestDataParallelDeterminism(t *testing.T) {
+	const trainSteps = 2
+	widths := []struct {
+		label                      string
+		replicas, intraop, interop int
+	}{
+		{"replicas 2", 2, 1, 1},
+		{"replicas 4", 4, 1, 1},
+		{"replicas 1 × intraop 4", 1, 4, 1},
+		{"replicas 2 × intraop 4", 2, 4, 1},
+		{"replicas 4 × intraop 4", 4, 4, 1},
+		{"replicas 2 × interop 4", 2, 1, 4},
+	}
+	for _, name := range allNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			base := distFingerprint(t, name, 1, 1, 1, trainSteps)
+			replay := distFingerprint(t, name, 1, 1, 1, trainSteps)
+			compareFingerprints(t, "dist serial replay", base, replay)
+			for i, w := range widths {
+				if testing.Short() && i >= 2 {
+					break // -short keeps the replica axis, trims the matrix tail
+				}
+				par := distFingerprint(t, name, w.replicas, w.intraop, w.interop, trainSteps)
+				compareFingerprints(t, w.label+" vs replicas 1", base, par)
 			}
 		})
 	}

@@ -43,6 +43,7 @@ type Model struct {
 	g             *graph.Graph
 	img, caption  *graph.Node
 	loss, trainOp *graph.Node
+	train         *nn.TrainPlan
 	preds         *graph.Node
 	data          *dataset.ImageNet
 	rng           *rand.Rand
@@ -157,15 +158,28 @@ func (m *Model) Setup(cfg core.Config) error {
 	m.preds = ops.ArgMax(lastLogits)
 
 	var err error
-	m.trainOp, err = nn.ApplyUpdatesClipped(g, m.loss, params, nn.SGD, d.lr, 1)
-	return err
+	m.train, err = nn.BuildTrainingClipped(g, m.loss, params, nn.SGD, d.lr, 1)
+	if err != nil {
+		return err
+	}
+	m.trainOp = m.train.TrainOp()
+	return nil
 }
+
+// TrainPlan exposes the training structure (loss, gradient and update
+// fetch surface) for data-parallel training (internal/dist).
+func (m *Model) TrainPlan() *nn.TrainPlan { return m.train }
 
 // batch assembles images plus their template captions
 // (BOS, class-word, EOS).
 func (m *Model) batch() (*tensor.Tensor, *tensor.Tensor) {
+	images, labels := m.data.Batch(m.dims.batch)
+	return images, m.captionsFor(labels)
+}
+
+// captionsFor builds the template captions of a label batch.
+func (m *Model) captionsFor(labels *tensor.Tensor) *tensor.Tensor {
 	d := m.dims
-	images, labels := m.data.Batch(d.batch)
 	caps := tensor.New(d.capLen, d.batch)
 	for b := 0; b < d.batch; b++ {
 		caps.Set(capBOS, 0, b)
@@ -174,7 +188,15 @@ func (m *Model) batch() (*tensor.Tensor, *tensor.Tensor) {
 			caps.Set(capEOS, 2, b)
 		}
 	}
-	return images, caps
+	return caps
+}
+
+// TrainSample implements core.TrainSampler: one training minibatch
+// drawn from a generator derived entirely from seed.
+func (m *Model) TrainSample(_ *runtime.Session, seed int64) (map[string]*tensor.Tensor, error) {
+	d := m.dims
+	images, labels := dataset.NewImageNet(d.classes, d.side, seed).Batch(d.batch)
+	return map[string]*tensor.Tensor{"images": images, "captions": m.captionsFor(labels)}, nil
 }
 
 // Signature implements core.Model. Captions are time-major (T, B), so

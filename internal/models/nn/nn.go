@@ -7,7 +7,6 @@
 package nn
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 
@@ -190,7 +189,9 @@ const (
 
 // ApplyUpdates builds gradient nodes for loss w.r.t. params and the
 // chosen optimizer's apply-ops, grouped behind a single fetchable
-// node. Parameters without a gradient path are rejected.
+// node. Parameters without a gradient path are rejected. It is the
+// TrainOp-only convenience over BuildTraining (see train.go), for
+// callers that never need the gradient fetch surface.
 func ApplyUpdates(g *graph.Graph, loss *graph.Node, params []*graph.Node, opt Optimizer, lr float32) (*graph.Node, error) {
 	return ApplyUpdatesClipped(g, loss, params, opt, lr, 0)
 }
@@ -200,32 +201,9 @@ func ApplyUpdates(g *graph.Graph, loss *graph.Node, params []*graph.Node, opt Op
 // recurrent workloads rely on (Sutskever et al. clip gradients; DQN
 // clips TD errors).
 func ApplyUpdatesClipped(g *graph.Graph, loss *graph.Node, params []*graph.Node, opt Optimizer, lr, clip float32) (*graph.Node, error) {
-	grads, err := graph.Gradients(loss, params)
+	tp, err := BuildTrainingClipped(g, loss, params, opt, lr, clip)
 	if err != nil {
 		return nil, err
 	}
-	updates := make([]*graph.Node, 0, len(params))
-	for i, p := range params {
-		if grads[i] == nil {
-			return nil, fmt.Errorf("nn: parameter %s has no gradient path to the loss", p.Name())
-		}
-		if clip > 0 {
-			grads[i] = ops.Maximum(ops.Minimum(grads[i], ops.ScalarConst(g, clip)), ops.ScalarConst(g, -clip))
-		}
-		var u *graph.Node
-		switch opt {
-		case SGD:
-			u = ops.ApplySGD(p, grads[i], lr)
-		case Momentum:
-			u = ops.ApplyMomentum(p, grads[i], lr, 0.9)
-		case RMSProp:
-			u = ops.ApplyRMSProp(p, grads[i], lr, 0.95, 0.01)
-		case Adam:
-			u = ops.ApplyAdam(p, grads[i], lr, 0.9, 0.999, 1e-8)
-		case Adagrad:
-			u = ops.ApplyAdagrad(p, grads[i], lr, 1e-8)
-		}
-		updates = append(updates, u)
-	}
-	return ops.Group(g, updates...), nil
+	return tp.TrainOp(), nil
 }

@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+)
+
+// TrainPlan records the training structure BuildTraining assembles for
+// a workload: the loss, the trainable parameters, their raw gradient
+// nodes, the self-contained optimizer step (TrainOp — the node the
+// classic TrainStep fetches), and the optimizer recipe. It is the
+// gradient/update fetch surface data-parallel training (internal/dist)
+// drives: a dist replica fetches Loss plus Grads to compute one
+// micro-batch's unclipped gradients without touching any variable,
+// and applies an externally combined gradient through the fed-gradient
+// path DistApply builds on first use.
+type TrainPlan struct {
+	g       *graph.Graph
+	loss    *graph.Node
+	params  []*graph.Node
+	grads   []*graph.Node
+	trainOp *graph.Node
+
+	opt      Optimizer
+	lr, clip float32
+
+	// Fed-gradient apply path, built lazily by DistApply: one
+	// placeholder per parameter and apply-ops reading them. The path
+	// shares the parameters — and nothing else — with TrainOp: its
+	// apply-ops hold their own optimizer slots, so driving one path
+	// never perturbs the other's state.
+	gradIn    []*graph.Node
+	distApply *graph.Node
+}
+
+// Loss returns the scalar training loss node.
+func (tp *TrainPlan) Loss() *graph.Node { return tp.loss }
+
+// Params returns the trainable parameters, in registration order.
+func (tp *TrainPlan) Params() []*graph.Node { return tp.params }
+
+// Grads returns the raw (unclipped) gradient nodes, aligned with
+// Params. Fetching them runs forward + backward only: no optimizer
+// apply-op is in their dependency closure, so variables and optimizer
+// slots are untouched.
+func (tp *TrainPlan) Grads() []*graph.Node { return tp.grads }
+
+// TrainOp returns the self-contained optimizer step: the group node
+// whose fetch applies the live gradients (clipped per the recipe) to
+// every parameter.
+func (tp *TrainPlan) TrainOp() *graph.Node { return tp.trainOp }
+
+// DistApply returns the fed-gradient update path, building it on first
+// use: gradIn[i] is a placeholder shaped like Params()[i], and
+// fetching apply performs the recipe's optimizer step — gradient
+// clipping included — reading the fed tensors instead of the live
+// gradients. Every dist replica feeds the same combined tensors and
+// fetches the same node, so all replicas take one identical step. The
+// path is lazy so plain (non-distributed) training never pays for its
+// apply-ops or their optimizer slots.
+func (tp *TrainPlan) DistApply() (apply *graph.Node, gradIn []*graph.Node, err error) {
+	if tp.distApply != nil {
+		return tp.distApply, tp.gradIn, nil
+	}
+	g := tp.g
+	ins := make([]*graph.Node, len(tp.params))
+	updates := make([]*graph.Node, len(tp.params))
+	for i, p := range tp.params {
+		in := g.Placeholder("dist/grad/"+p.Name(), p.Shape()...)
+		ins[i] = in
+		fed := in
+		if tp.clip > 0 {
+			fed = ops.Maximum(ops.Minimum(fed, ops.ScalarConst(g, tp.clip)), ops.ScalarConst(g, -tp.clip))
+		}
+		u, err := applyOne(tp.opt, p, fed, tp.lr)
+		if err != nil {
+			return nil, nil, err
+		}
+		updates[i] = u
+	}
+	tp.gradIn = ins
+	tp.distApply = ops.Group(g, updates...)
+	return tp.distApply, tp.gradIn, nil
+}
+
+// applyOne adds one optimizer apply-op for param p reading grad.
+func applyOne(opt Optimizer, p, grad *graph.Node, lr float32) (*graph.Node, error) {
+	switch opt {
+	case SGD:
+		return ops.ApplySGD(p, grad, lr), nil
+	case Momentum:
+		return ops.ApplyMomentum(p, grad, lr, 0.9), nil
+	case RMSProp:
+		return ops.ApplyRMSProp(p, grad, lr, 0.95, 0.01), nil
+	case Adam:
+		return ops.ApplyAdam(p, grad, lr, 0.9, 0.999, 1e-8), nil
+	case Adagrad:
+		return ops.ApplyAdagrad(p, grad, lr, 1e-8), nil
+	}
+	return nil, fmt.Errorf("nn: unknown optimizer %d", opt)
+}
+
+// BuildTraining builds gradient nodes for loss w.r.t. params and the
+// chosen optimizer's apply-ops, returning the full TrainPlan.
+// Parameters without a gradient path are rejected.
+func BuildTraining(g *graph.Graph, loss *graph.Node, params []*graph.Node, opt Optimizer, lr float32) (*TrainPlan, error) {
+	return BuildTrainingClipped(g, loss, params, opt, lr, 0)
+}
+
+// BuildTrainingClipped is BuildTraining with elementwise gradient
+// clipping to [-clip, clip] when clip > 0 — the stabilization the
+// recurrent workloads rely on (Sutskever et al. clip gradients; DQN
+// clips TD errors). The recorded Grads stay raw; clipping applies in
+// both update paths (TrainOp and DistApply), so combined dist
+// gradients are clipped exactly once, after combination — the
+// N-independent order.
+func BuildTrainingClipped(g *graph.Graph, loss *graph.Node, params []*graph.Node, opt Optimizer, lr, clip float32) (*TrainPlan, error) {
+	grads, err := graph.Gradients(loss, params)
+	if err != nil {
+		return nil, err
+	}
+	updates := make([]*graph.Node, 0, len(params))
+	for i, p := range params {
+		if grads[i] == nil {
+			return nil, fmt.Errorf("nn: parameter %s has no gradient path to the loss", p.Name())
+		}
+		fed := grads[i]
+		if clip > 0 {
+			fed = ops.Maximum(ops.Minimum(fed, ops.ScalarConst(g, clip)), ops.ScalarConst(g, -clip))
+		}
+		u, err := applyOne(opt, p, fed, lr)
+		if err != nil {
+			return nil, err
+		}
+		updates = append(updates, u)
+	}
+	return &TrainPlan{
+		g: g, loss: loss,
+		params:  append([]*graph.Node(nil), params...),
+		grads:   grads,
+		trainOp: ops.Group(g, updates...),
+		opt:     opt, lr: lr, clip: clip,
+	}, nil
+}

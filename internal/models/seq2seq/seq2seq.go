@@ -31,6 +31,7 @@ type Model struct {
 	g             *graph.Graph
 	src, dst      *graph.Node
 	loss, trainOp *graph.Node
+	train         *nn.TrainPlan
 	preds         *graph.Node
 	data          *dataset.Translation
 	lastLoss      float64
@@ -187,8 +188,24 @@ func (m *Model) Setup(cfg core.Config) error {
 	m.preds = ops.ArgMax(lastLogits)
 
 	var err error
-	m.trainOp, err = nn.ApplyUpdatesClipped(g, m.loss, params, nn.SGD, d.lr, 1)
-	return err
+	m.train, err = nn.BuildTrainingClipped(g, m.loss, params, nn.SGD, d.lr, 1)
+	if err != nil {
+		return err
+	}
+	m.trainOp = m.train.TrainOp()
+	return nil
+}
+
+// TrainPlan exposes the training structure (loss, gradient and update
+// fetch surface) for data-parallel training (internal/dist).
+func (m *Model) TrainPlan() *nn.TrainPlan { return m.train }
+
+// TrainSample implements core.TrainSampler: one training minibatch
+// drawn from a generator derived entirely from seed.
+func (m *Model) TrainSample(_ *runtime.Session, seed int64) (map[string]*tensor.Tensor, error) {
+	d := m.dims
+	src, dst := dataset.NewTranslation(d.vocab, d.srcLen, seed).Batch(d.batch)
+	return map[string]*tensor.Tensor{"src_tokens": src, "dst_tokens": dst}, nil
 }
 
 func name(prefix string, l int) string { return prefix + "_" + string(rune('0'+l)) }

@@ -32,6 +32,7 @@ type Model struct {
 	g             *graph.Graph
 	x, y          *graph.Node
 	loss, trainOp *graph.Node
+	train         *nn.TrainPlan
 	logits        *graph.Node
 	data          *dataset.TIMIT
 	lastLoss      float64
@@ -156,8 +157,24 @@ func (m *Model) Setup(cfg core.Config) error {
 
 	m.loss = ops.CTCLoss(m.logits, m.y)
 	var err error
-	m.trainOp, err = nn.ApplyUpdates(g, m.loss, params, nn.SGD, d.lr)
-	return err
+	m.train, err = nn.BuildTraining(g, m.loss, params, nn.SGD, d.lr)
+	if err != nil {
+		return err
+	}
+	m.trainOp = m.train.TrainOp()
+	return nil
+}
+
+// TrainPlan exposes the training structure (loss, gradient and update
+// fetch surface) for data-parallel training (internal/dist).
+func (m *Model) TrainPlan() *nn.TrainPlan { return m.train }
+
+// TrainSample implements core.TrainSampler: one training minibatch
+// drawn from a generator derived entirely from seed.
+func (m *Model) TrainSample(_ *runtime.Session, seed int64) (map[string]*tensor.Tensor, error) {
+	d := m.dims
+	spec, labels := dataset.NewTIMIT(d.phonemes, d.freq, d.frames, d.maxLabels, seed).Batch(d.batch)
+	return map[string]*tensor.Tensor{"spectrograms": spec, "labels": labels}, nil
 }
 
 // Signature implements core.Model. Spectrograms and logits are

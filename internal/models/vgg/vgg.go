@@ -30,6 +30,7 @@ type Model struct {
 	g                    *graph.Graph
 	x, y                 *graph.Node
 	loss, trainOp, probs *graph.Node
+	train                *nn.TrainPlan
 	data                 *dataset.ImageNet
 	lastLoss             float64
 }
@@ -119,8 +120,24 @@ func (m *Model) Setup(cfg core.Config) error {
 	m.loss = ops.CrossEntropy(logits, m.y)
 	m.probs = ops.Softmax(logits)
 	var err error
-	m.trainOp, err = nn.ApplyUpdates(g, m.loss, params, nn.SGD, d.lr)
-	return err
+	m.train, err = nn.BuildTraining(g, m.loss, params, nn.SGD, d.lr)
+	if err != nil {
+		return err
+	}
+	m.trainOp = m.train.TrainOp()
+	return nil
+}
+
+// TrainPlan exposes the training structure (loss, gradient and update
+// fetch surface) for data-parallel training (internal/dist).
+func (m *Model) TrainPlan() *nn.TrainPlan { return m.train }
+
+// TrainSample implements core.TrainSampler: one training minibatch
+// drawn from a generator derived entirely from seed.
+func (m *Model) TrainSample(_ *runtime.Session, seed int64) (map[string]*tensor.Tensor, error) {
+	d := m.dims
+	images, labels := dataset.NewImageNet(d.classes, d.side, seed).Batch(d.batch)
+	return map[string]*tensor.Tensor{"images": images, "labels": labels}, nil
 }
 
 func name(prefix string, b, c int) string {

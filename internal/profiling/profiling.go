@@ -431,6 +431,47 @@ func IntraOp(workers int, serialSim, modeledSim, serialWall, parallelWall time.D
 	return st
 }
 
+// ---- data-parallel training: achieved vs achievable scaling ----
+
+// TrainScalingStats compares a data-parallel training run against its
+// single-replica baseline for one workload. Achieved is the realized
+// wall-clock speedup. Achievable is the Amdahl bound the run's own
+// phase structure admits: the gradient phase parallelizes across
+// replicas (its serial work is GradSum, its parallel wall the
+// slowest replica, GradMax), while the all-reduce and the replicated
+// apply phase are step-serial — so no schedule can beat
+// (GradSum + Reduce + Apply) / (GradMax + Reduce + Apply). The gap
+// between the two is scheduling overhead plus host-core scarcity, the
+// same decomposition the inter-op profile reports.
+type TrainScalingStats struct {
+	Replicas int
+	// SerialWall and ParallelWall are total step wall at 1 replica
+	// and at Replicas.
+	SerialWall, ParallelWall time.Duration
+	// GradSum/GradMax/Reduce/Apply are the parallel run's phase walls
+	// (see dist.Timing).
+	GradSum, GradMax, Reduce, Apply time.Duration
+	// Achieved is SerialWall/ParallelWall; Achievable the phase-
+	// structure bound above.
+	Achieved, Achievable float64
+}
+
+// TrainScaling assembles the comparison from the two runs' timings.
+func TrainScaling(replicas int, serialWall, parallelWall, gradSum, gradMax, reduce, apply time.Duration) TrainScalingStats {
+	st := TrainScalingStats{
+		Replicas:   replicas,
+		SerialWall: serialWall, ParallelWall: parallelWall,
+		GradSum: gradSum, GradMax: gradMax, Reduce: reduce, Apply: apply,
+	}
+	if parallelWall > 0 {
+		st.Achieved = float64(serialWall) / float64(parallelWall)
+	}
+	if denom := gradMax + reduce + apply; denom > 0 {
+		st.Achievable = float64(gradSum+reduce+apply) / float64(denom)
+	}
+	return st
+}
+
 // String renders a compact textual profile.
 func (p *Profile) String() string {
 	var b strings.Builder

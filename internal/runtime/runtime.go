@@ -350,6 +350,19 @@ func WithSeed(seed int64) Option {
 	return func(s *Session) { s.ctx.RNG = rand.New(rand.NewSource(seed)) }
 }
 
+// Reseed replaces the session's RNG with a fresh stream seeded by
+// seed, exactly as if the session had been created with WithSeed(seed)
+// and never drawn from it. Data-parallel training (internal/dist) uses
+// it to key every micro-batch's stochastic operations (sampling,
+// dropout masks) to the chunk being executed rather than to the
+// session's history, so a chunk's RNG stream is identical no matter
+// how many chunks the session ran before it — the property that keeps
+// replicated training bit-identical across replica counts. Like Run,
+// it must only be called between Runs from the session's goroutine.
+func (s *Session) Reseed(seed int64) {
+	s.ctx.RNG = rand.New(rand.NewSource(seed))
+}
+
 // WithInterOpWorkers sets the inter-op scheduler width (default 1 =
 // sequential execution). With n > 1, Run executes independent plan
 // steps on up to n goroutines — the session goroutine plus helpers

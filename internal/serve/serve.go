@@ -149,6 +149,13 @@ type Engine struct {
 	// them — releasing each session's lease on the shared worker pool.
 	sessions []*runtime.Session
 
+	// pool is the shared worker pool the sessions lease helpers from;
+	// claim is the engine's total lease claim on it (sessions ×
+	// per-session helper claim). Both feed the /stats gauges load
+	// shedders watch.
+	pool  *sched.Pool
+	claim int
+
 	stats stats
 }
 
@@ -225,6 +232,18 @@ func New(m core.Model, opts Options) (*Engine, error) {
 	for _, out := range sig.Outputs {
 		e.fetches = append(e.fetches, out.Node)
 	}
+	e.pool = opts.WorkerPool
+	if e.pool == nil {
+		e.pool = sched.Default()
+	}
+	interOp, intraOp := opts.InterOpWorkers, opts.IntraOpWorkers
+	if interOp < 1 {
+		interOp = 1
+	}
+	if intraOp < 1 {
+		intraOp = 1
+	}
+	e.claim = opts.Sessions * (interOp*intraOp - 1)
 	e.stats.reset()
 	var workers sync.WaitGroup
 	for i := 0; i < opts.Sessions; i++ {
@@ -355,8 +374,19 @@ func (e *Engine) Close() {
 	<-e.stopped
 }
 
-// Stats returns a snapshot of the engine's counters.
-func (e *Engine) Stats() Stats { return e.stats.snapshot() }
+// Stats returns a snapshot of the engine's counters, plus the shared
+// worker pool's busy/spawned gauges and the engine's lease claim on it
+// — the load signals a shedding layer in front of /stats needs: when
+// PoolBusy sits at PoolSize, every engine on the pool is executing
+// degraded (serial) and added load only queues.
+func (e *Engine) Stats() Stats {
+	s := e.stats.snapshot()
+	s.PoolSize = e.pool.Size()
+	s.PoolBusy = e.pool.Busy()
+	s.PoolSpawned = e.pool.Spawned()
+	s.LeaseClaim = e.claim
+	return s
+}
 
 // ResetStats zeroes the counters and restarts the uptime clock —
 // e.g. after warmup, so steady-state metrics exclude one-time plan

@@ -203,6 +203,33 @@ func TestEngineBatchingRespectsMaxBatch(t *testing.T) {
 	}
 }
 
+// TestEngineStatsPoolGauges: /stats carries the shared pool's
+// busy/spawned gauges and the engine's lease claim, sized sessions ×
+// (inter-op × intra-op − 1) — the load-shedding signals.
+func TestEngineStatsPoolGauges(t *testing.T) {
+	pool := sched.New(3)
+	defer pool.Close()
+	m := buildModel(t, "memnet", 4)
+	e, err := New(m, Options{Sessions: 2, InterOpWorkers: 2, IntraOpWorkers: 2, WorkerPool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	s := e.Stats()
+	if s.PoolSize != 3 {
+		t.Fatalf("PoolSize = %d, want 3", s.PoolSize)
+	}
+	if want := 2 * (2*2 - 1); s.LeaseClaim != want {
+		t.Fatalf("LeaseClaim = %d, want %d", s.LeaseClaim, want)
+	}
+	if s.PoolBusy < 0 || s.PoolBusy > s.PoolSize || s.PoolSpawned < 0 || s.PoolSpawned > s.PoolSize {
+		t.Fatalf("pool gauges out of range: busy %d spawned %d size %d", s.PoolBusy, s.PoolSpawned, s.PoolSize)
+	}
+	if !strings.Contains(s.String(), "pool(busy=") {
+		t.Fatalf("Stats.String misses pool gauges: %s", s)
+	}
+}
+
 // TestEngineMaxDelayFlushesPartialBatch: a lone request must not wait
 // for a full batch.
 func TestEngineMaxDelayFlushesPartialBatch(t *testing.T) {

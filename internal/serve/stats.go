@@ -106,6 +106,17 @@ type Stats struct {
 	MeanLatency   time.Duration `json:"mean_latency_ns"`
 	P50Latency    time.Duration `json:"p50_latency_ns"`
 	P99Latency    time.Duration `json:"p99_latency_ns"`
+
+	// Shared worker-pool gauges (filled by Engine.Stats, not part of
+	// the atomic counter block): the pool's configured size, how many
+	// workers are executing right now, how many goroutines exist, and
+	// this engine's total lease claim — sessions × (inter-op ×
+	// intra-op − 1). Busy ≈ Size means helper acquisition is failing
+	// and execution is degrading to serial; load shedders key off it.
+	PoolSize    int `json:"pool_size"`
+	PoolBusy    int `json:"pool_busy"`
+	PoolSpawned int `json:"pool_spawned"`
+	LeaseClaim  int `json:"lease_claim"`
 }
 
 func (s *stats) snapshot() Stats {
@@ -135,7 +146,8 @@ func (s *stats) snapshot() Stats {
 // String renders the snapshot for the CLI and logs.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"requests=%d errors=%d cancelled=%d batches=%d fill(mean=%.2f max=%d) rps=%.1f latency(mean=%v p50=%v p99=%v)",
+		"requests=%d errors=%d cancelled=%d batches=%d fill(mean=%.2f max=%d) rps=%.1f latency(mean=%v p50=%v p99=%v) pool(busy=%d/%d spawned=%d claim=%d)",
 		s.Requests, s.Errors, s.Cancelled, s.Batches, s.MeanBatchFill, s.MaxBatchFill,
-		s.ThroughputRPS, s.MeanLatency, s.P50Latency, s.P99Latency)
+		s.ThroughputRPS, s.MeanLatency, s.P50Latency, s.P99Latency,
+		s.PoolBusy, s.PoolSize, s.PoolSpawned, s.LeaseClaim)
 }

@@ -73,6 +73,7 @@ type Pool struct {
 
 	clocks   []time.Duration // modeled lane clocks, reused per region
 	partials []float32       // ForSum/ForMax chunk partials, reused
+	vecParts [][]float32     // ForSumVec per-chunk accumulators, reused
 }
 
 type laneScratchSet [scratchSlots][]float32
@@ -309,6 +310,66 @@ func (p *Pool) ForMax(n, grain int, fn func(lo, hi int) float32) float32 {
 		}
 	}
 	return m
+}
+
+// ForSumVec reduces [0,n) to a float32 vector of length w — the
+// vector-valued counterpart of ForSum, used by axis reductions whose
+// output is small (the outer dims the reduced axes leave behind). fn
+// accumulates chunk [lo,hi)'s contribution into a zeroed chunk-private
+// accumulator acc of length w; the per-chunk partials then combine
+// elementwise in ascending chunk order into out (length w, fully
+// overwritten). As with ForSum, the region is chunked identically at
+// every width — including width 1 — so the float32 combination order,
+// and therefore the result bits, never depend on the configured
+// parallelism. Per-chunk accumulator memory is bounded by
+// maxRegionChunks × w and reused across regions.
+func (p *Pool) ForSumVec(n, grain, w int, out []float32, fn func(lo, hi int, acc []float32)) {
+	out = out[:w]
+	for i := range out {
+		out[i] = 0
+	}
+	if n <= 0 || w <= 0 {
+		return
+	}
+	p.frozen = true
+	chunks := regionChunks(n, grain)
+	if chunks == 1 {
+		fn(0, n, out)
+		return
+	}
+	for len(p.vecParts) < chunks {
+		p.vecParts = append(p.vecParts, nil)
+	}
+	parts := p.vecParts[:chunks]
+	for c := range parts {
+		if cap(parts[c]) < w {
+			parts[c] = make([]float32, w)
+		}
+		parts[c] = parts[c][:w]
+		for i := range parts[c] {
+			parts[c][i] = 0
+		}
+	}
+	switch {
+	case p.exec != nil && p.workers > 1:
+		p.regions++
+		p.runChunks(n, chunks, func(lane, chunk, lo, hi int) { fn(lo, hi, parts[chunk]) })
+	case p.workers > 1:
+		p.regions++
+		p.runModeled(n, chunks, func(chunk, lo, hi int) { fn(lo, hi, parts[chunk]) })
+	default:
+		for c := 0; c < chunks; c++ {
+			lo, hi := chunkBounds(n, chunks, c)
+			fn(lo, hi, parts[c])
+		}
+	}
+	copy(out, parts[0])
+	for c := 1; c < chunks; c++ {
+		part := parts[c]
+		for i := range out {
+			out[i] += part[i]
+		}
+	}
 }
 
 // forPartials runs the deterministic chunks of a reduction region and

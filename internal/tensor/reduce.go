@@ -127,11 +127,6 @@ func ReduceInto(p *Pool, out, in *Tensor, axes []int, keepDims bool, kind string
 		}
 		return nil
 	}
-	if kind == "max" {
-		out.Fill(negInf)
-	} else {
-		out.Zero()
-	}
 	// Build strides of the output aligned to the input's index space:
 	// reduced axes contribute stride 0.
 	ost := make([]int, in.Rank())
@@ -154,12 +149,56 @@ func ReduceInto(p *Pool, out, in *Tensor, axes []int, keepDims bool, kind string
 	}
 	id, od := in.data, out.data
 	rank := in.Rank()
-	idx := make([]int, rank)
-	oo := 0
 	var count float64
 	if kind == "mean" {
 		count = float64(in.Size()) / float64(max(1, out.Size()))
 	}
+	// Sum/mean axis reductions with small outer dims take the parallel
+	// path: the input walk is chunked (same rule as every For region),
+	// each chunk accumulates into a chunk-private output-sized partial
+	// vector, and the partials combine elementwise in ascending chunk
+	// order (Pool.ForSumVec) — the same determinism contract as the
+	// full reductions above, so the result bits are identical at every
+	// pool width, including 1. Large outputs keep the serial walk: the
+	// per-chunk partial vectors would dominate the work.
+	if kind != "max" && out.Size() <= axisVecElems {
+		ist := Strides(in.shape)
+		p.ForSumVec(len(id), reduceGrain, len(od), od, func(lo, hi int, acc []float32) {
+			idx := make([]int, rank)
+			rem, oo := lo, 0
+			for i := 0; i < rank; i++ {
+				idx[i] = rem / ist[i]
+				rem %= ist[i]
+				oo += idx[i] * ost[i]
+			}
+			for pos := lo; pos < hi; pos++ {
+				acc[oo] += id[pos]
+				for i := rank - 1; i >= 0; i-- {
+					idx[i]++
+					oo += ost[i]
+					if idx[i] < in.shape[i] {
+						break
+					}
+					idx[i] = 0
+					oo -= ost[i] * in.shape[i]
+				}
+			}
+		})
+		if kind == "mean" && count > 0 {
+			inv := float32(1 / count)
+			for i := range od {
+				od[i] *= inv
+			}
+		}
+		return nil
+	}
+	if kind == "max" {
+		out.Fill(negInf)
+	} else {
+		out.Zero()
+	}
+	idx := make([]int, rank)
+	oo := 0
 	for pos := 0; pos < len(id); pos++ {
 		switch kind {
 		case "sum", "mean":
@@ -187,6 +226,13 @@ func ReduceInto(p *Pool, out, in *Tensor, axes []int, keepDims bool, kind string
 	}
 	return nil
 }
+
+// axisVecElems caps the output size eligible for the chunked-partial
+// axis-reduction path: per-chunk accumulators cost maxRegionChunks ×
+// output elements, so only small outer dims (batch-norm channel
+// statistics, per-class sums) qualify — exactly the shapes that were
+// stuck serial before, since their outer loop is too short to split.
+const axisVecElems = 1024
 
 func max(a, b int) int {
 	if a > b {

@@ -1,0 +1,187 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// execN is a minimal Executor lending up to n concurrent helper
+// goroutines, for exercising the real-parallel strategy in-package.
+type execN struct{ sem chan struct{} }
+
+func newExecN(n int) *execN { return &execN{sem: make(chan struct{}, n)} }
+
+func (e *execN) TryRun(task func()) bool {
+	select {
+	case e.sem <- struct{}{}:
+		go func() {
+			defer func() { <-e.sem }()
+			task()
+		}()
+		return true
+	default:
+		return false
+	}
+}
+
+// TestForSumVecBitIdenticalAcrossWidths is the vector counterpart of
+// the ForSum width-invariance contract: per-chunk partials combined in
+// ascending chunk order give the same bits under the serial, modeled
+// and real-parallel strategies at every width.
+func TestForSumVecBitIdenticalAcrossWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n, w = 50000, 7
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = rng.Float32()*2 - 1
+	}
+	body := func(lo, hi int, acc []float32) {
+		for i := lo; i < hi; i++ {
+			acc[i%w] += in[i]
+		}
+	}
+	sum := func(p *Pool) []float32 {
+		out := make([]float32, w)
+		p.ForSumVec(n, 1024, w, out, body)
+		return out
+	}
+	want := sum(NewPool(1))
+
+	// Reference: explicit ascending-chunk combination.
+	chunks := regionChunks(n, 1024)
+	ref := make([]float32, w)
+	for c := 0; c < chunks; c++ {
+		lo, hi := chunkBounds(n, chunks, c)
+		part := make([]float32, w)
+		body(lo, hi, part)
+		for i := range ref {
+			ref[i] += part[i]
+		}
+	}
+	for i := range ref {
+		if want[i] != ref[i] {
+			t.Fatalf("width-1 ForSumVec[%d] = %v != chunk-ordered reference %v", i, want[i], ref[i])
+		}
+	}
+
+	check := func(name string, got []float32) {
+		t.Helper()
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: ForSumVec[%d] = %v != width-1 %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	for _, workers := range []int{2, 4, 8} {
+		check("modeled", sum(NewPool(workers)))
+		for rep := 0; rep < 5; rep++ {
+			check("parallel", sum(NewParallelPool(workers, newExecN(workers-1))))
+		}
+	}
+}
+
+// TestAxisReduceSmallOuterParallel pins the axis-reduction satellite:
+// sum/mean reductions whose outputs are small (batch-norm channel
+// statistics) split the input walk into chunks, and the result bits
+// are identical at every pool width — and equal to an explicit
+// ascending-chunk reference.
+func TestAxisReduceSmallOuterParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := RandUniform(rng, -1, 1, 6, 28, 28, 5) // NHWC, C=5 outer dim
+	for _, kind := range []string{"sum", "mean"} {
+		want, err := Reduce(NewPool(1), in, []int{0, 1, 2}, true, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := Reduce(NewPool(workers), in, []int{0, 1, 2}, true, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i, ok := firstDiff(want.Data(), got.Data()); !ok {
+				t.Fatalf("%s modeled width %d differs from width 1 at %d", kind, workers, i)
+			}
+			par, err := Reduce(NewParallelPool(workers, newExecN(workers-1)), in, []int{0, 1, 2}, true, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i, ok := firstDiff(want.Data(), par.Data()); !ok {
+				t.Fatalf("%s parallel width %d differs from width 1 at %d", kind, workers, i)
+			}
+		}
+	}
+
+	// The width-1 result itself must follow the ascending-chunk
+	// combine order over the flattened input walk.
+	// The kept axis is the contiguous last one, so a position's output
+	// index is simply pos % C.
+	id := in.Data()
+	w := 5
+	chunks := regionChunks(len(id), 4096)
+	ref := make([]float32, w)
+	for c := 0; c < chunks; c++ {
+		lo, hi := chunkBounds(len(id), chunks, c)
+		part := make([]float32, w)
+		for pos := lo; pos < hi; pos++ {
+			part[pos%w] += id[pos]
+		}
+		for i := range ref {
+			ref[i] += part[i]
+		}
+	}
+	got, err := Reduce(NewPool(1), in, []int{0, 1, 2}, false, "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := firstDiff(ref, got.Data()); !ok {
+		t.Fatalf("axis sum does not follow ascending-chunk combine order at %d", i)
+	}
+}
+
+// TestAxisReduceMaxAndLargeOuterUnchanged: max reductions and large
+// outputs keep the serial walk, and axis reductions still agree with a
+// naive per-fiber reference within float tolerance.
+func TestAxisReduceMaxAndLargeOuterUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := RandUniform(rng, -1, 1, 64, 40)
+	mx, err := Reduce(NewPool(4), in, []int{0}, false, "max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 40; j++ {
+		want := in.At(0, j)
+		for i := 1; i < 64; i++ {
+			if v := in.At(i, j); v > want {
+				want = v
+			}
+		}
+		if mx.Data()[j] != want {
+			t.Fatalf("max over axis 0 wrong at %d", j)
+		}
+	}
+	// Large outer dim (> axisVecElems): stays on the serial walk and
+	// matches an exact per-fiber left-to-right fold.
+	big := RandUniform(rng, -1, 1, 3, 2048)
+	sum, err := Reduce(NewPool(4), big, []int{0}, false, "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2048; j++ {
+		want := big.At(0, j) + big.At(1, j) + big.At(2, j)
+		if sum.Data()[j] != want {
+			t.Fatalf("large-outer sum wrong at %d", j)
+		}
+	}
+}
+
+func firstDiff(a, b []float32) (int, bool) {
+	if len(a) != len(b) {
+		return -1, false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return i, false
+		}
+	}
+	return 0, true
+}
