@@ -8,8 +8,10 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -315,6 +317,76 @@ func BenchmarkServeUnbatched(b *testing.B) {
 	// MaxBatch 1 isolates the cost of the queue + pool without
 	// coalescing — the baseline dynamic batching must beat.
 	benchServe(b, "memnet", 2, 1, 8)
+}
+
+// BenchmarkServeOverload hammers a deliberately small engine (one
+// session, 4-deep queues, a 25ms deadline budget) with 32 closed-loop
+// clients — far past capacity. ns/op is per *submitted* request;
+// goodput×100 and shed×100 report what fraction completed in budget
+// vs was refused (rejected, shed, or expired). The admission layer's
+// job is a high shed fraction with nonzero goodput — never a stall.
+func BenchmarkServeOverload(b *testing.B) {
+	m, err := core.New("memnet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 1, Batch: 4}); err != nil {
+		b.Fatal(err)
+	}
+	e, err := serve.New(m, serve.Options{
+		Sessions: 1, MaxBatch: 4, MaxDelay: 200 * time.Microsecond,
+		QueueLen: 4, DefaultDeadline: 25 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	sig := m.Signature(core.ModeInference)
+	example := map[string]*tensor.Tensor{}
+	for _, in := range sig.Inputs {
+		example[in.Name] = tensor.New(in.ExampleShape()...)
+	}
+	ctx := context.Background()
+	if _, err := e.Infer(ctx, example); err != nil { // compile the plan
+		b.Fatal(err)
+	}
+	e.ResetStats()
+	b.ResetTimer()
+	const clients = 32
+	var ok, refused, failed atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		n := b.N / clients
+		if c < b.N%clients {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				switch _, err := e.Infer(ctx, example); {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, serve.ErrOverloaded) || errors.Is(err, serve.ErrExpired):
+					refused.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if failed.Load() > 0 {
+		b.Fatalf("%d requests failed with unexpected errors", failed.Load())
+	}
+	total := ok.Load() + refused.Load()
+	if total > 0 {
+		b.ReportMetric(100*float64(ok.Load())/float64(total), "goodput×100")
+		b.ReportMetric(100*float64(refused.Load())/float64(total), "shed×100")
+	}
+	s := e.Stats()
+	b.ReportMetric(float64(s.P99Latency.Microseconds()), "p99-µs")
 }
 
 // BenchmarkServeIntraOp serves with real intra-op kernel parallelism

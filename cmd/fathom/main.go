@@ -8,6 +8,7 @@
 //	fathom profile -interop 4 ...       # inter-op parallelism report
 //	fathom train -replicas 4 ...        # data-parallel training scaling
 //	fathom serve -model alexnet ...     # HTTP/JSON inference serving
+//	fathom loadtest -model memnet ...   # open-loop overload test -> BENCH_serve.json
 //	fathom table1 | table2              # the paper's tables
 //	fathom fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | overhead
 //	fathom all                          # everything, optionally to -out
@@ -16,7 +17,9 @@
 // -workers N (modeled intra-op), -intraop N (real intra-op on the
 // shared pool), -interop N, -pool N (shared worker-pool size),
 // -device cpu|gpu, -mode training|inference, -out DIR. Serving flags:
-// -addr, -sessions, -maxbatch, -maxdelay.
+// -addr, -sessions, -maxbatch, -maxdelay, -queue, -deadline. Load-test
+// flags: -qps (0 = measure capacity), -duration, -arrival
+// poisson|uniform, -batchfrac, -bench FILE.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/loadgen"
 	_ "repro/internal/models/all"
 	"repro/internal/sched"
 	"repro/internal/serve"
@@ -63,6 +67,13 @@ func main() {
 	maxDelay := fs.Duration("maxdelay", 2*time.Millisecond, "max wait for a micro-batch to fill (serve)")
 	replicas := fs.Int("replicas", 4, "data-parallel model replicas (train)")
 	chunks := fs.Int("chunks", 4, "micro-batch chunks per global step; replicas must divide it (train)")
+	queueLen := fs.Int("queue", 0, "admission queue cap per priority lane, 0 = 4x maxbatch (serve, loadtest)")
+	deadline := fs.Duration("deadline", 0, "per-request deadline budget, 0 = none for serve / 250ms for loadtest (serve, loadtest)")
+	qps := fs.Float64("qps", 0, "1x-stage offered rate; 0 measures engine capacity first (loadtest)")
+	ltDur := fs.Duration("duration", 2*time.Second, "per-stage duration (loadtest)")
+	arrival := fs.String("arrival", "poisson", "arrival distribution: poisson or uniform (loadtest)")
+	batchFrac := fs.Float64("batchfrac", 0.5, "fraction of traffic on the batch priority lane (loadtest)")
+	benchOut := fs.String("bench", "BENCH_serve.json", "load-test result file; with -out, written inside it (loadtest)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -179,13 +190,15 @@ func main() {
 				fatal(fmt.Errorf("setup %s: %w", name, err))
 			}
 			eng, err := serve.New(m, serve.Options{
-				Sessions:       *sessions,
-				MaxBatch:       *maxBatch,
-				MaxDelay:       *maxDelay,
-				Seed:           *seed,
-				Device:         dev,
-				InterOpWorkers: *interop,
-				IntraOpWorkers: *intraop,
+				Sessions:        *sessions,
+				MaxBatch:        *maxBatch,
+				MaxDelay:        *maxDelay,
+				Seed:            *seed,
+				Device:          dev,
+				InterOpWorkers:  *interop,
+				IntraOpWorkers:  *intraop,
+				QueueLen:        *queueLen,
+				DefaultDeadline: *deadline,
 			})
 			if err != nil {
 				fatal(err)
@@ -213,6 +226,39 @@ func main() {
 			defer cancel()
 			_ = httpSrv.Shutdown(shctx)
 		}
+	case "loadtest":
+		// Serving robustness: drive one engine open-loop at
+		// 0.5x/1x/2x of its measured capacity with mixed-priority
+		// traffic and a deadline budget, and persist the goodput/
+		// shed-rate/latency sweep as BENCH_serve.json — the serving
+		// perf trajectory later PRs diff against.
+		arr, err := loadgen.ParseArrival(*arrival)
+		if err != nil {
+			fatal(err)
+		}
+		name := *model
+		if name == "" {
+			name = "memnet"
+		}
+		res, rep, err := experiments.LoadTest(opts, experiments.LoadTestOptions{
+			Model:     name,
+			QPS:       *qps,
+			Duration:  *ltDur,
+			Arrival:   arr,
+			BatchFrac: *batchFrac,
+			Deadline:  *deadline,
+			Sessions:  *sessions,
+			MaxBatch:  *maxBatch,
+			MaxDelay:  *maxDelay,
+			QueueLen:  *queueLen,
+			InterOp:   *interop,
+			IntraOp:   *intraop,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		emit(res)
+		writeBench(rep, *benchOut, *outDir)
 	case "table1":
 		emit(experiments.Table1())
 	case "table2":
@@ -257,12 +303,42 @@ func main() {
 		}
 		must(experiments.ProfileParallel(opts, core.ModeTraining, 4, 4, nil, ""))(emit)
 		must(experiments.TrainScaling(opts, *replicas, *chunks, 1, nil))(emit)
+		// Short serving overload sweep: keep `all` runs tractable while
+		// still exercising the admission path and refreshing the bench
+		// trajectory file.
+		ltRes, ltRep, err := experiments.LoadTest(opts, experiments.LoadTestOptions{
+			Model: "memnet", Duration: 500 * time.Millisecond, BatchFrac: *batchFrac,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		emit(ltRes)
+		writeBench(ltRep, *benchOut, *outDir)
 		must(experiments.Overhead(opts))(emit)
 		must(experiments.Ablation(opts))(emit)
 	default:
 		usage()
 		os.Exit(2)
 	}
+}
+
+// writeBench persists a load-test report as the BENCH_serve.json
+// trajectory file (inside -out when set).
+func writeBench(rep *loadgen.Report, benchPath, outDir string) {
+	payload, err := experiments.WriteBenchJSON(rep)
+	if err != nil {
+		fatal(err)
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		benchPath = filepath.Join(outDir, filepath.Base(benchPath))
+	}
+	if err := os.WriteFile(benchPath, payload, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("(bench written to %s)\n\n", benchPath)
 }
 
 func must(r experiments.Result, err error) func(func(experiments.Result)) {
@@ -287,7 +363,11 @@ commands:
              achievable inter-op speedup, real vs modeled intra-op speedup; CSV with -out)
   train      data-parallel training      (-replicas N -chunks K -model a,b -steps N -intraop N;
              achieved vs achievable scaling, bit-identical across replica counts)
-  serve      HTTP/JSON inference serving (-model a,b -addr -sessions -maxbatch -maxdelay -interop -intraop)
+  serve      HTTP/JSON inference serving (-model a,b -addr -sessions -maxbatch -maxdelay -interop -intraop
+             -queue N -deadline D: bounded admission lanes + per-model deadline budget)
+  loadtest   open-loop overload test     (-model m -qps X -duration D -arrival poisson|uniform -batchfrac F
+             -deadline D -queue N; 0.5x/1x/2x capacity sweep -> goodput, shed rate, p50/p99/p999,
+             persisted as BENCH_serve.json via -bench FILE)
   table1     architecture-survey table
   table2     workload inventory
   fig1       op-time stationarity

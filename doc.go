@@ -118,6 +118,41 @@
 // gauges and each engine's lease claim, the signals a load-shedding
 // layer keys off.
 //
+// # Serving robustness
+//
+// Nothing in the serving path queues unboundedly. Each engine runs two
+// priority lanes — interactive (the default) and batch — each a
+// bounded admission queue (Options.QueueLen); a full lane fails fast
+// with serve.ErrOverloaded instead of blocking. A request's deadline
+// budget is the earlier of its context deadline and the engine's
+// Options.DefaultDeadline; the engine tracks an EWMA of batch
+// execution latency and sheds a request — at admission or at dispatch
+// — when its remaining budget cannot cover the estimated queue wait
+// plus one execution. The estimate counts queued-batches-ahead (only
+// interactive traffic for interactive requests: the dispatcher always
+// drains that lane first, so batch traffic queues, sheds, and expires
+// first) and doubles when the shared worker pool is saturated, which
+// is how co-tenant engines on one pool shed cooperatively. Requests
+// whose deadline has already died fail with serve.ErrExpired and never
+// occupy a batch slot — cancelled and expired requests are filtered
+// at dispatch and again before packing, so they cannot skew batch-fill
+// stats. A rationed probe admission (one per 100ms past the budget
+// gate) keeps the estimate self-healing when it spikes above every
+// deadline. The HTTP layer maps the taxonomy to a machine-readable
+// error contract ({"error", "code"}: invalid_input 400, overloaded 503
+// + Retry-After, deadline_exceeded 504, closed 503), and /stats
+// reports the admission counters (rejected/shed/expired), queue-depth
+// and queue-wait gauges, and per-lane p50/p99/p999.
+//
+// internal/loadgen is the open-loop traffic harness that proves the
+// contract: seeded Poisson or uniform arrivals at a target QPS,
+// submitted on schedule regardless of completion (closed-loop clients
+// hide overload by self-throttling), with a mixed-priority lane split.
+// `fathom loadtest` measures closed-loop capacity, then drives
+// 0.5×/1×/2× of it and persists goodput (completions inside the
+// deadline), shed rate, and per-lane latency quantiles as
+// BENCH_serve.json — the serving perf trajectory across PRs.
+//
 // # Distributed training
 //
 // internal/dist adds the third scaling axis: data-parallel training of

@@ -1,0 +1,272 @@
+// Package loadgen's tests pin the harness contract: the offered
+// traffic is a pure function of the seed, outcomes are classified by
+// error identity, goodput only counts completions inside the deadline,
+// and a finished run (plus the engine under it) leaves no goroutines
+// behind.
+package loadgen
+
+import (
+	"context"
+	goruntime "runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+
+	_ "repro/internal/models/all"
+)
+
+// fakeEngine answers instantly (or after delay) with a scripted error
+// per lane, honoring context cancellation — just enough surface to
+// test the harness without a real model.
+type fakeEngine struct {
+	delay    time.Duration
+	laneErr  [2]error
+	perLane  [2]atomic.Uint64
+	inFlight atomic.Int64
+	maxSeen  atomic.Int64
+}
+
+func (f *fakeEngine) InferPriority(ctx context.Context, inputs map[string]*tensor.Tensor, pri serve.Priority) (map[string]*tensor.Tensor, error) {
+	f.perLane[pri].Add(1)
+	cur := f.inFlight.Add(1)
+	defer f.inFlight.Add(-1)
+	for {
+		prev := f.maxSeen.Load()
+		if cur <= prev || f.maxSeen.CompareAndSwap(prev, cur) {
+			break
+		}
+	}
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err := f.laneErr[pri]; err != nil {
+		return nil, err
+	}
+	return map[string]*tensor.Tensor{}, nil
+}
+
+func (f *fakeEngine) Stats() serve.Stats { return serve.Stats{} }
+
+func examples(n int) []map[string]*tensor.Tensor {
+	out := make([]map[string]*tensor.Tensor, n)
+	for i := range out {
+		out[i] = map[string]*tensor.Tensor{"x": tensor.New(1)}
+	}
+	return out
+}
+
+func TestParseArrival(t *testing.T) {
+	for s, want := range map[string]Arrival{"": Poisson, "poisson": Poisson, "uniform": Uniform} {
+		got, err := ParseArrival(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseArrival(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseArrival("bursty"); err == nil {
+		t.Fatal("unknown distribution must error")
+	}
+}
+
+// TestRunDeterministicOffered: the offered traffic — arrival count and
+// lane mix — is a pure function of the seed, independent of how fast
+// the engine answers.
+func TestRunDeterministicOffered(t *testing.T) {
+	cfg := Config{
+		Stages:    []Stage{{Name: "s", QPS: 5000, Duration: 60 * time.Millisecond}},
+		Seed:      42,
+		BatchFrac: 0.3,
+	}
+	var sent [2][2]uint64
+	for trial := 0; trial < 2; trial++ {
+		f := &fakeEngine{}
+		rep, err := Run(f, examples(4), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Stages[0].Dropped != 0 {
+			t.Fatalf("trial %d: instant engine must not hit the in-flight valve", trial)
+		}
+		sent[trial][0] = rep.Stages[0].Interactive.Sent
+		sent[trial][1] = rep.Stages[0].Batch.Sent
+	}
+	if sent[0] != sent[1] {
+		t.Fatalf("same seed offered different traffic: %v vs %v", sent[0], sent[1])
+	}
+	if sent[0][0] == 0 || sent[0][1] == 0 {
+		t.Fatalf("30%% batch mix must load both lanes: %v", sent[0])
+	}
+}
+
+// TestRunClassifiesOutcomes: engine errors land in the right report
+// buckets — ErrOverloaded as shed, ErrExpired as expired, and the shed
+// rate reflects refusals over sent.
+func TestRunClassifiesOutcomes(t *testing.T) {
+	f := &fakeEngine{}
+	f.laneErr[serve.PriorityBatch] = serve.ErrOverloaded
+	rep, err := Run(f, examples(2), Config{
+		Stages:    []Stage{{Name: "s", QPS: 3000, Duration: 50 * time.Millisecond}},
+		Seed:      7,
+		BatchFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Stages[0]
+	if st.Interactive.OK == 0 || st.Interactive.Overloaded != 0 {
+		t.Fatalf("interactive lane must succeed cleanly: %+v", st.Interactive)
+	}
+	if st.Batch.Overloaded == 0 || st.Batch.OK != 0 {
+		t.Fatalf("batch lane must be counted overloaded: %+v", st.Batch)
+	}
+	if st.ShedRate <= 0 || st.ShedRate >= 1 {
+		t.Fatalf("shed rate = %v, want in (0,1)", st.ShedRate)
+	}
+	if st.GoodputQPS <= 0 || st.AchievedQPS <= 0 {
+		t.Fatalf("interactive completions must count: goodput %v achieved %v", st.GoodputQPS, st.AchievedQPS)
+	}
+
+	f2 := &fakeEngine{}
+	f2.laneErr[serve.PriorityInteractive] = serve.ErrExpired
+	f2.laneErr[serve.PriorityBatch] = serve.ErrExpired
+	rep2, err := Run(f2, examples(2), Config{
+		Stages: []Stage{{Name: "s", QPS: 2000, Duration: 40 * time.Millisecond}},
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := rep2.Stages[0]
+	if st2.Interactive.Expired == 0 || st2.GoodputQPS != 0 {
+		t.Fatalf("expiries must be classified and yield zero goodput: %+v", st2)
+	}
+}
+
+// TestRunGoodputExcludesLateCompletions: a completion slower than the
+// deadline counts toward achieved throughput but not goodput.
+func TestRunGoodputExcludesLateCompletions(t *testing.T) {
+	f := &fakeEngine{delay: 30 * time.Millisecond}
+	rep, err := Run(f, examples(2), Config{
+		Stages:   []Stage{{Name: "s", QPS: 200, Duration: 50 * time.Millisecond}},
+		Seed:     3,
+		Deadline: 100 * time.Millisecond, // generous: completions are good
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rep.Stages[0]; st.GoodputQPS <= 0 || st.GoodputQPS != st.AchievedQPS {
+		t.Fatalf("inside-deadline completions are goodput: %+v", st)
+	}
+	// Now with the context deadline below the service time every
+	// request expires server-side (the fake honors cancellation).
+	f2 := &fakeEngine{delay: 30 * time.Millisecond}
+	rep2, err := Run(f2, examples(2), Config{
+		Stages:   []Stage{{Name: "s", QPS: 200, Duration: 50 * time.Millisecond}},
+		Seed:     3,
+		Deadline: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rep2.Stages[0]; st.GoodputQPS != 0 || st.Interactive.Expired+st.Batch.Expired == 0 {
+		t.Fatalf("past-deadline requests are not goodput: %+v", st)
+	}
+}
+
+// TestRunInFlightValve: when the engine wedges (never answers within
+// the stage), the harness's own valve bounds concurrency and counts
+// drops instead of spawning goroutines without limit.
+func TestRunInFlightValve(t *testing.T) {
+	f := &fakeEngine{delay: 10 * time.Second} // wedged, but honors ctx
+	rep, err := Run(f, examples(2), Config{
+		Stages:      []Stage{{Name: "s", QPS: 2000, Duration: 40 * time.Millisecond}},
+		Seed:        11,
+		Deadline:    50 * time.Millisecond, // lets wg.Wait finish the stage
+		MaxInFlight: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.maxSeen.Load() > 8 {
+		t.Fatalf("in-flight reached %d, valve is 8", f.maxSeen.Load())
+	}
+	if rep.Stages[0].Dropped == 0 {
+		t.Fatal("a wedged engine at 2000 qps must trip the valve")
+	}
+}
+
+func TestCapacityStages(t *testing.T) {
+	st := CapacityStages(100, time.Second)
+	if len(st) != 3 || st[0].QPS != 50 || st[1].QPS != 100 || st[2].QPS != 200 {
+		t.Fatalf("stages = %+v", st)
+	}
+}
+
+func TestEstimateCapacity(t *testing.T) {
+	f := &fakeEngine{delay: time.Millisecond}
+	qps, err := EstimateCapacity(f, examples(2), 4, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 closed-loop clients at ~1ms service time ≈ 4000 qps; anything
+	// grossly off means the probe is broken.
+	if qps < 100 || qps > 100000 {
+		t.Fatalf("capacity estimate %v qps implausible for 4 clients at 1ms", qps)
+	}
+}
+
+// TestLoadtestShutdownLeavesNoGoroutines is the leak gate for the
+// whole load path: a real engine driven by a real (tiny) open-loop run
+// plus a capacity probe, then Close — afterwards only the runtime's
+// baseline goroutines may remain.
+func TestLoadtestShutdownLeavesNoGoroutines(t *testing.T) {
+	base := goruntime.NumGoroutine()
+	m, err := core.New("memnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 3, Batch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := serve.New(m, serve.Options{
+		Sessions: 2, MaxBatch: 2, MaxDelay: 200 * time.Microsecond,
+		QueueLen: 8, DefaultDeadline: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs, err := serve.Examples(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateCapacity(e, exs, 4, 30*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(e, exs, Config{
+		Stages:    CapacityStages(200, 40*time.Millisecond),
+		Seed:      5,
+		BatchFrac: 0.5,
+		Deadline:  250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3", len(rep.Stages))
+	}
+	e.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for goruntime.NumGoroutine() > base+1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := goruntime.NumGoroutine(); got > base+1 {
+		t.Fatalf("goroutines %d after load test + Close (baseline %d): leak", got, base)
+	}
+}

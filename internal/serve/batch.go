@@ -1,6 +1,47 @@
 package serve
 
-import "repro/internal/tensor"
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Examples draws n single-example input sets for m's inference
+// signature by splitting batches from the workload's synthetic
+// dataset (core.Sampler) along each input's batch axis. It is the
+// standard way to feed Engine.Infer outside an HTTP client — the load
+// harness and benchmarks both use it.
+func Examples(m core.Model, n int) ([]map[string]*tensor.Tensor, error) {
+	smp, ok := m.(core.Sampler)
+	if !ok {
+		return nil, fmt.Errorf("serve: workload %s does not implement core.Sampler", m.Name())
+	}
+	sig := m.Signature(core.ModeInference)
+	if len(sig.Inputs) == 0 {
+		return nil, fmt.Errorf("serve: workload %s has an empty inference signature", m.Name())
+	}
+	cap := sig.BatchCapacity()
+	if cap < 1 {
+		return nil, fmt.Errorf("serve: workload %s has batch capacity %d", m.Name(), cap)
+	}
+	out := make([]map[string]*tensor.Tensor, 0, n)
+	for len(out) < n {
+		batch := smp.Sample()
+		for i := 0; i < cap && len(out) < n; i++ {
+			ex := make(map[string]*tensor.Tensor, len(sig.Inputs))
+			for _, in := range sig.Inputs {
+				t, ok := batch[in.Name]
+				if !ok {
+					return nil, fmt.Errorf("serve: %s sample misses input %q", m.Name(), in.Name)
+				}
+				ex[in.Name] = getExample(t, in.BatchDim, i)
+			}
+			out = append(out, ex)
+		}
+	}
+	return out, nil
+}
 
 // Tensors are dense row-major, so a batched tensor viewed around its
 // batch axis dim factors into outer × n × inner scalars: `outer` blocks

@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/tensor"
@@ -22,11 +25,44 @@ import (
 //
 // An inference request body is {"inputs": {<name>: {"shape": [...],
 // "data": [...]}}} with each tensor in the input's example shape; the
-// response mirrors it under "outputs". Register every engine before
-// calling Handler — the map is read-only while serving.
+// response mirrors it under "outputs". Two optional fields select the
+// admission lane and deadline budget: "priority" ("interactive", the
+// default, or "batch") and "deadline_ms" (a per-request deadline
+// overriding the engine's DefaultDeadline when earlier). Register
+// every engine before calling Handler — the map is read-only while
+// serving.
+//
+// # Error contract
+//
+// Every error response is a JSON object {"error": <message>, "code":
+// <machine-readable code>}. The codes and their statuses:
+//
+//	invalid_input       400  malformed body, bad tensor shape, unknown
+//	                         input or priority
+//	not_found           404  unknown model
+//	method_not_allowed  405  :infer with a method other than POST
+//	request_too_large   413  body exceeded the per-example budget
+//	overloaded          503  admission queue full or deadline budget
+//	                         below the estimated queue+execution time;
+//	                         carries a Retry-After header (seconds)
+//	closed              503  engine shut down
+//	deadline_exceeded   504  the deadline passed before execution
+//	internal            500  execution fault
 type Server struct {
 	engines map[string]*Engine
 }
+
+// Error codes of the JSON error contract above.
+const (
+	CodeInvalidInput     = "invalid_input"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeTooLarge         = "request_too_large"
+	CodeOverloaded       = "overloaded"
+	CodeClosed           = "closed"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeInternal         = "internal"
+)
 
 // NewServer returns an empty server.
 func NewServer() *Server { return &Server{engines: map[string]*Engine{}} }
@@ -78,6 +114,12 @@ func fromJSONTensor(jt jsonTensor) (*tensor.Tensor, error) {
 
 type inferRequest struct {
 	Inputs map[string]jsonTensor `json:"inputs"`
+	// Priority selects the admission lane: "interactive" (default) or
+	// "batch" (dispatched after interactive traffic, shed first).
+	Priority string `json:"priority,omitempty"`
+	// DeadlineMS is this request's deadline budget in milliseconds;
+	// the engine uses the earlier of it and its DefaultDeadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 type inferResponse struct {
@@ -150,7 +192,7 @@ func (srv *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if _, ok := srv.engines[rest]; !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown model %q (have %v)", rest, srv.Names()))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("unknown model %q (have %v)", rest, srv.Names()))
 		return
 	}
 	writeJSON(w, http.StatusOK, srv.modelJSON(rest))
@@ -158,12 +200,12 @@ func (srv *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 
 func (srv *Server) handleInfer(w http.ResponseWriter, r *http.Request, name string) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("infer requires POST"))
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("infer requires POST"))
 		return
 	}
 	e, ok := srv.engines[name]
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown model %q (have %v)", name, srv.Names()))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("unknown model %q (have %v)", name, srv.Names()))
 		return
 	}
 	// Bound the body before decoding: a well-formed request is one
@@ -182,30 +224,50 @@ func (srv *Server) handleInfer(w http.ResponseWriter, r *http.Request, name stri
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, err)
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, err)
 			return
 		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, CodeInvalidInput, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	pri, err := ParsePriority(req.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidInput, err)
 		return
 	}
 	inputs := make(map[string]*tensor.Tensor, len(req.Inputs))
 	for n, jt := range req.Inputs {
 		t, err := fromJSONTensor(jt)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("input %q: %w", n, err))
+			writeError(w, http.StatusBadRequest, CodeInvalidInput, fmt.Errorf("input %q: %w", n, err))
 			return
 		}
 		inputs[n] = t
 	}
-	outs, err := e.Infer(r.Context(), inputs)
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	outs, err := e.InferPriority(ctx, inputs, pri)
 	var ie *InputError
 	switch {
 	case err == nil:
 	case errors.As(err, &ie):
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidInput, err)
+		return
+	case errors.Is(err, ErrOverloaded):
+		// Hint how long a batch's worth of backlog takes to drain; a
+		// client that honors it arrives when the queue has moved.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(e)))
+		writeError(w, http.StatusServiceUnavailable, CodeOverloaded, err)
+		return
+	case errors.Is(err, ErrExpired) || errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded, err)
 		return
 	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, http.StatusServiceUnavailable, CodeClosed, err)
 		return
 	case r.Context().Err() != nil:
 		// Client went away; nothing useful to write.
@@ -213,7 +275,7 @@ func (srv *Server) handleInfer(w http.ResponseWriter, r *http.Request, name stri
 	default:
 		// Post-enqueue failures are execution faults, not request
 		// mistakes.
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	resp := inferResponse{Model: name, Outputs: make(map[string]jsonTensor, len(outs))}
@@ -223,12 +285,31 @@ func (srv *Server) handleInfer(w http.ResponseWriter, r *http.Request, name stri
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// retryAfterSeconds turns the engine's queue estimate into a whole-
+// second Retry-After hint, at least 1 (the header has second
+// granularity and 0 would invite an immediate hammer).
+func retryAfterSeconds(e *Engine) int {
+	est := e.estimatedWait(PriorityBatch) // full-queue view
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// jsonError is the wire form of every error response; Code is the
+// machine-readable half of the contract documented on Server.
+type jsonError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, jsonError{Error: err.Error(), Code: code})
 }

@@ -31,9 +31,45 @@
 // results are distributionally equivalent to sequential inference but
 // — as inherent to sampling — not bitwise reproducible across calls.
 //
-// The Engine records an atomic stats block: request/batch counters,
-// mean and max batch fill, throughput, and a log-bucketed latency
-// histogram for p50/p99.
+// # Admission control and overload behavior
+//
+// Nothing about a production queue is allowed to be unbounded. Each
+// engine runs two priority lanes — PriorityInteractive and
+// PriorityBatch — each a bounded admission queue of QueueLen requests.
+// When a lane's queue is full, Infer rejects immediately with
+// ErrOverloaded instead of blocking: under overload the engine sheds
+// early and cheaply at the door rather than letting every request's
+// latency collapse. The dispatcher always drains the interactive lane
+// first, so batch traffic absorbs queueing delay (and is shed first)
+// while interactive latency stays bounded by roughly one batch
+// execution.
+//
+// # Deadline budgets and load shedding
+//
+// A request's deadline is the earlier of its context deadline and
+// Options.DefaultDeadline from admission time. The engine tracks an
+// EWMA of batch execution latency; a request is shed with
+// ErrOverloaded — at admission or when the dispatcher dequeues it —
+// if its remaining budget cannot cover the estimated queue wait plus
+// one execution (queued-batches-ahead × EWMA batch latency, inflated
+// when the shared worker pool is saturated). A request whose deadline
+// has already passed fails with ErrExpired and never occupies a batch
+// slot. Because the pool busy/spawned gauges feed the estimate,
+// multiple engines sharing one pool apply admission cooperatively:
+// when the pool saturates, every engine's estimates grow and batch-
+// lane traffic is rejected earlier.
+//
+// The estimate only updates when batches execute, so a poisoned-high
+// EWMA (one slow compile, a GC stall) with all-deadlined traffic could
+// otherwise shed everything forever and never observe a fresh sample.
+// To stay self-healing, the engine admits one probe request past the
+// budget gate every probeInterval: the probe executes (or honestly
+// expires), refreshing the estimate toward reality.
+//
+// The Engine records an atomic stats block: request/batch/shed
+// counters, queue depth and queue-wait gauges, mean and max batch
+// fill, throughput, and per-lane log-bucketed latency histograms for
+// p50/p99/p999.
 package serve
 
 import (
@@ -41,6 +77,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -53,10 +90,55 @@ import (
 // ErrClosed is returned by Infer after Close.
 var ErrClosed = errors.New("serve: engine closed")
 
+// ErrOverloaded reports that the engine refused a request to protect
+// itself: the lane's admission queue was full, or the request's
+// deadline budget cannot cover the estimated queue + execution time.
+// Clients should back off and retry (the HTTP layer maps it to 503
+// with a Retry-After hint).
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// ErrExpired reports that a request's deadline budget ran out before
+// it executed. The HTTP layer maps it to 504.
+var ErrExpired = errors.New("serve: deadline exceeded")
+
+// Priority selects a request's admission lane. The dispatcher always
+// serves the interactive lane first, so under load the batch lane is
+// the one that queues, sheds, and expires.
+type Priority uint8
+
+const (
+	// PriorityInteractive is the latency-sensitive default lane.
+	PriorityInteractive Priority = iota
+	// PriorityBatch is the throughput lane: shed first under overload.
+	PriorityBatch
+
+	numLanes = 2
+)
+
+// String names the lane for stats and logs.
+func (p Priority) String() string {
+	if p == PriorityBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// ParsePriority maps the wire names to a Priority; the empty string is
+// interactive (the default lane).
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "interactive":
+		return PriorityInteractive, nil
+	case "batch":
+		return PriorityBatch, nil
+	}
+	return 0, fmt.Errorf("unknown priority %q (want interactive or batch)", s)
+}
+
 // InputError reports a malformed request: a missing or unknown input
-// name, or a tensor that does not match its input's example shape.
-// The HTTP layer maps it to 400; anything else from Infer is an
-// execution fault.
+// name, a tensor that does not match its input's example shape, or an
+// invalid priority. The HTTP layer maps it to 400; anything else from
+// Infer is an execution fault.
 type InputError struct{ msg string }
 
 func (e *InputError) Error() string { return e.msg }
@@ -100,16 +182,27 @@ type Options struct {
 	// WorkerPool overrides the shared execution pool sessions lease
 	// helpers from (default sched.Default()); tests use scoped pools.
 	WorkerPool *sched.Pool
-	// QueueLen is the pending-request buffer (default 4×MaxBatch).
+	// QueueLen caps each priority lane's admission queue (default
+	// 4×MaxBatch). A full lane rejects new requests with
+	// ErrOverloaded instead of queueing them — the queue cap is the
+	// engine's hard bound on buffered work.
 	QueueLen int
+	// DefaultDeadline is the per-model deadline budget applied to
+	// requests whose context carries no (or a later) deadline. Zero
+	// means requests without a context deadline never expire or shed
+	// on budget.
+	DefaultDeadline time.Duration
 }
 
 // request is one queued inference call.
 type request struct {
-	inputs map[string]*tensor.Tensor
-	ctx    context.Context
-	resp   chan response // buffered(1): workers never block on delivery
-	enq    time.Time
+	inputs   map[string]*tensor.Tensor
+	ctx      context.Context
+	resp     chan response // buffered(1): workers never block on delivery
+	enq      time.Time
+	deadline time.Time // zero = no budget
+	lane     Priority
+	probe    bool // admitted past the budget gate to refresh the EWMA
 }
 
 type response struct {
@@ -138,8 +231,9 @@ type Engine struct {
 	capacity int
 	maxBatch int
 	maxDelay time.Duration
+	deadline time.Duration // DefaultDeadline
 
-	reqs      chan *request
+	lanes     [numLanes]chan *request
 	batches   chan []*request
 	done      chan struct{}
 	stopped   chan struct{} // closed when dispatcher+workers have exited
@@ -151,10 +245,15 @@ type Engine struct {
 
 	// pool is the shared worker pool the sessions lease helpers from;
 	// claim is the engine's total lease claim on it (sessions ×
-	// per-session helper claim). Both feed the /stats gauges load
-	// shedders watch.
+	// per-session helper claim). Both feed the /stats gauges and the
+	// admission estimate, so engines sharing a pool shed cooperatively.
 	pool  *sched.Pool
 	claim int
+
+	// lastProbeNano rations budget-gate probes: when every request
+	// would shed, one per probeInterval is admitted anyway so the batch
+	// EWMA keeps seeing fresh samples (see the package doc).
+	lastProbeNano atomic.Int64
 
 	stats stats
 }
@@ -224,10 +323,13 @@ func New(m core.Model, opts Options) (*Engine, error) {
 		capacity: capacity,
 		maxBatch: opts.MaxBatch,
 		maxDelay: opts.MaxDelay,
-		reqs:     make(chan *request, opts.QueueLen),
+		deadline: opts.DefaultDeadline,
 		batches:  make(chan []*request),
 		done:     make(chan struct{}),
 		stopped:  make(chan struct{}),
+	}
+	for lane := range e.lanes {
+		e.lanes[lane] = make(chan *request, opts.QueueLen)
 	}
 	for _, out := range sig.Outputs {
 		e.fetches = append(e.fetches, out.Node)
@@ -291,17 +393,76 @@ func (e *Engine) Signature() core.Signature { return e.sig }
 // MaxBatch returns the effective micro-batch cap.
 func (e *Engine) MaxBatch() int { return e.maxBatch }
 
-// Infer submits one single-example request and blocks until its
-// result, the context's cancellation, or engine shutdown. Inputs are
-// keyed by signature input name; each tensor must have the input's
-// ExampleShape (the placeholder shape with the batch axis removed).
-// Infer takes ownership of the input tensors: a worker may still be
-// packing them after a cancelled return, so the caller must not
-// mutate or reuse them afterwards (pass fresh tensors per call, as
-// the HTTP layer does). Outputs are the signature's batched outputs,
-// one example each; whole-batch scalar outputs (losses) are omitted.
-// Infer is safe for concurrent use from any number of goroutines.
+// DefaultDeadline returns the engine's per-request deadline budget
+// (zero when unset).
+func (e *Engine) DefaultDeadline() time.Duration { return e.deadline }
+
+// requestDeadline resolves a request's deadline: the earlier of the
+// context's deadline and now + DefaultDeadline. Zero means none.
+func (e *Engine) requestDeadline(ctx context.Context, now time.Time) time.Time {
+	dl, ok := ctx.Deadline()
+	if e.deadline > 0 {
+		if own := now.Add(e.deadline); !ok || own.Before(dl) {
+			return own
+		}
+	}
+	if !ok {
+		return time.Time{}
+	}
+	return dl
+}
+
+// estimatedWait predicts how long a request admitted to lane now would
+// wait before its batch completes: queued-batches-ahead × the EWMA
+// batch latency, plus one execution. Interactive requests only wait on
+// interactive traffic (the dispatcher serves that lane first); batch
+// requests wait on everything. When the shared worker pool is
+// saturated — every engine on it is executing, helpers degrade to
+// serial — the estimate doubles, which is how co-tenant engines shed
+// cooperatively. A cold engine (no batch measured yet) predicts zero.
+func (e *Engine) estimatedWait(lane Priority) time.Duration {
+	ew := e.stats.batchEWMA()
+	if ew <= 0 {
+		return 0
+	}
+	depth := int(e.stats.qdepth[PriorityInteractive].Load())
+	if lane == PriorityBatch {
+		depth += int(e.stats.qdepth[PriorityBatch].Load())
+	}
+	est := time.Duration(depth/e.maxBatch+1) * ew
+	if e.pool.Size() > 0 && e.pool.Busy() >= e.pool.Size() {
+		est *= 2
+	}
+	return est
+}
+
+// Infer submits one single-example request on the interactive lane and
+// blocks until its result, the context's cancellation, or engine
+// shutdown. Inputs are keyed by signature input name; each tensor must
+// have the input's ExampleShape (the placeholder shape with the batch
+// axis removed). Infer takes ownership of the input tensors: a worker
+// may still be packing them after a cancelled return, so the caller
+// must not mutate or reuse them afterwards (pass fresh tensors per
+// call, as the HTTP layer does). Outputs are the signature's batched
+// outputs, one example each; whole-batch scalar outputs (losses) are
+// omitted. Infer is safe for concurrent use from any number of
+// goroutines.
+//
+// Infer never queues unboundedly: when the lane's admission queue is
+// full, or the request's deadline budget cannot cover the estimated
+// queue + execution time, it fails fast with ErrOverloaded; a request
+// whose deadline has already passed fails with ErrExpired.
 func (e *Engine) Infer(ctx context.Context, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	return e.InferPriority(ctx, inputs, PriorityInteractive)
+}
+
+// InferPriority is Infer on an explicit admission lane. Batch-lane
+// requests are dispatched only when the interactive lane is empty and
+// are shed first under overload.
+func (e *Engine) InferPriority(ctx context.Context, inputs map[string]*tensor.Tensor, lane Priority) (map[string]*tensor.Tensor, error) {
+	if lane >= numLanes {
+		return nil, inputErrorf("serve: unknown priority %d", lane)
+	}
 	for _, in := range e.sig.Inputs {
 		t, ok := inputs[in.Name]
 		if !ok || t == nil {
@@ -319,18 +480,43 @@ func (e *Engine) Infer(ctx context.Context, inputs map[string]*tensor.Tensor) (m
 			}
 		}
 	}
+	now := time.Now()
 	r := &request{
-		inputs: inputs,
-		ctx:    ctx,
-		resp:   make(chan response, 1),
-		enq:    time.Now(),
+		inputs:   inputs,
+		ctx:      ctx,
+		resp:     make(chan response, 1),
+		enq:      now,
+		deadline: e.requestDeadline(ctx, now),
+		lane:     lane,
+	}
+	// Admission control, cheapest checks first: an already-dead
+	// deadline, then the budget-vs-estimate shed, then the bounded
+	// queue. All three fail fast — the caller never blocks to learn
+	// the engine is overloaded.
+	if !r.deadline.IsZero() {
+		if !now.Before(r.deadline) {
+			e.stats.expired.Add(1)
+			return nil, ErrExpired
+		}
+		if est := e.estimatedWait(lane); est > 0 && now.Add(est).After(r.deadline) {
+			if !e.tryProbe(now) {
+				e.stats.shed.Add(1)
+				return nil, ErrOverloaded
+			}
+			r.probe = true
+		}
 	}
 	select {
-	case e.reqs <- r:
+	case e.lanes[lane] <- r:
+		e.stats.qdepth[lane].Add(1)
 	case <-e.done:
 		return nil, ErrClosed
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	default:
+		// Lane queue full: reject early rather than queue unboundedly.
+		e.stats.rejected.Add(1)
+		return nil, ErrOverloaded
 	}
 	var resp response
 	select {
@@ -354,16 +540,21 @@ func (e *Engine) Infer(ctx context.Context, inputs map[string]*tensor.Tensor) (m
 		}
 	}
 	if resp.err != nil {
-		// Caller-side aborts (the dispatcher or a worker observed the
-		// request's context already cancelled) are not engine faults.
-		if errors.Is(resp.err, context.Canceled) || errors.Is(resp.err, context.DeadlineExceeded) || errors.Is(resp.err, ErrClosed) {
+		switch {
+		case errors.Is(resp.err, ErrOverloaded) || errors.Is(resp.err, ErrExpired):
+			// Shed/expired dispositions were counted where they were
+			// decided (dispatcher or worker) — not engine faults.
+		case errors.Is(resp.err, context.Canceled) || errors.Is(resp.err, context.DeadlineExceeded) || errors.Is(resp.err, ErrClosed):
+			// Caller-side aborts (the dispatcher or a worker observed
+			// the request's context already cancelled) are not engine
+			// faults either.
 			e.stats.cancels.Add(1)
-		} else {
+		default:
 			e.stats.errors.Add(1)
 		}
 		return nil, resp.err
 	}
-	e.stats.record(time.Since(r.enq))
+	e.stats.record(lane, time.Since(r.enq))
 	return resp.outputs, nil
 }
 
@@ -376,9 +567,10 @@ func (e *Engine) Close() {
 
 // Stats returns a snapshot of the engine's counters, plus the shared
 // worker pool's busy/spawned gauges and the engine's lease claim on it
-// — the load signals a shedding layer in front of /stats needs: when
-// PoolBusy sits at PoolSize, every engine on the pool is executing
-// degraded (serial) and added load only queues.
+// — the load signals the admission estimate and any shedding layer in
+// front of /stats key off: when PoolBusy sits at PoolSize, every
+// engine on the pool is executing degraded (serial) and added load
+// only queues.
 func (e *Engine) Stats() Stats {
 	s := e.stats.snapshot()
 	s.PoolSize = e.pool.Size()
@@ -390,23 +582,102 @@ func (e *Engine) Stats() Stats {
 
 // ResetStats zeroes the counters and restarts the uptime clock —
 // e.g. after warmup, so steady-state metrics exclude one-time plan
-// compilation.
+// compilation. The queue-depth gauges and latency EWMAs survive: they
+// describe the engine's current state, not its history.
 func (e *Engine) ResetStats() { e.stats.zero() }
+
+// probeInterval rations the budget-gate probe admissions that keep the
+// batch EWMA self-healing when everything else sheds.
+const probeInterval = 100 * time.Millisecond
+
+// tryProbe claims the probe slot if one is due (CAS so concurrent
+// shedding callers admit at most one per interval).
+func (e *Engine) tryProbe(now time.Time) bool {
+	last := e.lastProbeNano.Load()
+	return now.UnixNano()-last >= int64(probeInterval) &&
+		e.lastProbeNano.CompareAndSwap(last, now.UnixNano())
+}
+
+// admit decides one dequeued request's fate at dispatch time: drop it
+// if its context is done or its deadline has passed (it must never
+// occupy a batch slot), shed it if the remaining budget cannot cover
+// even one batch execution (probes are exempt — their job is to reach
+// execution and refresh the estimate). Reports whether the request may
+// join a batch.
+func (e *Engine) admit(r *request, now time.Time) bool {
+	if err := r.ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.stats.expired.Add(1)
+			r.finish(nil, ErrExpired)
+		} else {
+			r.finish(nil, err)
+		}
+		return false
+	}
+	if !r.deadline.IsZero() {
+		if !now.Before(r.deadline) {
+			e.stats.expired.Add(1)
+			r.finish(nil, ErrExpired)
+			return false
+		}
+		if ew := e.stats.batchEWMA(); !r.probe && ew > 0 && now.Add(ew).After(r.deadline) {
+			e.stats.shed.Add(1)
+			r.finish(nil, ErrOverloaded)
+			return false
+		}
+	}
+	return true
+}
+
+// tryNext dequeues the next request without blocking, always draining
+// the interactive lane before the batch lane — the priority rule.
+func (e *Engine) tryNext() *request {
+	select {
+	case r := <-e.lanes[PriorityInteractive]:
+		e.stats.qdepth[PriorityInteractive].Add(-1)
+		return r
+	default:
+	}
+	select {
+	case r := <-e.lanes[PriorityBatch]:
+		e.stats.qdepth[PriorityBatch].Add(-1)
+		return r
+	default:
+	}
+	return nil
+}
+
+// next blocks for the first request of a batch; nil means shutdown.
+func (e *Engine) next() *request {
+	if r := e.tryNext(); r != nil {
+		return r
+	}
+	select {
+	case r := <-e.lanes[PriorityInteractive]:
+		e.stats.qdepth[PriorityInteractive].Add(-1)
+		return r
+	case r := <-e.lanes[PriorityBatch]:
+		e.stats.qdepth[PriorityBatch].Add(-1)
+		return r
+	case <-e.done:
+		return nil
+	}
+}
 
 // dispatch is the micro-batching loop: take the first pending request,
 // then collect more until the batch is full or MaxDelay elapses.
+// Every dequeue goes through admit, so cancelled, expired, and
+// unserviceable requests are dropped here — they never occupy a batch
+// slot or skew the batch-fill stats.
 func (e *Engine) dispatch() {
 	defer close(e.batches)
 	for {
-		var first *request
-		select {
-		case first = <-e.reqs:
-		case <-e.done:
+		first := e.next()
+		if first == nil {
 			e.drain()
 			return
 		}
-		if err := first.ctx.Err(); err != nil {
-			first.finish(nil, err)
+		if !e.admit(first, time.Now()) {
 			continue
 		}
 		batch := []*request{first}
@@ -414,13 +685,23 @@ func (e *Engine) dispatch() {
 			timer := time.NewTimer(e.maxDelay)
 		collect:
 			for len(batch) < e.maxBatch {
-				select {
-				case r := <-e.reqs:
-					if err := r.ctx.Err(); err != nil {
-						r.finish(nil, err)
-						continue
+				if r := e.tryNext(); r != nil {
+					if e.admit(r, time.Now()) {
+						batch = append(batch, r)
 					}
-					batch = append(batch, r)
+					continue
+				}
+				select {
+				case r := <-e.lanes[PriorityInteractive]:
+					e.stats.qdepth[PriorityInteractive].Add(-1)
+					if e.admit(r, time.Now()) {
+						batch = append(batch, r)
+					}
+				case r := <-e.lanes[PriorityBatch]:
+					e.stats.qdepth[PriorityBatch].Add(-1)
+					if e.admit(r, time.Now()) {
+						batch = append(batch, r)
+					}
 				case <-timer.C:
 					break collect
 				case <-e.done:
@@ -434,15 +715,25 @@ func (e *Engine) dispatch() {
 		// of under-filled runs.
 		sent := false
 		for !sent && len(batch) < e.maxBatch {
+			if r := e.tryNext(); r != nil {
+				if e.admit(r, time.Now()) {
+					batch = append(batch, r)
+				}
+				continue
+			}
 			select {
 			case e.batches <- batch:
 				sent = true
-			case r := <-e.reqs:
-				if err := r.ctx.Err(); err != nil {
-					r.finish(nil, err)
-					continue
+			case r := <-e.lanes[PriorityInteractive]:
+				e.stats.qdepth[PriorityInteractive].Add(-1)
+				if e.admit(r, time.Now()) {
+					batch = append(batch, r)
 				}
-				batch = append(batch, r)
+			case r := <-e.lanes[PriorityBatch]:
+				e.stats.qdepth[PriorityBatch].Add(-1)
+				if e.admit(r, time.Now()) {
+					batch = append(batch, r)
+				}
 			case <-e.done:
 				e.batches <- batch
 				e.drain()
@@ -463,12 +754,16 @@ func (e *Engine) dispatch() {
 
 // drain fails every still-queued request after shutdown.
 func (e *Engine) drain() {
-	for {
-		select {
-		case r := <-e.reqs:
-			r.finish(nil, ErrClosed)
-		default:
-			return
+	for lane := range e.lanes {
+	laneDrain:
+		for {
+			select {
+			case r := <-e.lanes[lane]:
+				e.stats.qdepth[lane].Add(-1)
+				r.finish(nil, ErrClosed)
+			default:
+				break laneDrain
+			}
 		}
 	}
 }
@@ -509,13 +804,27 @@ func (e *Engine) runBatch(ws *workerState, batch []*request) {
 			}
 		}
 	}()
+	start := time.Now()
 	live = batch[:0]
 	for _, r := range batch {
+		// Last gate before a slot is spent: requests that died between
+		// dispatch and execution are skipped so they never skew fill.
 		if err := r.ctx.Err(); err != nil {
-			r.finish(nil, err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				e.stats.expired.Add(1)
+				r.finish(nil, ErrExpired)
+			} else {
+				r.finish(nil, err)
+			}
+			continue
+		}
+		if !r.deadline.IsZero() && !start.Before(r.deadline) {
+			e.stats.expired.Add(1)
+			r.finish(nil, ErrExpired)
 			continue
 		}
 		live = append(live, r)
+		e.stats.recordWait(start.Sub(r.enq))
 	}
 	if len(live) == 0 {
 		return
@@ -530,6 +839,7 @@ func (e *Engine) runBatch(ws *workerState, batch []*request) {
 		clearTail(buf, in.BatchDim, len(live))
 	}
 	vals, err := ws.sess.Run(e.fetches, ws.feeds)
+	e.stats.recordBatchExec(time.Since(start))
 	if err != nil {
 		for _, r := range live {
 			r.finish(nil, fmt.Errorf("serve: %s: %w", e.model.Name(), err))

@@ -11,48 +11,86 @@ import (
 // sub-microsecond to ~12 days.
 const latBuckets = 40
 
+// ewmaShift is the EWMA smoothing factor for the batch-latency and
+// queue-wait gauges: new = old + (sample − old)/2^ewmaShift. 1/8 reacts
+// within a few batches without letting one outlier swing the admission
+// estimate.
+const ewmaShift = 3
+
 // stats is the engine's lock-free counter block. Everything is
 // atomics so workers and Infer callers update it concurrently without
 // serializing the hot path.
 type stats struct {
 	startNano atomic.Int64
-	requests  atomic.Uint64 // completed successfully
+	requests  atomic.Uint64 // completed successfully (all lanes)
 	errors    atomic.Uint64 // execution faults
 	cancels   atomic.Uint64 // caller gave up (context cancelled, shutdown)
+	rejected  atomic.Uint64 // admission-queue full: refused at the door
+	shed      atomic.Uint64 // deadline budget < estimated queue+exec time
+	expired   atomic.Uint64 // deadline passed before execution
 	batches   atomic.Uint64
 	slots     atomic.Uint64 // sum of batch fills
 	maxFill   atomic.Uint64
 	latSumUS  atomic.Uint64
-	latHist   [latBuckets]atomic.Uint64
+
+	// Per-lane request counters and latency histograms (interactive,
+	// batch), so the lanes' p50/p99/p999 are observable separately —
+	// the whole point of priority lanes is that these diverge under
+	// overload.
+	laneReqs [numLanes]atomic.Uint64
+	latHist  [numLanes][latBuckets]atomic.Uint64
+
+	// Gauges. qdepth tracks each lane's admission-queue occupancy;
+	// ewmaBatchUS is the smoothed batch execution latency feeding the
+	// shedding estimate; ewmaWaitUS is the smoothed queue wait of
+	// dispatched requests.
+	qdepth      [numLanes]atomic.Int64
+	ewmaBatchUS atomic.Uint64
+	ewmaWaitUS  atomic.Uint64
 }
 
 func (s *stats) reset() { s.startNano.Store(time.Now().UnixNano()) }
 
-// zero clears every counter and restarts the clock.
+// zero clears every counter and restarts the clock. The queue-depth
+// gauges and EWMAs are left alone: they describe present state, and
+// the admission estimate must not go blind after a stats reset.
 func (s *stats) zero() {
 	s.requests.Store(0)
 	s.errors.Store(0)
 	s.cancels.Store(0)
+	s.rejected.Store(0)
+	s.shed.Store(0)
+	s.expired.Store(0)
 	s.batches.Store(0)
 	s.slots.Store(0)
 	s.maxFill.Store(0)
 	s.latSumUS.Store(0)
-	for i := range s.latHist {
-		s.latHist[i].Store(0)
+	for lane := range s.latHist {
+		s.laneReqs[lane].Store(0)
+		for i := range s.latHist[lane] {
+			s.latHist[lane][i].Store(0)
+		}
 	}
 	s.reset()
 }
 
-// record logs one successfully answered request's end-to-end latency.
-func (s *stats) record(d time.Duration) {
-	s.requests.Add(1)
-	us := uint64(d.Microseconds())
-	s.latSumUS.Add(us)
+// bucketOf maps a microsecond latency to its histogram bucket.
+func bucketOf(us uint64) int {
 	k := 0
 	for v := us; v > 1 && k < latBuckets-1; v >>= 1 {
 		k++
 	}
-	s.latHist[k].Add(1)
+	return k
+}
+
+// record logs one successfully answered request's end-to-end latency
+// on its lane.
+func (s *stats) record(lane Priority, d time.Duration) {
+	s.requests.Add(1)
+	s.laneReqs[lane].Add(1)
+	us := uint64(d.Microseconds())
+	s.latSumUS.Add(us)
+	s.latHist[lane][bucketOf(us)].Add(1)
 }
 
 // recordBatch logs one executed micro-batch and its fill.
@@ -67,14 +105,55 @@ func (s *stats) recordBatch(fill int) {
 	}
 }
 
-// quantile returns the upper bound of the histogram bucket containing
-// the q-quantile request.
-func (s *stats) quantile(q float64) time.Duration {
+// ewmaUpdate folds one sample into an EWMA gauge with a CAS loop (the
+// workers race on it).
+func ewmaUpdate(g *atomic.Uint64, sample uint64) {
+	for {
+		old := g.Load()
+		nw := sample
+		if old != 0 {
+			nw = uint64(int64(old) + (int64(sample)-int64(old))>>ewmaShift)
+			if nw == 0 {
+				nw = 1 // a warmed gauge never reads as cold again
+			}
+		}
+		if g.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// recordBatchExec feeds one batch's execution wall time into the
+// admission estimate.
+func (s *stats) recordBatchExec(d time.Duration) {
+	us := uint64(d.Microseconds())
+	if us == 0 {
+		us = 1
+	}
+	ewmaUpdate(&s.ewmaBatchUS, us)
+}
+
+// recordWait feeds one dispatched request's queue wait into the gauge.
+func (s *stats) recordWait(d time.Duration) {
+	us := uint64(d.Microseconds())
+	if us == 0 {
+		us = 1
+	}
+	ewmaUpdate(&s.ewmaWaitUS, us)
+}
+
+// batchEWMA is the smoothed batch execution latency; zero means no
+// batch has completed yet (a cold engine never sheds on estimates).
+func (s *stats) batchEWMA() time.Duration {
+	return time.Duration(s.ewmaBatchUS.Load()) * time.Microsecond
+}
+
+// histQuantile returns the upper bound of the histogram bucket
+// containing the q-quantile entry of hist.
+func histQuantile(hist *[latBuckets]uint64, q float64) time.Duration {
 	var total uint64
-	var hist [latBuckets]uint64
-	for i := range hist {
-		hist[i] = s.latHist[i].Load()
-		total += hist[i]
+	for _, c := range hist {
+		total += c
 	}
 	if total == 0 {
 		return 0
@@ -93,12 +172,24 @@ func (s *stats) quantile(q float64) time.Duration {
 	return time.Duration(uint64(1)<<latBuckets) * time.Microsecond
 }
 
+// LaneStats is one priority lane's share of the snapshot.
+type LaneStats struct {
+	Requests   uint64        `json:"requests"`
+	QueueDepth int           `json:"queue_depth"`
+	P50Latency time.Duration `json:"p50_latency_ns"`
+	P99Latency time.Duration `json:"p99_latency_ns"`
+	P999       time.Duration `json:"p999_latency_ns"`
+}
+
 // Stats is a point-in-time snapshot of an Engine's counters.
 type Stats struct {
 	Uptime        time.Duration `json:"uptime_ns"`
 	Requests      uint64        `json:"requests"`
 	Errors        uint64        `json:"errors"`
 	Cancelled     uint64        `json:"cancelled"`
+	Rejected      uint64        `json:"rejected"` // admission queue full
+	Shed          uint64        `json:"shed"`     // budget < estimated wait
+	Expired       uint64        `json:"expired"`  // deadline passed unserved
 	Batches       uint64        `json:"batches"`
 	MeanBatchFill float64       `json:"mean_batch_fill"`
 	MaxBatchFill  int           `json:"max_batch_fill"`
@@ -106,13 +197,27 @@ type Stats struct {
 	MeanLatency   time.Duration `json:"mean_latency_ns"`
 	P50Latency    time.Duration `json:"p50_latency_ns"`
 	P99Latency    time.Duration `json:"p99_latency_ns"`
+	P999Latency   time.Duration `json:"p999_latency_ns"`
+
+	// Admission gauges: total queued requests across both lanes, the
+	// EWMA queue wait of dispatched requests, and the EWMA batch
+	// execution latency the shedding estimate multiplies.
+	QueueDepth       int           `json:"queue_depth"`
+	QueueWaitEWMA    time.Duration `json:"queue_wait_ewma_ns"`
+	BatchLatencyEWMA time.Duration `json:"batch_latency_ewma_ns"`
+
+	// Per-lane views: interactive is dispatched first; batch queues,
+	// sheds, and expires first under overload.
+	Interactive LaneStats `json:"interactive"`
+	BatchLane   LaneStats `json:"batch"`
 
 	// Shared worker-pool gauges (filled by Engine.Stats, not part of
 	// the atomic counter block): the pool's configured size, how many
 	// workers are executing right now, how many goroutines exist, and
 	// this engine's total lease claim — sessions × (inter-op ×
 	// intra-op − 1). Busy ≈ Size means helper acquisition is failing
-	// and execution is degrading to serial; load shedders key off it.
+	// and execution is degrading to serial; the admission estimate and
+	// load shedders key off it.
 	PoolSize    int `json:"pool_size"`
 	PoolBusy    int `json:"pool_busy"`
 	PoolSpawned int `json:"pool_spawned"`
@@ -121,16 +226,45 @@ type Stats struct {
 
 func (s *stats) snapshot() Stats {
 	up := time.Since(time.Unix(0, s.startNano.Load()))
-	out := Stats{
-		Uptime:       up,
-		Requests:     s.requests.Load(),
-		Errors:       s.errors.Load(),
-		Cancelled:    s.cancels.Load(),
-		Batches:      s.batches.Load(),
-		MaxBatchFill: int(s.maxFill.Load()),
-		P50Latency:   s.quantile(0.50),
-		P99Latency:   s.quantile(0.99),
+	// Load each lane's histogram once; the merged view feeds the
+	// engine-wide quantiles.
+	var lanes [numLanes][latBuckets]uint64
+	var merged [latBuckets]uint64
+	for lane := range lanes {
+		for i := range lanes[lane] {
+			c := s.latHist[lane][i].Load()
+			lanes[lane][i] = c
+			merged[i] += c
+		}
 	}
+	laneStats := func(lane Priority) LaneStats {
+		return LaneStats{
+			Requests:   s.laneReqs[lane].Load(),
+			QueueDepth: int(s.qdepth[lane].Load()),
+			P50Latency: histQuantile(&lanes[lane], 0.50),
+			P99Latency: histQuantile(&lanes[lane], 0.99),
+			P999:       histQuantile(&lanes[lane], 0.999),
+		}
+	}
+	out := Stats{
+		Uptime:           up,
+		Requests:         s.requests.Load(),
+		Errors:           s.errors.Load(),
+		Cancelled:        s.cancels.Load(),
+		Rejected:         s.rejected.Load(),
+		Shed:             s.shed.Load(),
+		Expired:          s.expired.Load(),
+		Batches:          s.batches.Load(),
+		MaxBatchFill:     int(s.maxFill.Load()),
+		P50Latency:       histQuantile(&merged, 0.50),
+		P99Latency:       histQuantile(&merged, 0.99),
+		P999Latency:      histQuantile(&merged, 0.999),
+		QueueWaitEWMA:    time.Duration(s.ewmaWaitUS.Load()) * time.Microsecond,
+		BatchLatencyEWMA: s.batchEWMA(),
+		Interactive:      laneStats(PriorityInteractive),
+		BatchLane:        laneStats(PriorityBatch),
+	}
+	out.QueueDepth = out.Interactive.QueueDepth + out.BatchLane.QueueDepth
 	if out.Batches > 0 {
 		out.MeanBatchFill = float64(s.slots.Load()) / float64(out.Batches)
 	}
@@ -146,8 +280,11 @@ func (s *stats) snapshot() Stats {
 // String renders the snapshot for the CLI and logs.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"requests=%d errors=%d cancelled=%d batches=%d fill(mean=%.2f max=%d) rps=%.1f latency(mean=%v p50=%v p99=%v) pool(busy=%d/%d spawned=%d claim=%d)",
-		s.Requests, s.Errors, s.Cancelled, s.Batches, s.MeanBatchFill, s.MaxBatchFill,
-		s.ThroughputRPS, s.MeanLatency, s.P50Latency, s.P99Latency,
+		"requests=%d errors=%d cancelled=%d admit(rejected=%d shed=%d expired=%d) batches=%d fill(mean=%.2f max=%d) rps=%.1f latency(mean=%v p50=%v p99=%v p999=%v) queue(depth=%d wait=%v batch-ewma=%v) lanes(interactive p99=%v, batch p99=%v) pool(busy=%d/%d spawned=%d claim=%d)",
+		s.Requests, s.Errors, s.Cancelled, s.Rejected, s.Shed, s.Expired,
+		s.Batches, s.MeanBatchFill, s.MaxBatchFill,
+		s.ThroughputRPS, s.MeanLatency, s.P50Latency, s.P99Latency, s.P999Latency,
+		s.QueueDepth, s.QueueWaitEWMA, s.BatchLatencyEWMA,
+		s.Interactive.P99Latency, s.BatchLane.P99Latency,
 		s.PoolBusy, s.PoolSize, s.PoolSpawned, s.LeaseClaim)
 }
