@@ -67,6 +67,7 @@ func main() {
 	maxDelay := fs.Duration("maxdelay", 2*time.Millisecond, "max wait for a micro-batch to fill (serve)")
 	replicas := fs.Int("replicas", 4, "data-parallel model replicas (train)")
 	chunks := fs.Int("chunks", 4, "micro-batch chunks per global step; replicas must divide it (train)")
+	fuseWidth := fs.Int("fuse", 0, "horizontal fusion width: also train K instances in one fused graph, 0 = off (train)")
 	queueLen := fs.Int("queue", 0, "admission queue cap per priority lane, 0 = 4x maxbatch (serve, loadtest)")
 	deadline := fs.Duration("deadline", 0, "per-request deadline budget, 0 = none for serve / 250ms for loadtest (serve, loadtest)")
 	qps := fs.Float64("qps", 0, "1x-stage offered rate; 0 measures engine capacity first (loadtest)")
@@ -158,12 +159,20 @@ func main() {
 		// Data-parallel training: replicate each workload over shards
 		// of its global batch on the shared pool, report achieved vs
 		// achievable scaling, and live-check the bit-identical-across-
-		// replica-counts contract. Emits CSV with -out.
+		// replica-counts contract. With -fuse K, additionally train a
+		// width-K horizontally fused array per workload. Emits CSV with
+		// -out and persists the throughput sweep as BENCH_train.json.
+		validateTrainFlags(*replicas, *chunks, *fuseWidth)
 		var names []string
 		if *model != "" {
 			names = strings.Split(*model, ",")
 		}
-		must(experiments.TrainScaling(opts, *replicas, *chunks, *intraop, names))(emit)
+		res, bench, err := experiments.TrainScaling(opts, *replicas, *chunks, *intraop, *fuseWidth, names)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res)
+		writeTrainBench(bench, *outDir)
 	case "serve":
 		if *model == "" {
 			fatal(fmt.Errorf("serve requires -model (comma-separated workload names)"))
@@ -302,7 +311,13 @@ func main() {
 			must(experiments.Fig6(opts, m))(emit)
 		}
 		must(experiments.ProfileParallel(opts, core.ModeTraining, 4, 4, nil, ""))(emit)
-		must(experiments.TrainScaling(opts, *replicas, *chunks, 1, nil))(emit)
+		validateTrainFlags(*replicas, *chunks, *fuseWidth)
+		trainRes, trainBench, err := experiments.TrainScaling(opts, *replicas, *chunks, 1, *fuseWidth, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit(trainRes)
+		writeTrainBench(trainBench, *outDir)
 		// Short serving overload sweep: keep `all` runs tractable while
 		// still exercising the admission path and refreshing the bench
 		// trajectory file.
@@ -320,6 +335,43 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+}
+
+// validateTrainFlags rejects inconsistent train-axis flag combinations
+// up front with a clear error instead of a mid-run failure.
+func validateTrainFlags(replicas, chunks, fuseWidth int) {
+	if replicas < 1 {
+		fatal(fmt.Errorf("train: -replicas %d must be >= 1", replicas))
+	}
+	if chunks < 1 {
+		fatal(fmt.Errorf("train: -chunks %d must be >= 1", chunks))
+	}
+	if chunks%replicas != 0 {
+		fatal(fmt.Errorf("train: -replicas %d must divide -chunks %d (each replica owns an equal share of the chunk grid)", replicas, chunks))
+	}
+	if fuseWidth < 0 {
+		fatal(fmt.Errorf("train: -fuse %d must be >= 0 (0 disables fusion)", fuseWidth))
+	}
+}
+
+// writeTrainBench persists the training-throughput sweep as the
+// BENCH_train.json trajectory file (inside -out when set).
+func writeTrainBench(tb *experiments.TrainBench, outDir string) {
+	payload, err := experiments.WriteTrainBenchJSON(tb)
+	if err != nil {
+		fatal(err)
+	}
+	path := "BENCH_train.json"
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path = filepath.Join(outDir, path)
+	}
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("(bench written to %s)\n\n", path)
 }
 
 // writeBench persists a load-test report as the BENCH_serve.json
@@ -361,8 +413,9 @@ commands:
   run        profile one workload        (-model, -mode, -device, -workers, -intraop, -interop)
   profile    parallelism report          (-interop N -intraop N; critical path, achieved vs
              achievable inter-op speedup, real vs modeled intra-op speedup; CSV with -out)
-  train      data-parallel training      (-replicas N -chunks K -model a,b -steps N -intraop N;
-             achieved vs achievable scaling, bit-identical across replica counts)
+  train      training scaling            (-replicas N -chunks K -fuse K -model a,b -steps N -intraop N;
+             data-parallel achieved vs achievable scaling plus horizontally fused arrays,
+             bit-identical across replica counts and fused trainees -> BENCH_train.json)
   serve      HTTP/JSON inference serving (-model a,b -addr -sessions -maxbatch -maxdelay -interop -intraop
              -queue N -deadline D: bounded admission lanes + per-model deadline budget)
   loadtest   open-loop overload test     (-model m -qps X -duration D -arrival poisson|uniform -batchfrac F

@@ -186,4 +186,52 @@
 // `fathom train` reports achieved wall speedup against the Amdahl
 // bound of the run's own phase structure (profiling.TrainScaling) and
 // live-checks the bit-identity invariant.
+//
+// # Horizontally fused training
+//
+// internal/fuse adds the HFTA-style fourth scaling axis: instead of
+// running K training instances side by side (K graphs, K sessions, K
+// GEMMs per layer), fuse.New builds one array-batched graph in which
+// every parameter, gradient, and optimizer update is stacked along a
+// leading fusion axis of size K, so a single batched matrix multiply
+// (ops.BatchMatMul) — and a single arena, plan, and session — serves
+// all K trainees at once. The transform is graph-level and works on
+// any core.Trainer workload: shared structure (placeholders,
+// constants, non-parameter state, the RNG source lane) is computed
+// once and broadcast, per-trainee structure is lifted onto the fusion
+// axis, and the impure lane's schedule order is preserved so one
+// shared dropout mask keeps RNG draw-count parity with a standalone
+// run. Trainees may diverge only through per-trainee learning-rate
+// scales (Options.LRScales), which is the hyperparameter-search use
+// case: K learning rates explored for the price of roughly one run.
+//
+// The fused determinism contract extends the harness once more: each
+// trainee's loss trajectory and final variables are bit-identical to
+// a standalone run with the same seed, chunk grid, and learning-rate
+// scale, across widths K ∈ {1, 2, 4} × intra-op {1, 4}. This holds by
+// construction — fused kernels iterate the fusion axis invoking the
+// standalone kernel on contiguous per-trainee views, and the chunk
+// protocol (reseed, ChunkSeed sampling, ascending-chunk float32
+// gradient accumulation, fed-gradient apply) is shared with
+// internal/dist verbatim. `fathom train -fuse K` trains the fused
+// array next to the data-parallel baseline and persists both
+// throughput trajectories as BENCH_train.json.
+//
+// # Adaptive pool leases
+//
+// Pool leases are occupancy-driven rather than static. Every tenant —
+// plain sessions, serve engines ("engine/<model>"), dist trainers
+// ("dist/<model>"), fused arrays ("fuse/<model>") — registers a named
+// lease recording what it wants; while total wants fit the pool,
+// everyone gets a full grant. When tenants oversubscribe the pool, a
+// time-gated renegotiation on the TryRun path water-fills grants over
+// each lease's measured demand (recent peak concurrency plus pressure
+// from denied acquisitions) with a floor of one helper, so mixed
+// tenants sharing one pool converge on their actual usage instead of
+// their declared width and none starves (raced in CI by the
+// mixed-tenant test: a serving engine and a fused trainer on one
+// pool, both making progress, goroutines bounded). Grants are
+// advisory caps on helper acquisition — degrade-to-serial still
+// applies — and /stats reports per-tenant want/granted/active so the
+// renegotiation is observable.
 package repro

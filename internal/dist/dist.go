@@ -22,9 +22,11 @@
 //     in fixed ascending-replica, ascending-chunk float32 order —
 //     replica ranges are contiguous and ascending, so this is exactly
 //     ascending order over the global chunk grid — then scale by
-//     1/chunks (the gradient of the global-batch mean loss). Distinct
-//     parameters reduce independently (possibly on different shared-
-//     pool workers); each parameter's combine order is fixed.
+//     1/chunks (the gradient of the global-batch mean loss). The work
+//     distributes as element ranges (large parameters split across
+//     several, see reduceRangeElems) reducing independently, possibly
+//     on different shared-pool workers; every element's combine order
+//     is fixed regardless of the split or placement.
 //  3. Apply: every replica feeds the same combined tensors into its
 //     TrainPlan's fed-gradient placeholders and fetches the same
 //     apply node, taking one identical optimizer step. Replica
@@ -112,6 +114,12 @@ type Options struct {
 	// Seed keys model initialization and the per-(step, chunk) data
 	// and RNG streams (default 1).
 	Seed int64
+	// LRScale scales the workload recipe's base learning rate (0 means
+	// 1): the update path applies base × LRScale as a single float32
+	// product — the same arithmetic a fused training array
+	// (internal/fuse) applies per trainee, so a standalone dist run at
+	// a given scale is the bit-exact reference for that fused trainee.
+	LRScale float32
 	// IntraOpWorkers is each replica session's real intra-op width
 	// (default 1); InterOpWorkers its inter-op scheduler width.
 	// Neither affects result bits.
@@ -172,11 +180,12 @@ type Trainer struct {
 	replicas []*replica
 	params   int
 
-	comb   []*tensor.Tensor // combined gradients, one per parameter
-	step   int
-	losses []float64
-	timing Timing
-	closed bool
+	comb        []*tensor.Tensor // combined gradients, one per parameter
+	reduceItems []reduceItem     // the all-reduce work list: element ranges
+	step        int
+	losses      []float64
+	timing      Timing
+	closed      bool
 }
 
 // New builds a trainer: Replicas instances of the workload, each Setup
@@ -233,13 +242,18 @@ func New(name string, opts Options) (*Trainer, error) {
 		}
 		// Build the fed-gradient apply path eagerly so every replica
 		// graph has it (checkpoints then agree across replica counts).
-		applyNode, gradIn, err := plan.DistApply()
+		scale := opts.LRScale
+		if scale == 0 {
+			scale = 1
+		}
+		applyNode, gradIn, err := plan.DistApplyScaled(scale)
 		if err != nil {
 			return nil, fmt.Errorf("dist: %s apply path: %w", name, err)
 		}
 		sessOpts := []runtime.Option{
 			runtime.WithSeed(opts.Seed),
 			runtime.WithWorkerPool(opts.Pool),
+			runtime.WithLeaseName("dist/" + name),
 		}
 		if opts.IntraOpWorkers > 1 {
 			sessOpts = append(sessOpts, runtime.WithIntraOpWorkers(opts.IntraOpWorkers))
@@ -285,7 +299,24 @@ func New(name string, opts Options) (*Trainer, error) {
 		rep.chunkLoss = make([]float64, per)
 		rep.chunkGrads = make([][]*tensor.Tensor, per)
 	}
-	t.lease = t.pool.Lease(opts.Replicas - 1)
+	// The all-reduce work list: every parameter split into element
+	// ranges of at most reduceRangeElems, so one very large parameter
+	// (vgg's fc weights dominate the others combined) spreads over all
+	// helpers instead of serializing the reduce phase behind a single
+	// worker. Each range combines the same chunks in the same ascending
+	// order as the whole-parameter reduce — elements are independent,
+	// so the split never changes result bits.
+	for p, c := range t.comb {
+		n := len(c.Data())
+		for lo := 0; lo < n; lo += reduceRangeElems {
+			hi := lo + reduceRangeElems
+			if hi > n {
+				hi = n
+			}
+			t.reduceItems = append(t.reduceItems, reduceItem{param: p, lo: lo, hi: hi})
+		}
+	}
+	t.lease = t.pool.LeaseNamed("dist/"+name, opts.Replicas-1)
 	built = true
 	return t, nil
 }
@@ -423,18 +454,29 @@ func (t *Trainer) chunkGrad(c, p int) *tensor.Tensor {
 	return r.chunkGrads[c-r.lo][p]
 }
 
-// reduceParam combines parameter p across the chunk grid: the
-// per-chunk gradients sum elementwise in ascending chunk order —
-// ascending replica, ascending chunk within the replica, which is the
-// same thing — then scale by 1/Chunks, yielding the gradient of the
-// global-batch mean loss. The order is a constant of the chunk grid,
-// so the result bits never depend on the replica count or on which
-// worker reduces the parameter.
-func (t *Trainer) reduceParam(p int) {
-	out := t.comb[p].Data()
-	copy(out, t.chunkGrad(0, p).Data())
+// reduceRangeElems bounds one all-reduce work item: parameters larger
+// than this split into element ranges so a single very large parameter
+// (vgg's fc weights) parallelizes across helpers instead of holding
+// the whole reduce phase on one worker.
+const reduceRangeElems = 1 << 15
+
+// reduceItem is one all-reduce work item: element range [lo, hi) of
+// parameter param.
+type reduceItem struct{ param, lo, hi int }
+
+// reduceRange combines elements [lo, hi) of parameter p across the
+// chunk grid: the per-chunk gradients sum elementwise in ascending
+// chunk order — ascending replica, ascending chunk within the replica,
+// which is the same thing — then scale by 1/Chunks, yielding the
+// gradient of the global-batch mean loss. The order is a constant of
+// the chunk grid and elements are independent, so the result bits
+// never depend on the replica count, on which worker reduces the
+// range, or on how the parameter was split into ranges.
+func (t *Trainer) reduceRange(p, lo, hi int) {
+	out := t.comb[p].Data()[lo:hi]
+	copy(out, t.chunkGrad(0, p).Data()[lo:hi])
 	for c := 1; c < t.part.Chunks; c++ {
-		g := t.chunkGrad(c, p).Data()
+		g := t.chunkGrad(c, p).Data()[lo:hi]
 		for i := range out {
 			out[i] += g[i]
 		}
@@ -445,27 +487,28 @@ func (t *Trainer) reduceParam(p int) {
 	}
 }
 
-// reduce runs the all-reduce: parameters are distributed over the
-// caller plus lease helpers via a work-stealing cursor — safe because
-// each parameter's combine is self-contained and deterministic, so
-// placement affects only timing.
+// reduce runs the all-reduce: the element-range work items are
+// distributed over the caller plus lease helpers via a work-stealing
+// cursor — safe because each range's combine is self-contained and
+// deterministic, so placement affects only timing.
 func (t *Trainer) reduce() {
-	if t.params == 0 {
+	items := t.reduceItems
+	if len(items) == 0 {
 		return
 	}
 	var cursor atomic.Int64
 	work := func() {
 		for {
-			p := int(cursor.Add(1)) - 1
-			if p >= t.params {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(items) {
 				return
 			}
-			t.reduceParam(p)
+			t.reduceRange(items[i].param, items[i].lo, items[i].hi)
 		}
 	}
 	helpers := len(t.replicas) - 1
-	if helpers > t.params-1 {
-		helpers = t.params - 1
+	if helpers > len(items)-1 {
+		helpers = len(items) - 1
 	}
 	var wg sync.WaitGroup
 	for h := 0; h < helpers; h++ {

@@ -232,11 +232,13 @@ func TestAblation(t *testing.T) {
 }
 
 // TestTrainScaling pins the train command's Result shape: the CSV
-// carries the scaling columns, the achievable bound stays within
-// [1, replicas], and both workloads' loss trajectories are
-// bit-identical across replica counts (no WARNING row).
+// carries the scaling and fusion columns, the achievable bound stays
+// within [1, replicas], both workloads' loss trajectories are
+// bit-identical across replica counts AND across fused trainees (no
+// WARNING row), the fused throughput columns are live, and the
+// BENCH_train.json payload mirrors the rows.
 func TestTrainScaling(t *testing.T) {
-	r, err := TrainScaling(tinyOpts(), 2, 4, 1, []string{"autoenc", "memnet"})
+	r, bench, err := TrainScaling(tinyOpts(), 2, 4, 1, 2, []string{"autoenc", "memnet"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +249,7 @@ func TestTrainScaling(t *testing.T) {
 		t.Fatalf("train scaling reports a determinism violation:\n%s", r.Text)
 	}
 	lines := strings.Split(strings.TrimSpace(r.CSV), "\n")
-	if lines[0] != "workload,replicas,chunks,global_batch,steps,final_loss,serial_steps_per_s,parallel_steps_per_s,achieved,achievable,bit_identical" {
+	if lines[0] != "workload,replicas,chunks,global_batch,steps,final_loss,serial_steps_per_s,parallel_steps_per_s,achieved,achievable,bit_identical,fused_width,fused_trainee_steps_per_s,fused_speedup,fused_identical" {
 		t.Fatalf("train CSV header %q", lines[0])
 	}
 	if len(lines) != 1+2 {
@@ -261,6 +263,20 @@ func TestTrainScaling(t *testing.T) {
 		bound, _ := strconv.ParseFloat(f[9], 64)
 		if bound < 1 || bound > 2.0001 {
 			t.Errorf("%s: achievable %v outside [1, replicas]", f[0], bound)
+		}
+		if f[11] != "2" || f[14] != "true" {
+			t.Errorf("%s: fused columns width=%s identical=%s, want 2/true", f[0], f[11], f[14])
+		}
+		if rate, _ := strconv.ParseFloat(f[12], 64); rate <= 0 {
+			t.Errorf("%s: fused trainee rate %v must be positive", f[0], rate)
+		}
+	}
+	if bench == nil || len(bench.Workloads) != 2 || bench.FusedWidth != 2 {
+		t.Fatalf("bench payload = %+v", bench)
+	}
+	for _, row := range bench.Workloads {
+		if !row.BitIdentical || !row.FusedIdentical || row.FusedTraineeStepsPerS <= 0 {
+			t.Errorf("bench row %+v: identity or fused throughput broken", row)
 		}
 	}
 }

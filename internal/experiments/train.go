@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/fuse"
 	"repro/internal/profiling"
 )
 
@@ -48,16 +50,116 @@ func runTrain(name string, o Options, replicas, chunks, intraop, steps int) (tra
 	}, nil
 }
 
-// TrainScaling is the data-parallel training report (`fathom train`,
-// part of `fathom all`): per workload, it trains the same fixed global
-// batch at 1 replica and at `replicas` replicas on the shared worker
-// pool and puts the achieved wall-clock speedup next to the achievable
-// bound the run's own phase structure admits
-// (profiling.TrainScaling). The ident column live-checks the
-// subsystem's headline invariant — both runs' loss trajectories must
-// be bit-identical, because the replica count only repartitions the
-// chunk grid.
-func TrainScaling(o Options, replicas, chunks, intraop int, names []string) (Result, error) {
+// fusedRun is one horizontally fused training measurement: width
+// trainees stacked into a single array-batched graph (internal/fuse).
+type fusedRun struct {
+	losses [][]float64 // [trainee][step]
+	timing fuse.Timing
+	width  int
+}
+
+// runFused trains width fused instances of the workload (pure
+// replication: every trainee at learning-rate scale 1, so each must
+// reproduce the 1-replica dist run bit for bit) over the same chunk
+// grid, warmup untimed plus steps timed.
+func runFused(name string, o Options, width, chunks, intraop, steps int) (fusedRun, error) {
+	arr, err := fuse.New(name, fuse.Options{
+		Width:          width,
+		Chunks:         chunks,
+		Preset:         o.Preset,
+		Seed:           o.Seed,
+		IntraOpWorkers: intraop,
+	})
+	if err != nil {
+		return fusedRun{}, err
+	}
+	defer arr.Close()
+	if err := arr.Train(o.Warmup); err != nil {
+		return fusedRun{}, err
+	}
+	arr.ResetTiming()
+	if err := arr.Train(steps); err != nil {
+		return fusedRun{}, err
+	}
+	out := fusedRun{timing: arr.Timing(), width: width}
+	for k := 0; k < width; k++ {
+		out.losses = append(out.losses, append([]float64(nil), arr.Losses(k)...))
+	}
+	return out, nil
+}
+
+// TrainBenchRow is one workload's training-throughput measurement in
+// BENCH_train.json.
+type TrainBenchRow struct {
+	Workload    string  `json:"workload"`
+	GlobalBatch int     `json:"global_batch"`
+	FinalLoss   float64 `json:"final_loss"`
+	// SerialStepsPerS is the 1-replica global-step rate;
+	// ParallelStepsPerS the N-replica rate over the same global batch;
+	// AchievedSpeedup their ratio.
+	SerialStepsPerS   float64 `json:"serial_steps_per_s"`
+	ParallelStepsPerS float64 `json:"parallel_steps_per_s"`
+	AchievedSpeedup   float64 `json:"achieved_speedup"`
+	// FusedTraineeStepsPerS is the fused array's trainee-step rate
+	// (width × steps ÷ wall): the throughput of training width model
+	// instances at once. FusedSpeedup is that rate over
+	// SerialStepsPerS — the speedup against training the instances one
+	// after another, the HFTA baseline. Zero when fusion was off.
+	FusedTraineeStepsPerS float64 `json:"fused_trainee_steps_per_s"`
+	FusedSpeedup          float64 `json:"fused_speedup"`
+	// BitIdentical: loss trajectories identical across replica counts.
+	// FusedIdentical: every fused trainee's trajectory identical to the
+	// 1-replica run (vacuously true when fusion was off).
+	BitIdentical   bool `json:"bit_identical"`
+	FusedIdentical bool `json:"fused_identical"`
+}
+
+// TrainBench is what `fathom train` persists as BENCH_train.json: the
+// training-throughput trajectory later PRs diff against, covering both
+// the data-parallel axis (replicas) and the horizontal-fusion axis
+// (fused width).
+type TrainBench struct {
+	Kind       string          `json:"kind"`
+	Preset     string          `json:"preset"`
+	Steps      int             `json:"steps"`
+	Chunks     int             `json:"chunks"`
+	IntraOp    int             `json:"intraop"`
+	Replicas   int             `json:"replicas"`
+	FusedWidth int             `json:"fused_width"`
+	Workloads  []TrainBenchRow `json:"workloads"`
+}
+
+// WriteTrainBenchJSON renders the BENCH_train.json payload.
+func WriteTrainBenchJSON(tb *TrainBench) ([]byte, error) {
+	return json.MarshalIndent(tb, "", "  ")
+}
+
+// sameLosses reports whether two loss trajectories are bit-identical.
+func sameLosses(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TrainScaling is the training-scaling report (`fathom train`, part of
+// `fathom all`): per workload, it trains the same fixed global batch
+// at 1 replica and at `replicas` replicas on the shared worker pool
+// and puts the achieved wall-clock speedup next to the achievable
+// bound the run's own phase structure admits (profiling.TrainScaling).
+// With fused > 0 it additionally trains a horizontally fused array of
+// that width (internal/fuse) and reports its trainee-step throughput
+// against the sequential-standalone baseline. The ident columns
+// live-check the two subsystems' headline invariant — replica counts
+// only repartition the chunk grid, and fused trainees reproduce
+// standalone runs, so every loss trajectory must be bit-identical.
+// Alongside the Result it returns the BENCH_train.json payload.
+func TrainScaling(o Options, replicas, chunks, intraop, fused int, names []string) (Result, *TrainBench, error) {
 	o = o.withDefaults()
 	if replicas < 1 {
 		replicas = 1
@@ -68,60 +170,108 @@ func TrainScaling(o Options, replicas, chunks, intraop int, names []string) (Res
 	if intraop < 1 {
 		intraop = 1
 	}
+	if fused < 0 {
+		fused = 0
+	}
 	if len(names) == 0 {
 		names = core.Names()
 	}
+	bench := &TrainBench{
+		Kind: "train", Preset: o.Preset.String(), Steps: o.Steps,
+		Chunks: chunks, IntraOp: intraop, Replicas: replicas, FusedWidth: fused,
+	}
 	var text, csv strings.Builder
-	fmt.Fprintf(&text, "data-parallel training: %d steps, %d chunks/step, replicas 1 vs %d, intra-op %d\n\n",
+	fmt.Fprintf(&text, "training scaling: %d steps, %d chunks/step, replicas 1 vs %d, intra-op %d",
 		o.Steps, chunks, replicas, intraop)
-	fmt.Fprintf(&text, "%-10s %6s %10s %11s %11s %9s %10s %6s\n",
-		"workload", "batch", "loss", "step/s@1", "step/s@N", "achieved", "achievable", "ident")
-	csv.WriteString("workload,replicas,chunks,global_batch,steps,final_loss,serial_steps_per_s,parallel_steps_per_s,achieved,achievable,bit_identical\n")
+	if fused > 0 {
+		fmt.Fprintf(&text, ", fused width %d", fused)
+	}
+	text.WriteString("\n\n")
+	fmt.Fprintf(&text, "%-10s %6s %10s %11s %11s %9s %10s %11s %8s %6s\n",
+		"workload", "batch", "loss", "step/s@1", "step/s@N", "achieved", "achievable", "trainee/s@K", "fused-x", "ident")
+	csv.WriteString("workload,replicas,chunks,global_batch,steps,final_loss,serial_steps_per_s,parallel_steps_per_s,achieved,achievable,bit_identical,fused_width,fused_trainee_steps_per_s,fused_speedup,fused_identical\n")
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		base, err := runTrain(name, o, 1, chunks, intraop, o.Steps)
 		if err != nil {
-			return Result{}, fmt.Errorf("train %s replicas=1: %w", name, err)
+			return Result{}, nil, fmt.Errorf("train %s replicas=1: %w", name, err)
 		}
 		par, err := runTrain(name, o, replicas, chunks, intraop, o.Steps)
 		if err != nil {
-			return Result{}, fmt.Errorf("train %s replicas=%d: %w", name, replicas, err)
+			return Result{}, nil, fmt.Errorf("train %s replicas=%d: %w", name, replicas, err)
 		}
-		ident := len(base.losses) == len(par.losses)
-		for i := 0; ident && i < len(base.losses); i++ {
-			ident = base.losses[i] == par.losses[i]
-		}
+		ident := sameLosses(base.losses, par.losses)
 		ts := profiling.TrainScaling(replicas,
 			base.timing.Wall, par.timing.Wall,
 			par.timing.GradSum, par.timing.GradMax, par.timing.Reduce, par.timing.Apply)
-		perSec := func(t dist.Timing) float64 {
-			if t.Wall <= 0 {
+		perSec := func(steps int, wall float64) float64 {
+			if wall <= 0 {
 				return 0
 			}
-			return float64(t.Steps) / t.Wall.Seconds()
+			return float64(steps) / wall
 		}
+		serialRate := perSec(base.timing.Steps, base.timing.Wall.Seconds())
+		parRate := perSec(par.timing.Steps, par.timing.Wall.Seconds())
 		final := 0.0
 		if len(par.losses) > 0 {
 			final = par.losses[len(par.losses)-1]
 		}
-		fmt.Fprintf(&text, "%-10s %6d %10.4f %11.2f %11.2f %8.2fx %9.2fx %6v\n",
-			name, base.batch, final, perSec(base.timing), perSec(par.timing),
-			ts.Achieved, ts.Achievable, ident)
-		fmt.Fprintf(&csv, "%s,%d,%d,%d,%d,%.6f,%.4f,%.4f,%.4f,%.4f,%v\n",
+
+		fusedRate, fusedX := 0.0, 0.0
+		fusedIdent := true
+		if fused > 0 {
+			fr, err := runFused(name, o, fused, chunks, intraop, o.Steps)
+			if err != nil {
+				return Result{}, nil, fmt.Errorf("train %s fused=%d: %w", name, fused, err)
+			}
+			fusedRate = perSec(fr.timing.Steps*fr.width, fr.timing.Wall.Seconds())
+			if serialRate > 0 {
+				fusedX = fusedRate / serialRate
+			}
+			// Pure replication: every fused trainee must reproduce the
+			// 1-replica trajectory bit for bit.
+			for k := 0; fusedIdent && k < fr.width; k++ {
+				fusedIdent = sameLosses(base.losses, fr.losses[k])
+			}
+		}
+
+		fmt.Fprintf(&text, "%-10s %6d %10.4f %11.2f %11.2f %8.2fx %9.2fx %11.2f %7.2fx %6v\n",
+			name, base.batch, final, serialRate, parRate,
+			ts.Achieved, ts.Achievable, fusedRate, fusedX, ident && fusedIdent)
+		fmt.Fprintf(&csv, "%s,%d,%d,%d,%d,%.6f,%.4f,%.4f,%.4f,%.4f,%v,%d,%.4f,%.4f,%v\n",
 			name, replicas, chunks, base.batch, o.Steps, final,
-			perSec(base.timing), perSec(par.timing), ts.Achieved, ts.Achievable, ident)
+			serialRate, parRate, ts.Achieved, ts.Achievable, ident,
+			fused, fusedRate, fusedX, fusedIdent)
 		if !ident {
 			// The determinism harness enforces this in CI; the report
 			// surfaces it rather than silently printing a broken run.
 			fmt.Fprintf(&text, "  WARNING: %s loss trajectory differs across replica counts\n", name)
 		}
+		if !fusedIdent {
+			fmt.Fprintf(&text, "  WARNING: %s fused trainee trajectory differs from the standalone run\n", name)
+		}
+		bench.Workloads = append(bench.Workloads, TrainBenchRow{
+			Workload: name, GlobalBatch: base.batch, FinalLoss: final,
+			SerialStepsPerS: serialRate, ParallelStepsPerS: parRate,
+			AchievedSpeedup:       ts.Achieved,
+			FusedTraineeStepsPerS: fusedRate, FusedSpeedup: fusedX,
+			BitIdentical: ident, FusedIdentical: fusedIdent,
+		})
 	}
 	text.WriteString("\nachieved: wall speedup over the 1-replica run of the same global batch\n")
 	text.WriteString("achievable: Amdahl bound from the run's phase walls (parallel gradients, serial reduce+apply)\n")
-	text.WriteString("ident: loss trajectories bit-identical across replica counts (the dist determinism contract)\n")
+	if fused > 0 {
+		text.WriteString("trainee/s@K: fused array trainee-step throughput (K instances in one graph)\n")
+		text.WriteString("fused-x: that throughput over step/s@1 — speedup vs training the K instances sequentially\n")
+	}
+	text.WriteString("ident: loss trajectories bit-identical across replica counts and fused trainees (the determinism contract)\n")
+	title := fmt.Sprintf("Data-parallel training scaling at %d replicas", replicas)
+	if fused > 0 {
+		title = fmt.Sprintf("Training scaling: %d replicas data-parallel, width-%d fused", replicas, fused)
+	}
 	return Result{
 		ID:    "train",
-		Title: fmt.Sprintf("Data-parallel training scaling at %d replicas", replicas),
+		Title: title,
 		Text:  text.String(), CSV: csv.String(),
-	}, nil
+	}, bench, nil
 }

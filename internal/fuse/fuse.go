@@ -1,0 +1,391 @@
+// Package fuse is the suite's horizontally fused training subsystem:
+// K training instances of one workload — hyperparameter variants
+// differing only in learning rate, or plain replicas — fused into a
+// single array-batched graph, after HFTA (Wang et al., MLSys 2021).
+//
+// # Architecture
+//
+// Where data-parallel training (internal/dist) runs K separate graphs
+// that time-slice the shared worker pool, fusion stacks the K
+// instances' variables, activations and gradients along a new leading
+// fusion axis and runs ONE graph: shared inputs and everything
+// computed purely from them execute once for all trainees, stacked
+// untransposed matrix products collapse into single BatchMatMul nodes,
+// and the optimizer apply-ops take a per-trainee learning-rate vector.
+// One session, one scheduler pass, one impure lane — the fused step
+// does strictly less work than K standalone steps and feeds the pool
+// larger kernels.
+//
+// # Determinism contract
+//
+// Fusion admits K instances with the same workload, seed and chunk
+// grid, diverging only through per-trainee learning-rate scales. Under
+// that admission rule, trainee kk's per-step losses and final variable
+// bits are identical to a standalone run of that instance (a
+// single-replica dist trainer at learning-rate scale kk) — not merely
+// close: every fused node either executes the standalone kernel
+// per-trainee on contiguous slices (ops.ArrayWrap, ops.BatchMatMul's
+// per-slice loop, the ApplyArray* update rules) or is genuinely shared
+// (one dropout mask, one RNG draw — exactly what K seed-identical
+// standalone runs each compute). The grad phase reuses dist's chunk
+// protocol verbatim: per chunk, reseed to dataset.ChunkSeed, sample,
+// fetch loss + raw gradients; combine chunks in ascending order ×
+// 1/Chunks; apply through the fed-gradient path. The determinism
+// harness (internal/models/determinism_test.go) pins trainee-vs-
+// standalone bit-identity across K ∈ {1,2,4} × intra-op {1,4}.
+//
+// # Scheduling
+//
+// The fused session is one tenant of the shared worker pool, leased as
+// "fuse/<workload>" under the pool's adaptive occupancy-driven grants
+// (internal/sched), so a fused array co-resident with a serve engine
+// or a dist trainer converges to a share proportional to its demand —
+// and degrades to serial execution, never blocking, when the pool is
+// saturated.
+package fuse
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/models/nn"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+// ErrClosed is returned by Step after Close.
+var ErrClosed = errors.New("fuse: array closed")
+
+// Trainable is what a workload must implement to fuse: the standard
+// model interface, a seed-keyed batch sampler, and the training plan
+// nn.BuildTraining records — the same surface internal/dist requires.
+type Trainable interface {
+	core.Model
+	core.TrainSampler
+	TrainPlan() *nn.TrainPlan
+}
+
+// stepListener mirrors dist.StepListener: workloads that advance
+// out-of-graph state per step (deepq's target-network sync) cannot
+// fuse — their per-instance state has no slice in the fused graph.
+type stepListener interface {
+	OnTrainStep(step int)
+}
+
+// Options configures an Array.
+type Options struct {
+	// Width is the fusion width K: the number of trainees stacked into
+	// the fused graph (default 1).
+	Width int
+	// LRScales are the per-trainee learning-rate scale factors, length
+	// Width; trainee kk trains at scale LRScales[kk] × the workload's
+	// base rate. Nil means every trainee at scale 1 (pure replication).
+	LRScales []float32
+	// Chunks is the canonical micro-batch grid per global step
+	// (default 4) — the same grid a standalone dist run uses, so the
+	// gradient combine order matches bit for bit.
+	Chunks int
+	// GlobalBatch is the examples per global step per trainee; Chunks
+	// must divide it. 0 derives it as Chunks × the workload's preset
+	// batch.
+	GlobalBatch int
+	// Preset selects the workload scale (default ref).
+	Preset core.Preset
+	// Seed keys model initialization and the per-(step, chunk) data
+	// and RNG streams, shared by every trainee (default 1).
+	Seed int64
+	// IntraOpWorkers is the fused session's real intra-op width
+	// (default 1); InterOpWorkers its inter-op scheduler width.
+	// Neither affects result bits.
+	IntraOpWorkers int
+	InterOpWorkers int
+	// Pool is the shared worker pool (default sched.Default()).
+	Pool *sched.Pool
+}
+
+// Timing accumulates the array's phase walls.
+type Timing struct {
+	Steps int
+	// Grad is the summed per-chunk forward+backward wall, Reduce the
+	// gradient combine wall, Apply the fused update wall.
+	Grad, Reduce, Apply time.Duration
+	// Wall is the total step wall.
+	Wall time.Duration
+}
+
+// Array drives fused training of K instances of one workload. It is
+// confined to a single goroutine: Step and Close must not be called
+// concurrently.
+type Array struct {
+	name string
+	opts Options
+	part dataset.Partition
+
+	template Trainable
+	tmplSess *runtime.Session // sampling handle over the template graph
+	plan     *fusedPlan
+	sess     *runtime.Session
+
+	fetches    []*graph.Node // fused loss + stacked grads
+	feeds      runtime.Feeds
+	applyFeeds runtime.Feeds
+	comb       []*tensor.Tensor // combined stacked gradients
+	paramShape [][]int          // per-trainee parameter shapes
+	paramNames []string
+
+	chunkAcc []float64 // per-trainee loss accumulator, reused per step
+	step     int
+	losses   [][]float64 // [trainee][step]
+	timing   Timing
+	closed   bool
+}
+
+// New builds a fused array: one instance of the workload, Setup at the
+// chunk micro-batch size, horizontally fused Width times.
+func New(name string, opts Options) (*Array, error) {
+	if opts.Width < 1 {
+		opts.Width = 1
+	}
+	if opts.Chunks < 1 {
+		opts.Chunks = 4
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Pool == nil {
+		opts.Pool = sched.Default()
+	}
+	scales := opts.LRScales
+	if scales == nil {
+		scales = make([]float32, opts.Width)
+		for i := range scales {
+			scales[i] = 1
+		}
+	}
+	if len(scales) != opts.Width {
+		return nil, fmt.Errorf("fuse: %d learning-rate scales for width %d", len(scales), opts.Width)
+	}
+	chunkBatch := 0
+	if opts.GlobalBatch > 0 {
+		if opts.GlobalBatch%opts.Chunks != 0 {
+			return nil, fmt.Errorf("fuse: chunks %d does not divide global batch %d", opts.Chunks, opts.GlobalBatch)
+		}
+		chunkBatch = opts.GlobalBatch / opts.Chunks
+	}
+	m, err := core.New(name)
+	if err != nil {
+		return nil, err
+	}
+	tr, ok := m.(Trainable)
+	if !ok {
+		return nil, fmt.Errorf("fuse: workload %s is not trainable (wants core.TrainSampler + TrainPlan)", name)
+	}
+	if _, perStep := m.(stepListener); perStep {
+		return nil, fmt.Errorf("fuse: workload %s advances out-of-graph state per step and cannot fuse", name)
+	}
+	if err := m.Setup(core.Config{Preset: opts.Preset, Seed: opts.Seed, Batch: chunkBatch}); err != nil {
+		return nil, fmt.Errorf("fuse: setup %s: %w", name, err)
+	}
+	plan := tr.TrainPlan()
+	if plan == nil {
+		return nil, fmt.Errorf("fuse: workload %s has no TrainPlan after Setup", name)
+	}
+	fp, err := transform(tr, opts.Width, scales)
+	if err != nil {
+		return nil, err
+	}
+	if chunkBatch == 0 {
+		chunkBatch = m.Signature(core.ModeTraining).BatchCapacity()
+	}
+	part, err := dataset.NewPartition(chunkBatch*opts.Chunks, opts.Chunks, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	a := &Array{
+		name:       name,
+		opts:       opts,
+		part:       part,
+		template:   tr,
+		plan:       fp,
+		fetches:    append([]*graph.Node{fp.loss}, fp.grads...),
+		feeds:      runtime.Feeds{},
+		applyFeeds: make(runtime.Feeds, len(fp.gradIn)),
+		chunkAcc:   make([]float64, opts.Width),
+		losses:     make([][]float64, opts.Width),
+	}
+	for i, p := range plan.Params() {
+		a.paramShape = append(a.paramShape, p.Shape())
+		a.paramNames = append(a.paramNames, p.Name())
+		a.comb = append(a.comb, tensor.New(fp.params[i].Shape()...))
+		a.applyFeeds[fp.gradIn[i]] = a.comb[i]
+	}
+	lease := "fuse/" + name
+	sessOpts := []runtime.Option{
+		runtime.WithSeed(opts.Seed),
+		runtime.WithWorkerPool(opts.Pool),
+		runtime.WithLeaseName(lease),
+	}
+	if opts.IntraOpWorkers > 1 {
+		sessOpts = append(sessOpts, runtime.WithIntraOpWorkers(opts.IntraOpWorkers))
+	}
+	if opts.InterOpWorkers > 1 {
+		sessOpts = append(sessOpts, runtime.WithInterOpWorkers(opts.InterOpWorkers))
+	}
+	a.sess = runtime.NewSession(fp.g, sessOpts...)
+	// The template session exists only as the TrainSample handle (the
+	// sampler derives batches from the seed alone); serial, no helpers.
+	a.tmplSess = runtime.NewSession(m.Graph(),
+		runtime.WithSeed(opts.Seed),
+		runtime.WithWorkerPool(opts.Pool),
+		runtime.WithLeaseName(lease),
+	)
+	return a, nil
+}
+
+// Name returns the fused workload's name.
+func (a *Array) Name() string { return a.name }
+
+// Width returns the fusion width K.
+func (a *Array) Width() int { return a.opts.Width }
+
+// Steps returns the number of applied global steps.
+func (a *Array) Steps() int { return a.step }
+
+// Partition returns the chunk grid.
+func (a *Array) Partition() dataset.Partition { return a.part }
+
+// Timing returns the accumulated phase walls.
+func (a *Array) Timing() Timing { return a.timing }
+
+// ResetTiming zeroes the accumulated phase walls (e.g. after warmup).
+func (a *Array) ResetTiming() { a.timing = Timing{} }
+
+// Losses returns trainee k's per-step loss trajectory.
+func (a *Array) Losses(k int) []float64 { return a.losses[k] }
+
+// ParamNames returns the trainable parameter names, template order.
+func (a *Array) ParamNames() []string { return a.paramNames }
+
+// TraineeParams returns trainee k's parameter tensors as views into
+// the fused stacks, template order.
+func (a *Array) TraineeParams(k int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(a.plan.params))
+	for i, p := range a.plan.params {
+		s := tensor.SizeOf(a.paramShape[i])
+		out[i] = tensor.FromSlice(p.Value().Data()[k*s:(k+1)*s], a.paramShape[i]...)
+	}
+	return out
+}
+
+// Close closes the fused and template sessions, releasing their leases
+// on the shared pool. Idempotent; Step afterwards fails with ErrClosed.
+func (a *Array) Close() {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	if a.sess != nil {
+		a.sess.Close()
+	}
+	if a.tmplSess != nil {
+		a.tmplSess.Close()
+	}
+}
+
+// Step executes one fused global step — the dist chunk protocol on the
+// fused graph — and returns the per-trainee global losses. Chunk c's
+// fetch computes every trainee's loss and raw gradients in one run;
+// gradients combine in ascending chunk order × 1/Chunks (per trainee
+// slice, the exact float32 sequence a standalone run combines); one
+// fetch of the fused apply path then steps every trainee at its own
+// learning rate.
+func (a *Array) Step() ([]float64, error) {
+	if a.closed {
+		return nil, ErrClosed
+	}
+	t0 := time.Now()
+	a.sess.SetTraining(true)
+	for i := range a.chunkAcc {
+		a.chunkAcc[i] = 0
+	}
+	for c := 0; c < a.part.Chunks; c++ {
+		tg := time.Now()
+		seed := dataset.ChunkSeed(a.opts.Seed, a.step, c)
+		a.sess.Reseed(seed)
+		sample, err := a.template.TrainSample(a.tmplSess, seed)
+		if err != nil {
+			return nil, fmt.Errorf("fuse: %s chunk %d sample: %w", a.name, c, err)
+		}
+		clear(a.feeds)
+		for name, v := range sample {
+			// Inputs outside the training closure have no fused image
+			// and are not read by the fetches.
+			if node, ok := a.plan.inputs[name]; ok {
+				a.feeds[node] = v
+			}
+		}
+		out, err := a.sess.Run(a.fetches, a.feeds)
+		if err != nil {
+			return nil, fmt.Errorf("fuse: %s chunk %d: %w", a.name, c, err)
+		}
+		a.timing.Grad += time.Since(tg)
+
+		tr := time.Now()
+		lossV := out[0].Data()
+		for k := range a.chunkAcc {
+			a.chunkAcc[k] += float64(lossV[k])
+		}
+		for p := range a.comb {
+			dst, g := a.comb[p].Data(), out[1+p].Data()
+			if c == 0 {
+				copy(dst, g)
+				continue
+			}
+			for i := range dst {
+				dst[i] += g[i]
+			}
+		}
+		a.timing.Reduce += time.Since(tr)
+	}
+	tr := time.Now()
+	inv := 1 / float32(a.part.Chunks)
+	for p := range a.comb {
+		dst := a.comb[p].Data()
+		for i := range dst {
+			dst[i] *= inv
+		}
+	}
+	a.timing.Reduce += time.Since(tr)
+
+	ta := time.Now()
+	if _, err := a.sess.Run([]*graph.Node{a.plan.apply}, a.applyFeeds); err != nil {
+		return nil, fmt.Errorf("fuse: %s apply: %w", a.name, err)
+	}
+	a.timing.Apply += time.Since(ta)
+
+	means := make([]float64, len(a.chunkAcc))
+	for k, acc := range a.chunkAcc {
+		means[k] = acc / float64(a.part.Chunks)
+		a.losses[k] = append(a.losses[k], means[k])
+	}
+	a.step++
+	a.timing.Steps++
+	a.timing.Wall += time.Since(t0)
+	return means, nil
+}
+
+// Train runs n fused global steps.
+func (a *Array) Train(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := a.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package fuse's tests pin the array driver's contract: option
+// validation, the equal-scale self-consistency of fused trainees, and
+// — run with -race — the mixed-tenancy contract: a fused training
+// array and a serving engine sharing one bounded worker pool must both
+// make progress and wind down without leaking goroutines. The
+// trainee-vs-standalone bit-identity contract lives in the suite-wide
+// harness (internal/models/determinism_test.go).
+package fuse_test
+
+import (
+	"context"
+	goruntime "runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fuse"
+	"repro/internal/sched"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+
+	_ "repro/internal/models/all"
+)
+
+func TestFusedOptionValidation(t *testing.T) {
+	if _, err := fuse.New("autoenc", fuse.Options{Width: 2, LRScales: []float32{1}}); err == nil {
+		t.Fatal("scale/width mismatch must error")
+	}
+	if _, err := fuse.New("autoenc", fuse.Options{Chunks: 3, GlobalBatch: 8}); err == nil {
+		t.Fatal("chunks not dividing global batch must error")
+	}
+	if _, err := fuse.New("nosuchmodel", fuse.Options{}); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+	// deepq advances out-of-graph state per step (target-network sync);
+	// its per-instance state has no slice in a fused graph.
+	if _, err := fuse.New("deepq", fuse.Options{Width: 2}); err == nil {
+		t.Fatal("step-listener workload must be rejected")
+	}
+}
+
+func TestFusedClosedArrayRefusesSteps(t *testing.T) {
+	pool := sched.New(2)
+	defer pool.Close()
+	arr, err := fuse.New("autoenc", fuse.Options{Width: 2, Preset: core.PresetTiny, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.Close()
+	arr.Close() // idempotent
+	if _, err := arr.Step(); err == nil {
+		t.Fatal("Step after Close must fail")
+	}
+}
+
+// TestFusedEqualScalesStayInLockstep: trainees that differ in nothing
+// (same seed, same data, same learning rate) must remain bitwise
+// identical through fused training — the in-package sanity slice of
+// the determinism contract.
+func TestFusedEqualScalesStayInLockstep(t *testing.T) {
+	pool := sched.New(2)
+	defer pool.Close()
+	arr, err := fuse.New("memnet", fuse.Options{Width: 3, Preset: core.PresetTiny, Seed: 7, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arr.Close()
+	for step := 0; step < 2; step++ {
+		losses, err := arr.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k < len(losses); k++ {
+			if losses[k] != losses[0] {
+				t.Fatalf("step %d: trainee %d loss %v != trainee 0 loss %v", step, k, losses[k], losses[0])
+			}
+		}
+	}
+	base := arr.TraineeParams(0)
+	for k := 1; k < arr.Width(); k++ {
+		pk := arr.TraineeParams(k)
+		for i, name := range arr.ParamNames() {
+			a, b := base[i].Data(), pk[i].Data()
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("trainee %d parameter %q differs at element %d", k, name, j)
+				}
+			}
+		}
+	}
+}
+
+// exampleFrom squeezes one sampled batch of a batch-capacity-1 model
+// into a single engine request (dropping each input's length-1 batch
+// axis is a pure reshape).
+func exampleFrom(t *testing.T, m core.Model) map[string]*tensor.Tensor {
+	t.Helper()
+	sig := m.Signature(core.ModeInference)
+	if sig.BatchCapacity() != 1 {
+		t.Fatalf("want batch capacity 1, got %d", sig.BatchCapacity())
+	}
+	batch := m.(core.Sampler).Sample()
+	ex := map[string]*tensor.Tensor{}
+	for _, in := range sig.Inputs {
+		v := batch[in.Name]
+		if in.BatchDim == core.BatchNone {
+			ex[in.Name] = v
+			continue
+		}
+		shp := append([]int(nil), v.Shape()...)
+		shp = append(shp[:in.BatchDim], shp[in.BatchDim+1:]...)
+		ex[in.Name] = tensor.FromSlice(v.Data(), shp...)
+	}
+	return ex
+}
+
+// TestMixedTenantsShareOnePool is the mixed-tenancy contract (run with
+// -race): a serving engine and a fused training array draw helpers
+// from the same bounded pool under adaptive lease grants. Both sides
+// must make progress — neither the engine's sessions nor the fused
+// session may starve the other into deadlock — the engine's /stats
+// must report both tenants, and after shutdown the only goroutines
+// left are the pool's own bounded workers.
+func TestMixedTenantsShareOnePool(t *testing.T) {
+	pool := sched.New(4)
+	defer pool.Close()
+	base := goruntime.NumGoroutine()
+
+	m, err := core.New("memnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 3, Batch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := serve.New(m, serve.Options{
+		Sessions: 2, MaxBatch: 1, MaxDelay: 100 * time.Microsecond,
+		InterOpWorkers: 2, IntraOpWorkers: 2, WorkerPool: pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := fuse.New("memnet", fuse.Options{
+		Width: 2, LRScales: []float32{1, 0.5}, Preset: core.PresetTiny,
+		Seed: 3, IntraOpWorkers: 2, InterOpWorkers: 2, Pool: pool,
+	})
+	if err != nil {
+		e.Close()
+		t.Fatal(err)
+	}
+	ex := exampleFrom(t, m)
+
+	const (
+		nRequests = 24
+		nSteps    = 4
+	)
+	var served, trained int
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nRequests; i++ {
+			if _, err := e.Infer(context.Background(), ex); err != nil {
+				t.Errorf("inference under mixed tenancy: %v", err)
+				return
+			}
+			served++
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nSteps; i++ {
+			if _, err := arr.Step(); err != nil {
+				t.Errorf("fused step under mixed tenancy: %v", err)
+				return
+			}
+			trained++
+		}
+	}()
+	wg.Wait()
+	if served == 0 || trained == 0 {
+		t.Fatalf("goodput: served %d trained %d; both tenants must progress", served, trained)
+	}
+
+	// Both tenants visible in the per-tenant lease report while alive.
+	tenants := map[string]bool{}
+	for _, ts := range e.Stats().Tenants {
+		tenants[ts.Name] = true
+	}
+	if !tenants["engine/memnet"] || !tenants["fuse/memnet"] {
+		t.Fatalf("stats tenants = %v, want engine/memnet and fuse/memnet", tenants)
+	}
+
+	arr.Close()
+	e.Close()
+	// Everything tenant-owned is gone; at most the pool's persistent
+	// workers (plus test-runtime slack) remain.
+	deadline := time.Now().Add(3 * time.Second)
+	for goruntime.NumGoroutine() > base+pool.Size()+1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := goruntime.NumGoroutine(); got > base+pool.Size()+1 {
+		t.Fatalf("goroutines %d after mixed-tenant shutdown (baseline %d, pool %d): leak",
+			got, base, pool.Size())
+	}
+}

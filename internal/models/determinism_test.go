@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/fuse"
 	"repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/tensor"
@@ -227,6 +228,128 @@ func TestDataParallelDeterminism(t *testing.T) {
 				}
 				par := distFingerprint(t, name, w.replicas, w.intraop, w.interop, trainSteps)
 				compareFingerprints(t, w.label+" vs replicas 1", base, par)
+			}
+		})
+	}
+}
+
+// standaloneScaled fingerprints one standalone trainee at a
+// learning-rate scale: a single-replica dist run over the canonical
+// 4-chunk grid — the bit-exact reference a fused trainee at that scale
+// must reproduce.
+func standaloneScaled(t *testing.T, name string, scale float32, trainSteps int) fingerprint {
+	t.Helper()
+	pool := sched.New(8)
+	defer pool.Close()
+	tr, err := dist.New(name, dist.Options{
+		Replicas: 1,
+		Chunks:   4,
+		Preset:   core.PresetTiny,
+		Seed:     3,
+		LRScale:  scale,
+		Pool:     pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	fp := fingerprint{infer: map[string][]float32{}, vars: map[string][]float32{}}
+	losses, err := tr.Train(trainSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp.losses = losses
+	for _, v := range tr.Replica(0).Graph().Variables() {
+		fp.vars[v.Name()] = append([]float32(nil), v.Value().Data()...)
+	}
+	return fp
+}
+
+// TestFusedArrayDeterminism extends the harness to horizontally fused
+// training (internal/fuse): for every fuseable workload, each trainee
+// of a fused array — K instances stacked into one graph, diverging
+// only by learning-rate scale — must reproduce its standalone run bit
+// for bit, per-step losses and final parameters, across fusion widths
+// K ∈ {1, 2, 4} and fused intra-op widths {1, 4}. deepq is excluded by
+// construction: it advances out-of-graph state per step.
+func TestFusedArrayDeterminism(t *testing.T) {
+	const trainSteps = 2
+	scales := []float32{1, 0.5, 2, 0.25}
+	widths := []struct {
+		label    string
+		k, intra int
+	}{
+		{"fused 1", 1, 1},
+		{"fused 2", 2, 1},
+		{"fused 4", 4, 1},
+		{"fused 4 × intraop 4", 4, 4},
+	}
+	for _, name := range allNames {
+		if name == "deepq" {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			// Standalone references, one per learning-rate scale,
+			// built lazily: the widths share them.
+			refs := map[float32]fingerprint{}
+			ref := func(scale float32) fingerprint {
+				fp, ok := refs[scale]
+				if !ok {
+					fp = standaloneScaled(t, name, scale, trainSteps)
+					refs[scale] = fp
+				}
+				return fp
+			}
+			for i, w := range widths {
+				if testing.Short() && i >= 2 {
+					break // -short keeps the width axis, trims the matrix tail
+				}
+				pool := sched.New(8)
+				arr, err := fuse.New(name, fuse.Options{
+					Width:          w.k,
+					LRScales:       scales[:w.k],
+					Chunks:         4,
+					Preset:         core.PresetTiny,
+					Seed:           3,
+					IntraOpWorkers: w.intra,
+					Pool:           pool,
+				})
+				if err != nil {
+					pool.Close()
+					t.Fatal(err)
+				}
+				if err := arr.Train(trainSteps); err != nil {
+					arr.Close()
+					pool.Close()
+					t.Fatal(err)
+				}
+				for k := 0; k < w.k; k++ {
+					want := ref(scales[k])
+					got := fingerprint{
+						losses: arr.Losses(k),
+						infer:  map[string][]float32{},
+						vars:   map[string][]float32{},
+					}
+					params := arr.TraineeParams(k)
+					for i, pn := range arr.ParamNames() {
+						got.vars[pn] = append([]float32(nil), params[i].Data()...)
+						// Compare trainable parameters only: the fused
+						// graph shares non-trainable state.
+						if _, ok := want.vars[pn]; !ok {
+							t.Fatalf("%s trainee %d: parameter %q missing from standalone run", w.label, k, pn)
+						}
+					}
+					// Fused runs have no inference leg; compare losses and
+					// trainable parameters.
+					trimmed := fingerprint{losses: want.losses, infer: map[string][]float32{}, vars: map[string][]float32{}}
+					for pn := range got.vars {
+						trimmed.vars[pn] = want.vars[pn]
+					}
+					compareFingerprints(t, w.label+" trainee vs standalone", got, trimmed)
+				}
+				arr.Close()
+				pool.Close()
 			}
 		})
 	}

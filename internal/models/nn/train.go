@@ -26,13 +26,19 @@ type TrainPlan struct {
 	opt      Optimizer
 	lr, clip float32
 
-	// Fed-gradient apply path, built lazily by DistApply: one
-	// placeholder per parameter and apply-ops reading them. The path
-	// shares the parameters — and nothing else — with TrainOp: its
-	// apply-ops hold their own optimizer slots, so driving one path
-	// never perturbs the other's state.
-	gradIn    []*graph.Node
-	distApply *graph.Node
+	// Fed-gradient apply paths, built lazily by DistApplyScaled and
+	// keyed by learning-rate scale: one placeholder per parameter and
+	// apply-ops reading them. Each path shares the parameters — and
+	// nothing else — with TrainOp: its apply-ops hold their own
+	// optimizer slots, so driving one path never perturbs the other's
+	// state.
+	distPaths map[float32]distPath
+}
+
+// distPath is one scale's fed-gradient apply surface.
+type distPath struct {
+	apply  *graph.Node
+	gradIn []*graph.Node
 }
 
 // Loss returns the scalar training loss node.
@@ -61,28 +67,55 @@ func (tp *TrainPlan) TrainOp() *graph.Node { return tp.trainOp }
 // path is lazy so plain (non-distributed) training never pays for its
 // apply-ops or their optimizer slots.
 func (tp *TrainPlan) DistApply() (apply *graph.Node, gradIn []*graph.Node, err error) {
-	if tp.distApply != nil {
-		return tp.distApply, tp.gradIn, nil
+	return tp.DistApplyScaled(1)
+}
+
+// DistApplyScaled is DistApply with the recipe's base learning rate
+// multiplied by scale (as a single float32 product, the same
+// arithmetic a horizontally fused array applies per trainee — see
+// internal/fuse), so a standalone run can reproduce one fused
+// trainee's update rule bit for bit. Paths are cached per scale; each
+// holds its own placeholders and optimizer slots.
+func (tp *TrainPlan) DistApplyScaled(scale float32) (apply *graph.Node, gradIn []*graph.Node, err error) {
+	if path, ok := tp.distPaths[scale]; ok {
+		return path.apply, path.gradIn, nil
 	}
 	g := tp.g
+	lr := tp.lr * scale
+	prefix := "dist/grad/"
+	if scale != 1 {
+		prefix = fmt.Sprintf("dist/grad@%g/", scale)
+	}
 	ins := make([]*graph.Node, len(tp.params))
 	updates := make([]*graph.Node, len(tp.params))
 	for i, p := range tp.params {
-		in := g.Placeholder("dist/grad/"+p.Name(), p.Shape()...)
+		in := g.Placeholder(prefix+p.Name(), p.Shape()...)
 		ins[i] = in
 		fed := in
 		if tp.clip > 0 {
 			fed = ops.Maximum(ops.Minimum(fed, ops.ScalarConst(g, tp.clip)), ops.ScalarConst(g, -tp.clip))
 		}
-		u, err := applyOne(tp.opt, p, fed, tp.lr)
+		u, err := applyOne(tp.opt, p, fed, lr)
 		if err != nil {
 			return nil, nil, err
 		}
 		updates[i] = u
 	}
-	tp.gradIn = ins
-	tp.distApply = ops.Group(g, updates...)
-	return tp.distApply, tp.gradIn, nil
+	if tp.distPaths == nil {
+		tp.distPaths = map[float32]distPath{}
+	}
+	path := distPath{apply: ops.Group(g, updates...), gradIn: ins}
+	tp.distPaths[scale] = path
+	return path.apply, path.gradIn, nil
+}
+
+// Recipe exposes the optimizer recipe BuildTraining recorded: the
+// optimizer, its base learning rate, and the elementwise clip bound (0
+// when unclipped). The horizontal-fusion transform (internal/fuse)
+// reads it to rebuild the identical update rule over the fused
+// parameter stack.
+func (tp *TrainPlan) Recipe() (opt Optimizer, lr, clip float32) {
+	return tp.opt, tp.lr, tp.clip
 }
 
 // applyOne adds one optimizer apply-op for param p reading grad.

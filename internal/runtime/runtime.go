@@ -329,11 +329,12 @@ type Session struct {
 	// intraOp is the real intra-op width: with n > 1 the session's
 	// kernel pools execute chunks on shared-pool helpers
 	// (tensor.NewParallelPool) instead of modeling the speedup.
-	intraOp  int
-	execPool *sched.Pool          // shared worker pool (default sched.Default)
-	lease    *sched.Lease         // the session's bounded claim on it
-	closed   bool                 // set by Close; Run then fails
-	wctx     []*graph.ExecContext // per-helper contexts, built lazily
+	intraOp   int
+	execPool  *sched.Pool          // shared worker pool (default sched.Default)
+	lease     *sched.Lease         // the session's adaptive claim on it
+	leaseName string               // tenant name the claim registers under
+	closed    bool                 // set by Close; Run then fails
+	wctx      []*graph.ExecContext // per-helper contexts, built lazily
 }
 
 // Option configures a Session.
@@ -409,6 +410,15 @@ func WithWorkerPool(p *sched.Pool) Option {
 // WithTrace enables event collection.
 func WithTrace() Option { return func(s *Session) { s.traceOn = true } }
 
+// WithLeaseName sets the tenant name the session's shared-pool lease
+// registers under (default "session"). Multi-session subsystems pass
+// their own names ("engine/<model>", "dist/<model>", "fuse/<model>")
+// so the pool's per-tenant occupancy report attributes helper demand
+// to the right tenant class.
+func WithLeaseName(name string) Option {
+	return func(s *Session) { s.leaseName = name }
+}
+
 // NewSession creates a session over g.
 func NewSession(g *graph.Graph, opts ...Option) *Session {
 	s := &Session{
@@ -438,7 +448,11 @@ func NewSession(g *graph.Graph, opts ...Option) *Session {
 		if intra < 1 {
 			intra = 1
 		}
-		s.lease = s.execPool.Lease(s.interOp*intra - 1)
+		name := s.leaseName
+		if name == "" {
+			name = "session"
+		}
+		s.lease = s.execPool.LeaseNamed(name, s.interOp*intra-1)
 	}
 	if s.intraOp > 1 {
 		s.ctx.Pool = tensor.NewParallelPool(s.intraOp, s.lease)

@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// saturate drives n submissions through l, holding accepted tasks on
+// block so the lease's demand (peak + declines) is visible to the next
+// negotiation. It returns how many were accepted.
+func saturate(t *testing.T, l *Lease, n int, block chan struct{}, wg *sync.WaitGroup) int {
+	t.Helper()
+	accepted := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		if l.TryRun(func() { <-block; wg.Done() }) {
+			accepted++
+		} else {
+			wg.Done()
+		}
+	}
+	return accepted
+}
+
+// TestAdaptiveLeaseFullGrantWithoutContention: while the summed wants
+// fit the pool, renegotiation leaves every lease at its full ask — the
+// static-claim behaviour existing tenants rely on.
+func TestAdaptiveLeaseFullGrantWithoutContention(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	a := p.LeaseNamed("a", 2)
+	b := p.LeaseNamed("b", 3)
+	defer a.Close()
+	defer b.Close()
+	p.negotiate()
+	if a.Granted() != 2 || b.Granted() != 3 {
+		t.Fatalf("uncontended grants (%d, %d), want full asks (2, 3)", a.Granted(), b.Granted())
+	}
+}
+
+// TestAdaptiveLeaseGrantsFollowDemand: on an oversubscribed pool, the
+// tenant with observed demand is granted more than the idle one, and
+// the idle one keeps the liveness floor of one.
+func TestAdaptiveLeaseGrantsFollowDemand(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	a := p.LeaseNamed("busy", 4)
+	b := p.LeaseNamed("idle", 4)
+	defer a.Close()
+	defer b.Close()
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	if acc := saturate(t, a, 8, block, &wg); acc == 0 {
+		t.Fatal("no task accepted on a fresh pool")
+	}
+	p.negotiate()
+	ga, gb := a.Granted(), b.Granted()
+	close(block)
+	wg.Wait()
+	if ga <= gb {
+		t.Fatalf("busy tenant granted %d, idle tenant %d; demand should win the split", ga, gb)
+	}
+	if gb < 1 {
+		t.Fatalf("idle tenant granted %d, want the floor of 1", gb)
+	}
+	if ga+gb > p.Size() {
+		t.Fatalf("grants %d+%d exceed pool size %d under contention", ga, gb, p.Size())
+	}
+}
+
+// TestAdaptiveLeaseGrantsShiftWithLoad: when demand moves from one
+// tenant to the other, renegotiation follows it — the grant is a
+// window-by-window measurement, not a static claim.
+func TestAdaptiveLeaseGrantsShiftWithLoad(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	a := p.LeaseNamed("first", 4)
+	b := p.LeaseNamed("second", 4)
+	defer a.Close()
+	defer b.Close()
+
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	saturate(t, a, 8, block, &wg)
+	p.negotiate()
+	close(block)
+	wg.Wait()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Granted() <= a.Granted() {
+		if time.Now().After(deadline) {
+			t.Fatalf("grants never shifted to the loaded tenant: first=%d second=%d", a.Granted(), b.Granted())
+		}
+		block2 := make(chan struct{})
+		var wg2 sync.WaitGroup
+		saturate(t, b, 8, block2, &wg2)
+		p.negotiate()
+		close(block2)
+		wg2.Wait()
+	}
+}
+
+// TestAdaptiveLeaseFloorKeepsAllTenantsLive: even with far more
+// tenants than workers, every open lease keeps a grant of at least
+// one, so no tenant is ever locked out of helper lending entirely.
+func TestAdaptiveLeaseFloorKeepsAllTenantsLive(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var leases []*Lease
+	for i := 0; i < 6; i++ {
+		leases = append(leases, p.LeaseNamed("tenant", 2))
+	}
+	p.negotiate()
+	for i, l := range leases {
+		if l.Granted() < 1 {
+			t.Fatalf("tenant %d granted %d, want >= 1", i, l.Granted())
+		}
+		l.Close()
+	}
+}
+
+// TestLeaseStatsReportsTenants: the per-tenant snapshot carries names,
+// asks and grants, and closed leases leave the registry.
+func TestLeaseStatsReportsTenants(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	a := p.LeaseNamed("engine/x", 3)
+	b := p.LeaseNamed("dist/y", 2)
+	stats := p.LeaseStats()
+	if len(stats) != 2 {
+		t.Fatalf("LeaseStats reported %d leases, want 2", len(stats))
+	}
+	if stats[0].Name != "engine/x" || stats[0].Want != 3 || stats[0].Granted != 3 {
+		t.Fatalf("unexpected first stat %+v", stats[0])
+	}
+	if stats[1].Name != "dist/y" || stats[1].Want != 2 {
+		t.Fatalf("unexpected second stat %+v", stats[1])
+	}
+	a.Close()
+	if got := len(p.LeaseStats()); got != 1 {
+		t.Fatalf("after close LeaseStats reported %d leases, want 1", got)
+	}
+	b.Close()
+	if got := len(p.LeaseStats()); got != 0 {
+		t.Fatalf("after both closed LeaseStats reported %d leases, want 0", got)
+	}
+}
+
+// TestAdaptiveLeaseRenegotiatesOnTryRunPath: grants renegotiate from
+// the submission path alone — no background goroutine — once the
+// window has elapsed.
+func TestAdaptiveLeaseRenegotiatesOnTryRunPath(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	a := p.LeaseNamed("a", 2)
+	b := p.LeaseNamed("b", 2)
+	defer a.Close()
+	defer b.Close()
+	// Oversubscribed: a periodic TryRun must eventually trigger a
+	// negotiation that moves the grants off their optimistic initial
+	// value (2 + 2 > size 2).
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Granted()+b.Granted() > p.Size() {
+		if time.Now().After(deadline) {
+			t.Fatalf("TryRun path never renegotiated: grants %d + %d on a size-%d pool",
+				a.Granted(), b.Granted(), p.Size())
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		if !a.TryRun(func() { wg.Done() }) {
+			wg.Done()
+		}
+		wg.Wait()
+		time.Sleep(2 * negotiateInterval)
+	}
+}

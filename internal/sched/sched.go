@@ -22,22 +22,43 @@
 // inter-op helper executing a kernel that requests intra-op helpers
 // from the same pool).
 //
-// # Leases
+// # Adaptive leases
 //
-// A Lease is one client's bounded claim on the pool — a Session takes
+// A Lease is one tenant's bounded claim on the pool — a Session takes
 // a lease sized to its configured inter-op × intra-op width at
-// creation and releases it in Session.Close. Leases cap how many pool
-// workers one session can occupy at once, so a single wide session
-// cannot starve every other tenant, and they give the session
-// lifecycle a concrete resource to release. Workers themselves are
-// never owned: between regions they return to the shared pool, so an
-// idle session holds no goroutines.
+// creation and releases it in Close. Leases cap how many pool workers
+// one tenant can occupy at once, so a single wide tenant cannot starve
+// every other, and they give the session lifecycle a concrete resource
+// to release. Workers themselves are never owned: between regions they
+// return to the shared pool, so an idle tenant holds no goroutines.
+//
+// The claim is adaptive, not static. Each lease asks for a width (its
+// "want") and holds a current grant the pool renegotiates periodically
+// from observed occupancy: while the summed wants fit the pool, every
+// lease is granted its full ask (exactly the old static behaviour);
+// under oversubscription the pool water-fills its workers over the
+// tenants' measured demand — the peak concurrency and the declined
+// submissions of the last window — with a floor of one helper per
+// tenant, so co-resident tenants (a serve engine, a dist trainer, a
+// fused training array) each get throughput proportional to what they
+// actually tried to use, and none starves. Renegotiation happens
+// lazily on the TryRun path (no background goroutine) and only ever
+// moves grants, never results: every client is caller-participates-
+// first, so a shrunken grant degrades a tenant toward serial
+// execution, bit-identically.
 package sched
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// negotiateInterval is how often lease grants are recomputed from the
+// pool's observed occupancy. It is a throughput smoothing constant,
+// not a correctness one: grants only gate helper lending.
+const negotiateInterval = time.Millisecond
 
 // Pool is a fixed-capacity set of persistent worker goroutines.
 // Workers are spawned lazily on demand, up to Size, and then live for
@@ -49,6 +70,14 @@ type Pool struct {
 	spawned atomic.Int32
 	busy    atomic.Int32
 	closed  atomic.Bool
+
+	// Lease registry and renegotiation state. leases holds every open
+	// lease in creation order; nextNegotiate is the unix-nano time of
+	// the next grant recomputation, CAS-claimed on the TryRun path so
+	// exactly one submitter per window pays for it.
+	mu            sync.Mutex
+	leases        []*Lease
+	nextNegotiate atomic.Int64
 }
 
 type worker struct {
@@ -149,35 +178,184 @@ func (p *Pool) Close() {
 	}
 }
 
-// Lease returns a claim for at most n concurrent workers of the pool.
+// Lease returns an adaptive claim for up to n concurrent workers under
+// the default "session" tenant name. See LeaseNamed.
 func (p *Pool) Lease(n int) *Lease {
+	return p.LeaseNamed("session", n)
+}
+
+// LeaseNamed returns an adaptive claim for up to n concurrent workers,
+// registered under a tenant name for occupancy reporting (LeaseStats,
+// the serve /stats endpoint). The initial grant is the full ask; the
+// pool renegotiates it against the other open leases' observed demand
+// as the workload evolves. Release with Close.
+func (p *Pool) LeaseNamed(name string, n int) *Lease {
 	if n < 0 {
 		n = 0
 	}
-	return &Lease{pool: p, cap: int32(n)}
+	l := &Lease{pool: p, name: name, want: int32(n)}
+	l.granted.Store(int32(n))
+	p.mu.Lock()
+	p.leases = append(p.leases, l)
+	p.mu.Unlock()
+	return l
 }
 
-// Lease bounds one client's concurrent use of a Pool. The zero Lease
-// is invalid; obtain one from Pool.Lease. A Lease holds no goroutines
-// while idle — it is bookkeeping plus a lifecycle handle, released by
-// Close.
+// maybeNegotiate recomputes lease grants if the current window has
+// elapsed. The CAS ensures one winner per window; losers (and callers
+// inside the window) return immediately, keeping TryRun cheap.
+func (p *Pool) maybeNegotiate() {
+	now := time.Now().UnixNano()
+	next := p.nextNegotiate.Load()
+	if now < next {
+		return
+	}
+	if !p.nextNegotiate.CompareAndSwap(next, now+int64(negotiateInterval)) {
+		return
+	}
+	p.negotiate()
+}
+
+// negotiate reassigns every open lease's grant from the occupancy the
+// pool observed since the last window: each lease's demand is its peak
+// concurrency plus the submissions it had to decline. While the summed
+// wants fit the pool there is nothing to arbitrate and every tenant
+// gets its full ask; past that, workers water-fill over demand with a
+// floor of one per tenant. Grants gate only helper lending — every
+// client runs declined work itself — so this loop affects throughput
+// shares, never results.
+func (p *Pool) negotiate() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.leases)
+	if n == 0 {
+		return
+	}
+	want := make([]int, n)
+	demand := make([]int, n)
+	total := 0
+	for i, l := range p.leases {
+		want[i] = int(l.want)
+		total += want[i]
+		// Swap resets the window; the new window starts from the
+		// currently running tasks so in-flight demand is not forgotten.
+		d := int(l.peak.Swap(l.active.Load())) + int(l.pressure.Swap(0))
+		if d > want[i] {
+			d = want[i]
+		}
+		demand[i] = d
+	}
+	grant := make([]int, n)
+	if total <= p.size {
+		copy(grant, want)
+	} else {
+		remaining := p.size
+		for i := range grant {
+			if want[i] > 0 {
+				grant[i] = 1
+				remaining--
+			}
+		}
+		// Water-fill measured demand first, then let leftover capacity
+		// top tenants up toward their full ask.
+		for _, bound := range [2][]int{demand, want} {
+			for remaining > 0 {
+				progressed := false
+				for i := 0; i < n && remaining > 0; i++ {
+					if grant[i] < bound[i] {
+						grant[i]++
+						remaining--
+						progressed = true
+					}
+				}
+				if !progressed {
+					break
+				}
+			}
+		}
+	}
+	for i, l := range p.leases {
+		l.granted.Store(int32(grant[i]))
+	}
+}
+
+// LeaseStat is one open lease's occupancy snapshot.
+type LeaseStat struct {
+	// Name is the tenant name the lease was registered under.
+	Name string `json:"name"`
+	// Want is the width the tenant asked for; Granted is the pool's
+	// current adaptive grant; Active is how many leased tasks are
+	// running right now.
+	Want    int `json:"want"`
+	Granted int `json:"granted"`
+	Active  int `json:"active"`
+}
+
+// LeaseStats snapshots every open lease in creation order — the
+// per-tenant view behind the serve /stats lease report.
+func (p *Pool) LeaseStats() []LeaseStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]LeaseStat, len(p.leases))
+	for i, l := range p.leases {
+		out[i] = LeaseStat{
+			Name:    l.name,
+			Want:    int(l.want),
+			Granted: int(l.granted.Load()),
+			Active:  int(l.active.Load()),
+		}
+	}
+	return out
+}
+
+// unregister removes a closed lease from the registry.
+func (p *Pool) unregister(l *Lease) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, e := range p.leases {
+		if e == l {
+			p.leases = append(p.leases[:i], p.leases[i+1:]...)
+			return
+		}
+	}
+}
+
+// Lease bounds one tenant's concurrent use of a Pool. The zero Lease
+// is invalid; obtain one from Pool.Lease or Pool.LeaseNamed. A Lease
+// holds no goroutines while idle — it is bookkeeping plus a lifecycle
+// handle, released by Close.
 type Lease struct {
-	pool   *Pool
-	cap    int32
-	active atomic.Int32
-	closed atomic.Bool
+	pool     *Pool
+	name     string
+	want     int32
+	granted  atomic.Int32
+	active   atomic.Int32
+	peak     atomic.Int32 // max concurrent leased tasks this window
+	pressure atomic.Int32 // declined submissions this window
+	closed   atomic.Bool
 }
 
-// TryRun submits task to the underlying pool if the lease has claim
+// TryRun submits task to the underlying pool if the lease has grant
 // capacity left and a worker is available; it reports whether the task
 // was accepted, and never blocks. After Close it always reports false.
+// Declines are recorded as demand pressure feeding the next grant
+// renegotiation.
 func (l *Lease) TryRun(task func()) bool {
 	if task == nil || l.closed.Load() {
 		return false
 	}
-	if l.active.Add(1) > l.cap {
+	l.pool.maybeNegotiate()
+	a := l.active.Add(1)
+	if a > l.granted.Load() {
 		l.active.Add(-1)
+		l.pressure.Add(1)
 		return false
+	}
+	for {
+		p := l.peak.Load()
+		if a <= p || l.peak.CompareAndSwap(p, a) {
+			break
+		}
 	}
 	ok := l.pool.TryRun(func() {
 		defer l.active.Add(-1)
@@ -185,19 +363,33 @@ func (l *Lease) TryRun(task func()) bool {
 	})
 	if !ok {
 		l.active.Add(-1)
+		l.pressure.Add(1)
 	}
 	return ok
 }
 
+// Name returns the tenant name the lease was registered under.
+func (l *Lease) Name() string { return l.name }
+
+// Want returns the width the tenant asked for.
+func (l *Lease) Want() int { return int(l.want) }
+
+// Granted returns the pool's current adaptive grant for the lease.
+func (l *Lease) Granted() int { return int(l.granted.Load()) }
+
 // Active reports how many leased tasks are currently running.
 func (l *Lease) Active() int { return int(l.active.Load()) }
 
-// Close releases the lease: subsequent TryRun calls report false.
-// Callers must not Close while work submitted through the lease is
-// still in flight (Session.Close runs only between Runs, when every
-// region has joined). Close is idempotent.
+// Close releases the lease: subsequent TryRun calls report false and
+// the tenant leaves the pool's grant negotiation. Callers must not
+// Close while work submitted through the lease is still in flight
+// (Session.Close runs only between Runs, when every region has
+// joined). Close is idempotent.
 func (l *Lease) Close() {
-	l.closed.Store(true)
+	if l.closed.Swap(true) {
+		return
+	}
+	l.pool.unregister(l)
 }
 
 // defaultSize is resolved on first Default() use; SetDefaultSize may

@@ -251,15 +251,34 @@ func TestEngineProbeKeepsEstimateLive(t *testing.T) {
 // the backlog.
 func TestEnginePriorityInteractiveOvertakesBatch(t *testing.T) {
 	m := buildModel(t, "memnet", 1)
+	// Stall the dispatch loop on demand. On a warm machine one memnet
+	// execution is far faster than goroutine submission, so without a
+	// stall the single-session engine drains every batch request as it
+	// arrives and a backlog never builds — the stall parks the
+	// dispatcher at the top of its loop while the test queues a
+	// deterministic backlog.
+	var stallArmed atomic.Bool
+	stall := make(chan struct{})
+	var stallOnce sync.Once
+	release := func() { stallOnce.Do(func() { close(stall) }) }
+	testHookDispatch = func() {
+		if stallArmed.Load() {
+			<-stall
+		}
+	}
 	e, err := New(m, Options{Sessions: 1, MaxBatch: 1, MaxDelay: 100 * time.Microsecond, QueueLen: 64})
 	if err != nil {
+		testHookDispatch = nil
 		t.Fatal(err)
 	}
+	defer func() { testHookDispatch = nil }() // after Close has joined the dispatch loop
 	defer e.Close()
+	defer release() // before Close: a stalled dispatcher cannot shut down
 	examples := sampleExamples(t, m, 4)
 	if _, err := e.Infer(context.Background(), examples[0]); err != nil { // warm plan cache
 		t.Fatal(err)
 	}
+	stallArmed.Store(true)
 
 	const nBatch = 64
 	var batchDone atomic.Uint64
@@ -274,17 +293,34 @@ func TestEnginePriorityInteractiveOvertakesBatch(t *testing.T) {
 			batchDone.Add(1)
 		}(i)
 	}
-	// Wait for a real backlog before racing it; the engine drains one
-	// graph execution at a time, so a queue ≥ 8 cannot vanish in the
-	// microseconds the interactive submit takes.
-	deadline := time.Now().Add(5 * time.Second)
-	for e.Stats().BatchLane.QueueDepth < 8 && time.Now().Before(deadline) {
-		time.Sleep(50 * time.Microsecond)
+	waitFor := func(what string, cond func(Stats) bool) {
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond(e.Stats()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s; stats: %v", what, e.Stats())
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
 	}
-	if d := e.Stats().BatchLane.QueueDepth; d < 8 {
-		t.Fatalf("batch backlog never built (depth %d); cannot exercise priority", d)
-	}
-	if _, err := e.Infer(context.Background(), examples[0]); err != nil {
+	// The dispatcher was parked waiting for work before the stall was
+	// armed, so it may pull (and run) the first request on its way to
+	// the stall; every later one must queue. Once the backlog is up,
+	// put an interactive request in its lane, then let dispatch go:
+	// strict interactive-first dequeue must serve it ahead of the
+	// whole batch backlog.
+	waitFor("batch backlog never built", func(s Stats) bool {
+		return s.BatchLane.QueueDepth >= nBatch-1
+	})
+	interDone := make(chan error, 1)
+	go func() {
+		_, err := e.Infer(context.Background(), examples[0])
+		interDone <- err
+	}()
+	waitFor("interactive request never queued", func(s Stats) bool {
+		return s.Interactive.QueueDepth == 1
+	})
+	release()
+	if err := <-interDone; err != nil {
 		t.Fatalf("interactive request failed under batch saturation: %v", err)
 	}
 	overtaken := nBatch - batchDone.Load()

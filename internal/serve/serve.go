@@ -247,8 +247,9 @@ type Engine struct {
 	// claim is the engine's total lease claim on it (sessions ×
 	// per-session helper claim). Both feed the /stats gauges and the
 	// admission estimate, so engines sharing a pool shed cooperatively.
-	pool  *sched.Pool
-	claim int
+	pool      *sched.Pool
+	claim     int
+	leaseName string
 
 	// lastProbeNano rations budget-gate probes: when every request
 	// would shed, one per probeInterval is admitted anyway so the batch
@@ -346,10 +347,14 @@ func New(m core.Model, opts Options) (*Engine, error) {
 		intraOp = 1
 	}
 	e.claim = opts.Sessions * (interOp*intraOp - 1)
+	e.leaseName = "engine/" + m.Name()
 	e.stats.reset()
 	var workers sync.WaitGroup
 	for i := 0; i < opts.Sessions; i++ {
-		sessOpts := []runtime.Option{runtime.WithSeed(opts.Seed + int64(i))}
+		sessOpts := []runtime.Option{
+			runtime.WithSeed(opts.Seed + int64(i)),
+			runtime.WithLeaseName(e.leaseName),
+		}
 		if opts.Device != nil {
 			sessOpts = append(sessOpts, runtime.WithDevice(opts.Device))
 		}
@@ -577,6 +582,30 @@ func (e *Engine) Stats() Stats {
 	s.PoolBusy = e.pool.Busy()
 	s.PoolSpawned = e.pool.Spawned()
 	s.LeaseClaim = e.claim
+	// Per-tenant adaptive grants: every lease on the shared pool,
+	// aggregated by tenant name — the engine's own sessions appear as
+	// "engine/<model>" next to any co-resident dist trainer
+	// ("dist/<model>") or fused array ("fuse/<model>"). LeaseGranted is
+	// this engine's slice: what the occupancy negotiation currently
+	// grants it, as opposed to the static claim it asked for.
+	for _, ls := range e.pool.LeaseStats() {
+		if ls.Name == e.leaseName {
+			s.LeaseGranted += ls.Granted
+		}
+		i := 0
+		for ; i < len(s.Tenants); i++ {
+			if s.Tenants[i].Name == ls.Name {
+				break
+			}
+		}
+		if i == len(s.Tenants) {
+			s.Tenants = append(s.Tenants, TenantStats{Name: ls.Name})
+		}
+		s.Tenants[i].Leases++
+		s.Tenants[i].Want += ls.Want
+		s.Tenants[i].Granted += ls.Granted
+		s.Tenants[i].Active += ls.Active
+	}
 	return s
 }
 
@@ -664,6 +693,12 @@ func (e *Engine) next() *request {
 	}
 }
 
+// testHookDispatch, when non-nil, runs at the top of every dispatch
+// iteration. Tests install it before New — and clear it only after
+// Close has joined the dispatch loop — to stall dequeueing while they
+// build a deterministic backlog.
+var testHookDispatch func()
+
 // dispatch is the micro-batching loop: take the first pending request,
 // then collect more until the batch is full or MaxDelay elapses.
 // Every dequeue goes through admit, so cancelled, expired, and
@@ -672,6 +707,9 @@ func (e *Engine) next() *request {
 func (e *Engine) dispatch() {
 	defer close(e.batches)
 	for {
+		if h := testHookDispatch; h != nil {
+			h()
+		}
 		first := e.next()
 		if first == nil {
 			e.drain()

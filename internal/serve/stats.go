@@ -222,6 +222,27 @@ type Stats struct {
 	PoolBusy    int `json:"pool_busy"`
 	PoolSpawned int `json:"pool_spawned"`
 	LeaseClaim  int `json:"lease_claim"`
+
+	// Adaptive lease view (also filled by Engine.Stats): LeaseGranted
+	// is the helper count the pool's occupancy-driven negotiation
+	// currently grants this engine's sessions — under contention it
+	// tracks demand, not the static claim above — and Tenants lists
+	// every tenant sharing the pool (engine, dist trainer, fused
+	// array) with its aggregate ask/grant/occupancy.
+	LeaseGranted int           `json:"lease_granted"`
+	Tenants      []TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats aggregates the shared pool's adaptive leases for one
+// tenant name: how many leases it holds, their summed ask, what the
+// occupancy negotiation currently grants, and how many granted slots
+// are executing right now.
+type TenantStats struct {
+	Name    string `json:"name"`
+	Leases  int    `json:"leases"`
+	Want    int    `json:"want"`
+	Granted int    `json:"granted"`
+	Active  int    `json:"active"`
 }
 
 func (s *stats) snapshot() Stats {
@@ -280,11 +301,28 @@ func (s *stats) snapshot() Stats {
 // String renders the snapshot for the CLI and logs.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"requests=%d errors=%d cancelled=%d admit(rejected=%d shed=%d expired=%d) batches=%d fill(mean=%.2f max=%d) rps=%.1f latency(mean=%v p50=%v p99=%v p999=%v) queue(depth=%d wait=%v batch-ewma=%v) lanes(interactive p99=%v, batch p99=%v) pool(busy=%d/%d spawned=%d claim=%d)",
+		"requests=%d errors=%d cancelled=%d admit(rejected=%d shed=%d expired=%d) batches=%d fill(mean=%.2f max=%d) rps=%.1f latency(mean=%v p50=%v p99=%v p999=%v) queue(depth=%d wait=%v batch-ewma=%v) lanes(interactive p99=%v, batch p99=%v) pool(busy=%d/%d spawned=%d claim=%d granted=%d)%s",
 		s.Requests, s.Errors, s.Cancelled, s.Rejected, s.Shed, s.Expired,
 		s.Batches, s.MeanBatchFill, s.MaxBatchFill,
 		s.ThroughputRPS, s.MeanLatency, s.P50Latency, s.P99Latency, s.P999Latency,
 		s.QueueDepth, s.QueueWaitEWMA, s.BatchLatencyEWMA,
 		s.Interactive.P99Latency, s.BatchLane.P99Latency,
-		s.PoolBusy, s.PoolSize, s.PoolSpawned, s.LeaseClaim)
+		s.PoolBusy, s.PoolSize, s.PoolSpawned, s.LeaseClaim, s.LeaseGranted,
+		s.tenantString())
+}
+
+// tenantString renders the per-tenant adaptive grants, e.g.
+// " tenants(engine/alexnet granted=3/6 active=1, dist/vgg granted=1/3 active=0)".
+func (s Stats) tenantString() string {
+	if len(s.Tenants) == 0 {
+		return ""
+	}
+	out := " tenants("
+	for i, t := range s.Tenants {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s granted=%d/%d active=%d", t.Name, t.Granted, t.Want, t.Active)
+	}
+	return out + ")"
 }
