@@ -99,6 +99,51 @@
 // convolutions to im2col + packed matmul (1×1 convolutions go straight
 // to GEMM; small or strided shapes keep the direct loop).
 //
+// # Kernel tier 2
+//
+// The blocked GEMM decomposes the output into a 2-D grid of
+// blockM×blockN tiles — row blocks × column panels — and the tiles of
+// one reduction slab form a single flat parallel region, so big square
+// and tall/skinny products alike expose mBlocks×panels independent
+// work units instead of the former row-only split inside one column
+// panel. B panels are packed once per slab on the calling goroutine
+// and shared read-only by every lane; each lane packs A into per-lane
+// scratch. Short-and-wide streaming products (fewer than
+// streamSplitRows rows) chunk over columns instead of rows, so
+// single-row inference GEMMs parallelize too. Tile grid, panel groups
+// and chunk boundaries are pure functions of shape, and every output
+// element accumulates the same products in the same ascending-slab
+// order at every width, so the decomposition is invisible in the
+// result bits (BENCH_kernels.json tracks the scaling win over the
+// retained row-only baseline).
+//
+// A graph-level epilogue-fusion pass (graph.FuseEpilogues; pass 4 of
+// graph.Optimize, and applied to every workload's training graph via
+// nn.TrainPlan.Fuse) folds elementwise consumers — bias Add, Relu,
+// Tanh, and friends — into their GEMM/Conv2D producer: a producer
+// implementing graph.EpilogueProducer absorbs the consumer node in
+// place (node identity preserved), eliminating one arena round-trip
+// per folded op. The pass never fuses across Impure or Mutator ops,
+// multi-reader intermediates (gradient taps keep pre-activations
+// materialized), externally fetched/kept nodes, or shape-changing
+// consumers; fused epilogues run in place over the same float
+// sequence, so fused and unfused graphs are bit-identical.
+//
+// Axis reductions complete the chunked-combine story: max-kind
+// reductions run through Pool.ForMaxVec (per-chunk partial vectors,
+// combined elementwise in ascending chunk order), and reductions with
+// many outputs parallelize over output fibers, each fiber folded whole
+// in ascending input order — bit-identical at every width. Optimizer
+// slot state (momentum/RMSProp/Adam/Adagrad accumulators, plus Adam's
+// step counter) lives in "<var>/slot/<name>" graph variables, so
+// checkpoints capture the full optimizer trajectory and resumed runs
+// stay bit-identical for every optimizer. Finally, the Into kernels
+// (MatMulInto, ReduceInto, SoftmaxInto) never read their destination
+// and therefore forbid aliasing it with an input; the debug guard
+// tensor.AliasChecks turns violations into panics instead of silent
+// corruption (the tensor test binary enables it for every kernel
+// invocation).
+//
 // # Serving architecture
 //
 // The standard model interface is request-driven: every workload

@@ -133,6 +133,7 @@ func (m *Model) Setup(cfg core.Config) error {
 		return err
 	}
 	m.trainOp = m.train.TrainOp()
+	m.train.Fuse(m.recon)
 	return nil
 }
 

@@ -1,0 +1,38 @@
+package models_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+
+	_ "repro/internal/models/all"
+)
+
+// TestEpilogueFusionFires pins the tier-2 epilogue-fusion pass as an
+// active part of every workload's Setup: each graph must contain at
+// least one fused node (a MatMul/Conv2D that absorbed an elementwise
+// consumer — its op name carries a "+"). A workload dropping to zero
+// means the pass regressed or Setup stopped calling TrainPlan.Fuse.
+func TestEpilogueFusionFires(t *testing.T) {
+	for _, name := range core.Names() {
+		m, err := core.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 7}); err != nil {
+			t.Fatalf("%s: Setup: %v", name, err)
+		}
+		fused := 0
+		for _, n := range m.Graph().Nodes() {
+			if n.Kind() == graph.KindOp && strings.Contains(n.OpName(), "+") {
+				fused++
+			}
+		}
+		t.Logf("%s: %d fused nodes", name, fused)
+		if fused == 0 {
+			t.Errorf("%s: epilogue fusion absorbed nothing", name)
+		}
+	}
+}

@@ -163,6 +163,7 @@ func (m *Model) Setup(cfg core.Config) error {
 		return err
 	}
 	m.trainOp = m.train.TrainOp()
+	m.train.Fuse(m.preds)
 	return nil
 }
 

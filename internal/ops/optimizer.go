@@ -10,9 +10,32 @@ import (
 
 // Optimizer apply-ops (class F) mutate their target Variable in place,
 // mirroring TensorFlow's ApplyGradientDescent / ApplyRMSProp /
-// ApplyAdam kernels. Each op holds its slot tensors (momentum, RMS
-// accumulators) as op state. The output is a scalar zero so updates
-// can be grouped behind a NoOp fetch.
+// ApplyAdam kernels. Slot accumulators (momentum, RMS statistics, the
+// Adam step counter) are graph Variables — named "<var>/slot/<name>"
+// and created with the op — rather than hidden op state, so
+// checkpoints capture them via Graph.Variables() and a resumed run
+// continues the exact optimizer trajectory. The output is a scalar
+// zero so updates can be grouped behind a NoOp fetch.
+
+// slotVar declares a zero-initialized slot variable for target. The
+// name is "<target>/slot/<slot>", uniquified with a "#k" suffix when a
+// variable by that name already exists (targets with duplicate names),
+// keeping checkpoint keys unambiguous. shape defaults to the target's.
+func slotVar(target *graph.Node, slot string, shape ...int) *graph.Node {
+	if len(shape) == 0 {
+		shape = target.Shape()
+	}
+	g := target.Graph()
+	taken := map[string]bool{}
+	for _, v := range g.Variables() {
+		taken[v.Name()] = true
+	}
+	name := target.Name() + "/slot/" + slot
+	for k := 2; taken[name]; k++ {
+		name = fmt.Sprintf("%s/slot/%s#%d", target.Name(), slot, k)
+	}
+	return g.Variable(name, tensor.New(shape...))
+}
 
 type applySGDOp struct {
 	target *graph.Node
@@ -61,7 +84,7 @@ func ApplySGD(v, grad *graph.Node, lr float32) *graph.Node {
 type applyMomentumOp struct {
 	target   *graph.Node
 	lr, mom  float32
-	velocity *tensor.Tensor
+	velocity *graph.Node
 }
 
 func (*applyMomentumOp) Name() string         { return "ApplyMomentum" }
@@ -76,11 +99,8 @@ func (o *applyMomentumOp) InferShape(in [][]int) ([]int, error) {
 	return []int{}, nil
 }
 func (o *applyMomentumOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	if o.velocity == nil {
-		o.velocity = tensor.New(o.target.Shape()...)
-	}
 	v := o.target.Value().Data()
-	vel := o.velocity.Data()
+	vel := o.velocity.Value().Data()
 	g := in[0].Data()
 	lr, mom := o.lr, o.mom
 	ctx.Pool.For(len(v), 16384, func(lo, hi int) {
@@ -97,21 +117,24 @@ func (o *applyMomentumOp) Cost(in [][]int, out []int) (int64, int64) {
 }
 
 // Mutates implements graph.Mutator: the op rewrites its target
-// variable's storage.
-func (o *applyMomentumOp) Mutates() []*graph.Node { return []*graph.Node{o.target} }
+// variable and its velocity slot.
+func (o *applyMomentumOp) Mutates() []*graph.Node { return []*graph.Node{o.target, o.velocity} }
 
 // Impure implements graph.Impure.
 func (*applyMomentumOp) Impure() {}
 
-// ApplyMomentum adds a momentum-SGD update of variable v by grad.
+// ApplyMomentum adds a momentum-SGD update of variable v by grad. The
+// velocity accumulator is a "<v>/slot/velocity" graph variable, so it
+// rides along in checkpoints.
 func ApplyMomentum(v, grad *graph.Node, lr, momentum float32) *graph.Node {
-	return v.Graph().MustApply(&applyMomentumOp{target: v, lr: lr, mom: momentum}, grad)
+	op := &applyMomentumOp{target: v, lr: lr, mom: momentum, velocity: slotVar(v, "velocity")}
+	return v.Graph().MustApply(op, grad)
 }
 
 type applyRMSPropOp struct {
 	target         *graph.Node
 	lr, decay, eps float32
-	ms             *tensor.Tensor
+	ms             *graph.Node
 }
 
 func (*applyRMSPropOp) Name() string         { return "ApplyRMSProp" }
@@ -126,11 +149,8 @@ func (o *applyRMSPropOp) InferShape(in [][]int) ([]int, error) {
 	return []int{}, nil
 }
 func (o *applyRMSPropOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	if o.ms == nil {
-		o.ms = tensor.New(o.target.Shape()...)
-	}
 	v := o.target.Value().Data()
-	ms := o.ms.Data()
+	ms := o.ms.Value().Data()
 	g := in[0].Data()
 	lr, decay, eps := o.lr, o.decay, o.eps
 	ctx.Pool.For(len(v), 8192, func(lo, hi int) {
@@ -147,23 +167,24 @@ func (o *applyRMSPropOp) Cost(in [][]int, out []int) (int64, int64) {
 }
 
 // Mutates implements graph.Mutator: the op rewrites its target
-// variable's storage.
-func (o *applyRMSPropOp) Mutates() []*graph.Node { return []*graph.Node{o.target} }
+// variable and its mean-square slot.
+func (o *applyRMSPropOp) Mutates() []*graph.Node { return []*graph.Node{o.target, o.ms} }
 
 // Impure implements graph.Impure.
 func (*applyRMSPropOp) Impure() {}
 
 // ApplyRMSProp adds an RMSProp update of variable v by grad — the
 // optimizer DeepMind used for DQN (visible in the paper's Fig. 6a).
+// The mean-square accumulator is a "<v>/slot/ms" graph variable.
 func ApplyRMSProp(v, grad *graph.Node, lr, decay, eps float32) *graph.Node {
-	return v.Graph().MustApply(&applyRMSPropOp{target: v, lr: lr, decay: decay, eps: eps}, grad)
+	op := &applyRMSPropOp{target: v, lr: lr, decay: decay, eps: eps, ms: slotVar(v, "ms")}
+	return v.Graph().MustApply(op, grad)
 }
 
 type applyAdamOp struct {
 	target          *graph.Node
 	lr, b1, b2, eps float32
-	m, v            *tensor.Tensor
-	step            int
+	m, v, step      *graph.Node
 }
 
 func (*applyAdamOp) Name() string         { return "ApplyAdam" }
@@ -178,17 +199,18 @@ func (o *applyAdamOp) InferShape(in [][]int) ([]int, error) {
 	return []int{}, nil
 }
 func (o *applyAdamOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	if o.m == nil {
-		o.m = tensor.New(o.target.Shape()...)
-		o.v = tensor.New(o.target.Shape()...)
-	}
-	o.step++
+	// The step counter lives in a shape-{1} variable so checkpoints
+	// restore the bias correction along with the moments. float32 holds
+	// integer step counts exactly up to 2^24 — far beyond any run here.
+	st := o.step.Value().Data()
+	st[0]++
+	step := float64(st[0])
 	w := o.target.Value().Data()
-	m, v := o.m.Data(), o.v.Data()
+	m, v := o.m.Value().Data(), o.v.Value().Data()
 	g := in[0].Data()
 	b1, b2 := float64(o.b1), float64(o.b2)
-	c1 := 1 - math.Pow(b1, float64(o.step))
-	c2 := 1 - math.Pow(b2, float64(o.step))
+	c1 := 1 - math.Pow(b1, step)
+	c2 := 1 - math.Pow(b2, step)
 	lr := float64(o.lr) * math.Sqrt(c2) / c1
 	eps := float64(o.eps)
 	ctx.Pool.For(len(w), 8192, func(lo, hi int) {
@@ -208,22 +230,31 @@ func (o *applyAdamOp) Cost(in [][]int, out []int) (int64, int64) {
 }
 
 // Mutates implements graph.Mutator: the op rewrites its target
-// variable's storage.
-func (o *applyAdamOp) Mutates() []*graph.Node { return []*graph.Node{o.target} }
+// variable and its moment/step slots.
+func (o *applyAdamOp) Mutates() []*graph.Node {
+	return []*graph.Node{o.target, o.m, o.v, o.step}
+}
 
 // Impure implements graph.Impure.
 func (*applyAdamOp) Impure() {}
 
 // ApplyAdam adds an Adam update of variable v by grad — the optimizer
-// Kingma & Welling's autoencoder work popularized.
+// Kingma & Welling's autoencoder work popularized. The first/second
+// moments and the step counter are "<v>/slot/{m,v,step}" graph
+// variables, so a restored checkpoint resumes the exact trajectory,
+// bias correction included.
 func ApplyAdam(v, grad *graph.Node, lr, beta1, beta2, eps float32) *graph.Node {
-	return v.Graph().MustApply(&applyAdamOp{target: v, lr: lr, b1: beta1, b2: beta2, eps: eps}, grad)
+	op := &applyAdamOp{
+		target: v, lr: lr, b1: beta1, b2: beta2, eps: eps,
+		m: slotVar(v, "m"), v: slotVar(v, "v"), step: slotVar(v, "step", 1),
+	}
+	return v.Graph().MustApply(op, grad)
 }
 
 type applyAdagradOp struct {
 	target  *graph.Node
 	lr, eps float32
-	accum   *tensor.Tensor
+	accum   *graph.Node
 }
 
 func (*applyAdagradOp) Name() string         { return "ApplyAdagrad" }
@@ -238,11 +269,8 @@ func (o *applyAdagradOp) InferShape(in [][]int) ([]int, error) {
 	return []int{}, nil
 }
 func (o *applyAdagradOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	if o.accum == nil {
-		o.accum = tensor.New(o.target.Shape()...)
-	}
 	v := o.target.Value().Data()
-	acc := o.accum.Data()
+	acc := o.accum.Value().Data()
 	g := in[0].Data()
 	lr, eps := o.lr, o.eps
 	ctx.Pool.For(len(v), 8192, func(lo, hi int) {
@@ -259,15 +287,17 @@ func (o *applyAdagradOp) Cost(in [][]int, out []int) (int64, int64) {
 }
 
 // Mutates implements graph.Mutator: the op rewrites its target
-// variable's storage.
-func (o *applyAdagradOp) Mutates() []*graph.Node { return []*graph.Node{o.target} }
+// variable and its accumulator slot.
+func (o *applyAdagradOp) Mutates() []*graph.Node { return []*graph.Node{o.target, o.accum} }
 
 // Impure implements graph.Impure.
 func (*applyAdagradOp) Impure() {}
 
 // ApplyAdagrad adds a Duchi et al. AdaGrad update of variable v by
 // grad — the per-parameter learning-rate annealing the memory-network
-// paper's optimizer family popularized.
+// paper's optimizer family popularized. The gradient-square accumulator
+// is a "<v>/slot/accum" graph variable.
 func ApplyAdagrad(v, grad *graph.Node, lr, eps float32) *graph.Node {
-	return v.Graph().MustApply(&applyAdagradOp{target: v, lr: lr, eps: eps}, grad)
+	op := &applyAdagradOp{target: v, lr: lr, eps: eps, accum: slotVar(v, "accum")}
+	return v.Graph().MustApply(op, grad)
 }

@@ -6,6 +6,7 @@ package runtime_test
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -93,6 +94,78 @@ func TestCheckpointResumeIdenticalLosses(t *testing.T) {
 		}
 		if la != lb {
 			t.Fatalf("resumed step %d loss %v != uninterrupted %v", i, lb, la)
+		}
+	}
+}
+
+// TestCheckpointCoversOptimizerSlots pins the slotful-optimizer
+// contract: autoenc trains with Adam, whose moment accumulators and
+// step counter are "<var>/slot/{m,v,step}" graph variables since
+// kernel tier 2 — so SaveCheckpoint captures them and a restore
+// resumes the exact optimizer trajectory. The test zeroes ONLY the
+// slot variables on the resuming instance (weights intact — the state
+// a pre-tier-2 checkpoint would leave behind) and requires the restore
+// to bring the runs back into bit-exact lockstep; a zeroed Adam step
+// counter alone would change the bias correction and diverge.
+func TestCheckpointCoversOptimizerSlots(t *testing.T) {
+	mA := newAutoenc(t)
+	mB := newAutoenc(t)
+
+	slots := 0
+	for _, v := range mA.Graph().Variables() {
+		if strings.Contains(v.Name(), "/slot/") {
+			slots++
+		}
+	}
+	if slots == 0 {
+		t.Fatal("Adam optimizer slots are not graph variables")
+	}
+	var haveStep bool
+	for _, v := range mA.Graph().Variables() {
+		if strings.HasSuffix(v.Name(), "/slot/step") {
+			haveStep = true
+		}
+	}
+	if !haveStep {
+		t.Fatal("Adam step counter is not a checkpointed variable")
+	}
+
+	sA := runtime.NewSession(mA.Graph(), runtime.WithSeed(9))
+	sB := runtime.NewSession(mB.Graph(), runtime.WithSeed(9))
+	trA := mA.(core.Trainer)
+	trB := mB.(core.Trainer)
+	for i := 0; i < 2; i++ {
+		if _, err := trA.TrainStep(sA); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := trB.TrainStep(sB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ckpt bytes.Buffer
+	if err := runtime.SaveCheckpoint(&ckpt, mA.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	// Lose only the optimizer state on B.
+	for _, v := range mB.Graph().Variables() {
+		if strings.Contains(v.Name(), "/slot/") {
+			v.Value().Zero()
+		}
+	}
+	if err := runtime.LoadCheckpoint(bytes.NewReader(ckpt.Bytes()), mB.Graph(), false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		la, err := trA.TrainStep(sA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := trB.TrainStep(sB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la != lb {
+			t.Fatalf("slot-restored step %d loss %v != uninterrupted %v", i, lb, la)
 		}
 	}
 }

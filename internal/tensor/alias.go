@@ -1,0 +1,51 @@
+package tensor
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// AliasChecks enables the overlap guard of the *Into kernels
+// (MatMulInto, ReduceInto, SoftmaxInto). Those kernels document that
+// the destination must not alias an input — they write the destination
+// before they are done reading the inputs — but the contract was never
+// enforced, so an aliasing caller corrupted results silently. With
+// AliasChecks on, an aliasing call panics instead. Like
+// tensor.BufferGuard, the guard is debug-gated: test binaries switch it
+// on (the determinism and kernel suites run fully guarded) and
+// production paths skip the pointer comparisons.
+var AliasChecks = false
+
+// checkNoAlias panics when dst shares backing memory with any input.
+// It is a no-op unless AliasChecks is set.
+func checkNoAlias(kernel string, dst *Tensor, ins ...*Tensor) {
+	if !AliasChecks || dst == nil {
+		return
+	}
+	for _, in := range ins {
+		if in == nil || in == dst {
+			if in == dst && in != nil {
+				panic(fmt.Sprintf("tensor: %s destination aliases an input (same tensor) — *Into kernels require distinct storage", kernel))
+			}
+			continue
+		}
+		if slicesOverlap(dst.data, in.data) {
+			panic(fmt.Sprintf("tensor: %s destination %v overlaps input %v — *Into kernels require distinct storage", kernel, dst.shape, in.shape))
+		}
+	}
+}
+
+// slicesOverlap reports whether two float32 slices share any backing
+// elements. The uintptr comparison is only ever used to detect overlap
+// of live slices passed in by the caller, never to derive a pointer.
+func slicesOverlap(a, b []float32) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	as := uintptr(unsafe.Pointer(&a[0]))
+	bs := uintptr(unsafe.Pointer(&b[0]))
+	size := unsafe.Sizeof(a[0])
+	ae := as + uintptr(len(a))*size
+	be := bs + uintptr(len(b))*size
+	return as < be && bs < ae
+}

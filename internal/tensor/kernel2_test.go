@@ -1,0 +1,238 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// Kernel tier 2 coverage: the 2-D tiled GEMM, the column-chunked
+// streaming kernels, the parallel max / large-outer reductions, and
+// the no-alias contract guard. The alias guard runs for the whole
+// package test binary — every kernel invocation in every tensor test
+// is checked.
+
+func init() { AliasChecks = true }
+
+// TestMatMulPropertyRandomShapes is the tier-2 GEMM property test:
+// random shapes on both sides of the blocked threshold, all four
+// transpose combinations, checked against the naive reference and
+// required bit-identical across pool widths 1, 2 and 8 (modeled and
+// real-parallel). Per-output-element accumulation order is a pure
+// function of shape, so width must be invisible in the bits.
+func TestMatMulPropertyRandomShapes(t *testing.T) {
+	ex := sched.New(8)
+	defer ex.Close()
+	rng := rand.New(rand.NewSource(11))
+	dim := func(limit int) int { return 1 + rng.Intn(limit) }
+	for trial := 0; trial < 24; trial++ {
+		var m, k, n int
+		if trial%3 == 2 {
+			// Every third trial crosses blockedMinWork (2^20).
+			m, k, n = 96+dim(96), 96+dim(96), 96+dim(96)
+		} else {
+			m, k, n = dim(48), dim(48), dim(48)
+		}
+		ta, tb := rng.Intn(2) == 1, rng.Intn(2) == 1
+		ashape := []int{m, k}
+		if ta {
+			ashape = []int{k, m}
+		}
+		bshape := []int{k, n}
+		if tb {
+			bshape = []int{n, k}
+		}
+		a := RandNormal(rng, 0, 1, ashape...)
+		b := RandNormal(rng, 0, 1, bshape...)
+		want, err := MatMul(NewPool(1), a, b, ta, tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := naiveMatMul(a, b, ta, tb)
+		if !AllClose(want, naive, 1e-3, 1e-3) {
+			t.Fatalf("(%d,%d,%d) ta=%v tb=%v: diverges from naive reference (max diff %g)",
+				m, k, n, ta, tb, MaxAbsDiff(want, naive))
+		}
+		for _, w := range []int{2, 8} {
+			got, err := MatMul(NewPool(w), a, b, ta, tb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := MaxAbsDiff(got, want); d != 0 {
+				t.Fatalf("(%d,%d,%d) ta=%v tb=%v modeled width %d: not bit-identical (max |Δ| %g)",
+					m, k, n, ta, tb, w, d)
+			}
+			got, err = MatMul(NewParallelPool(w, ex), a, b, ta, tb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := MaxAbsDiff(got, want); d != 0 {
+				t.Fatalf("(%d,%d,%d) ta=%v tb=%v parallel width %d: not bit-identical (max |Δ| %g)",
+					m, k, n, ta, tb, w, d)
+			}
+		}
+	}
+}
+
+// TestMatMulWideStreamingSplitsColumns drives the small-m wide-n
+// streaming shape that used to serialize (one row = one ForLane unit):
+// the column-chunked path must match the naive reference and stay
+// bit-identical across widths.
+func TestMatMulWideStreamingSplitsColumns(t *testing.T) {
+	ex := sched.New(4)
+	defer ex.Close()
+	rng := rand.New(rand.NewSource(13))
+	for _, shape := range []struct{ m, k, n int }{
+		{1, 64, 4096}, {2, 32, 2048}, {4, 100, 1000},
+	} {
+		a := RandNormal(rng, 0, 1, shape.m, shape.k)
+		b := RandNormal(rng, 0, 1, shape.k, shape.n)
+		want, err := MatMul(NewPool(1), a, b, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := naiveMatMul(a, b, false, false)
+		if !AllClose(want, naive, 1e-3, 1e-3) {
+			t.Fatalf("(%d,%d,%d): wide streaming diverges from naive (max diff %g)",
+				shape.m, shape.k, shape.n, MaxAbsDiff(want, naive))
+		}
+		got, err := MatMul(NewParallelPool(4, ex), a, b, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(got, want); d != 0 {
+			t.Fatalf("(%d,%d,%d): wide streaming parallel differs (max |Δ| %g)",
+				shape.m, shape.k, shape.n, d)
+		}
+	}
+}
+
+// TestAxisReduceMaxSmallOuterWidthInvariant pins the new ForMaxVec
+// path: max reductions with small outer dims are chunk-parallel and
+// bit-identical at every width, and agree exactly with a per-fiber
+// fold (max is order-insensitive over a fiber, so exact equality is
+// the right bar).
+func TestAxisReduceMaxSmallOuterWidthInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	in := RandUniform(rng, -1, 1, 6, 28, 28, 5)
+	want, err := Reduce(NewPool(1), in, []int{0, 1, 2}, false, "max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive per-fiber reference.
+	for c := 0; c < 5; c++ {
+		ref := in.At(0, 0, 0, c)
+		for i := 0; i < 6; i++ {
+			for h := 0; h < 28; h++ {
+				for w := 0; w < 28; w++ {
+					if v := in.At(i, h, w, c); v > ref {
+						ref = v
+					}
+				}
+			}
+		}
+		if want.Data()[c] != ref {
+			t.Fatalf("small-outer max wrong at channel %d", c)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Reduce(NewPool(workers), in, []int{0, 1, 2}, false, "max")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i, ok := firstDiff(want.Data(), got.Data()); !ok {
+			t.Fatalf("max modeled width %d differs from width 1 at %d", workers, i)
+		}
+		par, err := Reduce(NewParallelPool(workers, newExecN(workers-1)), in, []int{0, 1, 2}, false, "max")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i, ok := firstDiff(want.Data(), par.Data()); !ok {
+			t.Fatalf("max parallel width %d differs from width 1 at %d", workers, i)
+		}
+	}
+}
+
+// TestAxisReduceLargeOuterWidthInvariant pins the output-parallel
+// large-outer path: outputs past axisVecElems parallelize over fibers,
+// each fiber folded whole in ascending input order, so all kinds are
+// bit-identical at every width.
+func TestAxisReduceLargeOuterWidthInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, shape := range []struct {
+		dims []int
+		axes []int
+	}{
+		{[]int{8, 4096}, []int{0}},    // leading reduce, strided fibers
+		{[]int{4096, 8}, []int{1}},    // trailing reduce, contiguous fibers
+		{[]int{16, 40, 65}, []int{1}}, // middle reduce, 1040 outputs
+	} {
+		if SizeOf(shape.dims)/productOf(shape.dims, shape.axes) <= axisVecElems {
+			t.Fatalf("shape %v does not exercise the large-outer path", shape.dims)
+		}
+		in := RandUniform(rng, -1, 1, shape.dims...)
+		for _, kind := range []string{"sum", "mean", "max"} {
+			want, err := Reduce(NewPool(1), in, shape.axes, false, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				got, err := Reduce(NewPool(workers), in, shape.axes, false, kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i, ok := firstDiff(want.Data(), got.Data()); !ok {
+					t.Fatalf("%v %s modeled width %d differs at %d", shape.dims, kind, workers, i)
+				}
+				par, err := Reduce(NewParallelPool(workers, newExecN(workers-1)), in, shape.axes, false, kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i, ok := firstDiff(want.Data(), par.Data()); !ok {
+					t.Fatalf("%v %s parallel width %d differs at %d", shape.dims, kind, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// productOf multiplies the dims named by axes.
+func productOf(dims, axes []int) int {
+	p := 1
+	for _, a := range axes {
+		p *= dims[a]
+	}
+	return p
+}
+
+// TestAliasGuardCatchesOverlap pins the debug no-alias guard: the Into
+// kernels must panic (under AliasChecks) when the destination aliases
+// an input — the contract violation that silently corrupts results in
+// release mode.
+func TestAliasGuardCatchesOverlap(t *testing.T) {
+	p := NewPool(1)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: aliased destination did not panic under AliasChecks", name)
+			}
+		}()
+		f()
+	}
+	a := Full(1, 4, 4)
+	mustPanic("MatMulInto", func() { _ = MatMulInto(p, a, a, Full(1, 4, 4), false, false) })
+	// A length-1 reduced axis with keepDims keeps the shape valid, so
+	// the call reaches the kernel and the guard must fire.
+	rin := Full(2, 1, 4)
+	mustPanic("ReduceInto", func() { _ = ReduceInto(p, rin, rin, []int{0}, true, "sum") })
+	in := Full(2, 4, 4)
+	mustPanic("SoftmaxInto", func() { _ = SoftmaxInto(p, in, in) })
+
+	// Disjoint tensors sharing no storage must pass untouched.
+	out := New(4, 4)
+	if err := SoftmaxInto(p, out, in); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	goruntime "runtime"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// TestKernelBenchArtifact writes the BENCH_kernels.json trajectory
+// artifact: the tier-2 2-D tiled GEMM against the pre-tier-2 row-only
+// kernel it replaced, at pool widths 1 and 8, over the shapes the
+// refactor targets — a big square product, a tall/skinny product, and
+// a short-and-wide streaming product. The row-only kernels below are
+// verbatim copies of the replaced code, kept here as the measurement
+// baseline; the test also pins bit-equality between old and new before
+// timing anything, since the tiling refactor must not change a single
+// accumulation order.
+//
+// Gated behind KERNEL_BENCH=<path> (the CI bench job sets it); skipped
+// otherwise so the regular test sweep stays fast.
+func TestKernelBenchArtifact(t *testing.T) {
+	path := os.Getenv("KERNEL_BENCH")
+	if path == "" {
+		t.Skip("set KERNEL_BENCH=<path> to write the kernel bench artifact")
+	}
+
+	ex := sched.New(7)
+	defer ex.Close()
+	pools := map[int]*Pool{1: NewPool(1), 8: NewParallelPool(8, ex)}
+
+	type row struct {
+		Kernel  string  `json:"kernel"`
+		Workers int     `json:"workers"`
+		MsPerOp float64 `json:"ms_per_op"`
+		GFLOPS  float64 `json:"gflops"`
+	}
+	type shapeResult struct {
+		Shape             string  `json:"shape"`
+		M                 int     `json:"m"`
+		K                 int     `json:"k"`
+		N                 int     `json:"n"`
+		Rows              []row   `json:"rows"`
+		NewScalingW8      float64 `json:"new_scaling_w8"`       // new w1 time / new w8 time
+		BaselineScalingW8 float64 `json:"baseline_scaling_w8"`  // old w1 time / old w8 time
+		NewOverBaselineW8 float64 `json:"new_over_baseline_w8"` // old w8 time / new w8 time
+	}
+
+	shapes := []struct {
+		name    string
+		m, k, n int
+		iters   int
+	}{
+		{"square_1024", 1024, 1024, 1024, 2},
+		{"tall_4096x256x64", 4096, 256, 64, 4},
+		{"wide_2x64x4096", 2, 64, 4096, 10},
+	}
+
+	rng := rand.New(rand.NewSource(31))
+	var results []shapeResult
+	for _, s := range shapes {
+		a := RandNormal(rng, 0, 1, s.m, s.k)
+		b := RandNormal(rng, 0, 1, s.k, s.n)
+		dst := New(s.m, s.n)
+		ref := New(s.m, s.n)
+		blocked := int64(s.m)*int64(s.k)*int64(s.n) >= blockedMinWork
+
+		newKernel := func(p *Pool) {
+			matmulInto(p, dst.data, a.data, b.data, s.m, s.n, s.k, s.k, s.n, false, false)
+		}
+		var oldKernel func(p *Pool)
+		if blocked {
+			oldKernel = func(p *Pool) {
+				matmulBlockedRowOnly(p, ref.data, a.data, b.data, s.m, s.n, s.k, s.k, s.n, false, false)
+			}
+		} else {
+			oldKernel = func(p *Pool) {
+				matmulStreamRowOnly(p, ref.data, a.data, b.data, s.m, s.n, s.k, s.k, s.n)
+			}
+		}
+
+		// Bit-equality gate before timing: the tiled kernel keeps every
+		// output element's accumulation order, so old and new must agree
+		// exactly at both widths.
+		for w, p := range pools {
+			newKernel(p)
+			oldKernel(p)
+			if d := MaxAbsDiff(dst, ref); d != 0 {
+				t.Fatalf("%s width %d: tiled kernel differs from row-only baseline (max |Δ| %g)", s.name, w, d)
+			}
+		}
+
+		res := shapeResult{Shape: s.name, M: s.m, K: s.k, N: s.n}
+		times := map[string]float64{}
+		for _, cfg := range []struct {
+			label  string
+			kernel func(p *Pool)
+		}{{"tiled2d", newKernel}, {"row_only", oldKernel}} {
+			for _, w := range []int{1, 8} {
+				p := pools[w]
+				cfg.kernel(p) // warmup
+				best := math.MaxFloat64
+				for i := 0; i < s.iters; i++ {
+					t0 := time.Now()
+					cfg.kernel(p)
+					if d := time.Since(t0).Seconds(); d < best {
+						best = d
+					}
+				}
+				flops := 2 * float64(s.m) * float64(s.k) * float64(s.n)
+				res.Rows = append(res.Rows, row{
+					Kernel:  cfg.label,
+					Workers: w,
+					MsPerOp: best * 1e3,
+					GFLOPS:  flops / best / 1e9,
+				})
+				times[fmt.Sprintf("%s/%d", cfg.label, w)] = best
+			}
+		}
+		res.NewScalingW8 = times["tiled2d/1"] / times["tiled2d/8"]
+		res.BaselineScalingW8 = times["row_only/1"] / times["row_only/8"]
+		res.NewOverBaselineW8 = times["row_only/8"] / times["tiled2d/8"]
+		results = append(results, res)
+		t.Logf("%s: tiled w8 %.1fms (scaling %.2fx) vs row-only w8 %.1fms (scaling %.2fx)",
+			s.name, times["tiled2d/8"]*1e3, res.NewScalingW8, times["row_only/8"]*1e3, res.BaselineScalingW8)
+	}
+
+	artifact := struct {
+		Kind     string        `json:"kind"`
+		HostCPUs int           `json:"host_cpus"`
+		Widths   []int         `json:"widths"`
+		Shapes   []shapeResult `json:"shapes"`
+	}{"kernels", goruntime.NumCPU(), []int{1, 8}, results}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// matmulBlockedRowOnly is the pre-tier-2 blocked GEMM, verbatim: one
+// column panel at a time, B packed per (panel, slab), and parallelism
+// only over the rows inside the current panel. Kept as the measurement
+// baseline for BENCH_kernels.json.
+func matmulBlockedRowOnly(p *Pool, dst, a, b []float32, m, n, k, lda, ldb int, transA, transB bool) {
+	packB := p.scratchBuf(scratchPackB, blockK*blockN)
+	for jc := 0; jc < n; jc += blockN {
+		nc := min(blockN, n-jc)
+		for pc := 0; pc < k; pc += blockK {
+			kc := min(blockK, k-pc)
+			packPanelB(packB, b, pc, kc, jc, nc, ldb, transB)
+			grain := 1 + 65536/(nc*kc+1)
+			p.ForLane(m, grain, func(lane, lo, hi int) {
+				packA := p.laneScratch(lane, scratchPackA, blockM*blockK)
+				for ic := lo; ic < hi; ic += blockM {
+					mc := min(blockM, hi-ic)
+					packPanelA(packA, a, ic, mc, pc, kc, lda, transA)
+					matmulMicro(dst, packA, packB, ic, mc, jc, nc, kc, n, pc == 0)
+				}
+			})
+		}
+	}
+}
+
+// matmulStreamRowOnly is the pre-tier-2 streaming dispatch, verbatim in
+// effect: rows are the only split axis, so short-and-wide products ran
+// on at most m chunks regardless of width.
+func matmulStreamRowOnly(p *Pool, dst, a, b []float32, m, n, k, lda, ldb int) {
+	rowGrain := 1 + 65536/(n*k+1)
+	p.For(m, rowGrain, func(lo, hi int) {
+		matmulRows(dst, a, b, lo, hi, 0, n, n, k, lda, ldb)
+	})
+}

@@ -26,6 +26,7 @@ func MatMulInto(p *Pool, out, a, b *Tensor, transA, transB bool) error {
 	if out.Rank() != 2 || out.shape[0] != m || out.shape[1] != n {
 		return fmt.Errorf("tensor: MatMulInto destination %v, want [%d %d]", out.shape, m, n)
 	}
+	checkNoAlias("MatMulInto", out, a, b)
 	matmulInto(p, out.data, a.data, b.data, m, n, k, a.shape[1], b.shape[1], transA, transB)
 	return nil
 }
@@ -68,6 +69,20 @@ const (
 	// packed, tiled kernel beats the streaming kernels (packing has a
 	// fixed per-panel cost that small products never amortize).
 	blockedMinWork = 1 << 20
+
+	// maxSlabPanels caps how many B column panels pack together per
+	// reduction slab of the blocked kernel, bounding packed-B scratch
+	// at maxSlabPanels × blockK × blockN floats (2 MB). The cap only
+	// binds for short-and-wide products, where many panels per group
+	// are what keeps the 2-D tile grid deep enough to chunk.
+	maxSlabPanels = 16
+
+	// streamSplitRows is the row count below which the streaming
+	// kernels chunk over columns instead of rows: with fewer rows than
+	// this, a row split cannot feed even a modest worker set, and
+	// wide-but-short products (single-row inference GEMMs) would stay
+	// single-threaded.
+	streamSplitRows = 8
 )
 
 // matmulInto writes op(A)·op(B) into dst (len m*n). lda and ldb are the
@@ -79,89 +94,140 @@ func matmulInto(p *Pool, dst, a, b []float32, m, n, k, lda, ldb int, transA, tra
 		matmulBlocked(p, dst, a, b, m, n, k, lda, ldb, transA, transB)
 		return
 	}
-	// Choose a grain so each chunk is a meaningful amount of work:
-	// roughly 64k multiply-adds per chunk minimum.
-	grain := 1 + 65536/(n*k+1)
+	// Streaming kernels, chunked through the pool. The split axis is a
+	// pure function of shape (never of width): products with enough
+	// rows split over rows, short-and-wide products (below
+	// streamSplitRows) split over columns, so single-row inference
+	// GEMMs parallelize too. Every output element's k-accumulation
+	// order is identical under either split, so the axis choice cannot
+	// change result bits. Grains target roughly 64k multiply-adds per
+	// chunk minimum.
+	if m < streamSplitRows {
+		colGrain := 1 + 65536/(m*k+1)
+		p.For(n, colGrain, func(jlo, jhi int) {
+			matmulStream(dst, a, b, 0, m, jlo, jhi, n, k, lda, ldb, transA, transB)
+		})
+		return
+	}
+	rowGrain := 1 + 65536/(n*k+1)
+	p.For(m, rowGrain, func(lo, hi int) {
+		matmulStream(dst, a, b, lo, hi, 0, n, n, k, lda, ldb, transA, transB)
+	})
+}
+
+// matmulStream computes the [lo,hi)×[jlo,jhi) block of C = op(A)·op(B)
+// with the streaming kernels (no packing): one transpose case each.
+func matmulStream(dst, a, b []float32, lo, hi, jlo, jhi, n, k, lda, ldb int, transA, transB bool) {
 	switch {
 	case !transA && !transB:
-		p.For(m, grain, func(lo, hi int) {
-			matmulRows(dst, a, b, lo, hi, n, k, lda, ldb)
-		})
+		matmulRows(dst, a, b, lo, hi, jlo, jhi, n, k, lda, ldb)
 	case !transA && transB:
 		// B stored as (n, k): C[i,j] = Σ a[i,l]·b[j,l] — dot of rows.
-		p.For(m, grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				ai := a[i*lda : i*lda+k]
-				ri := dst[i*n : (i+1)*n]
-				for j := 0; j < n; j++ {
-					bj := b[j*ldb : j*ldb+k]
-					var s float32
-					for l := 0; l < k; l++ {
-						s += ai[l] * bj[l]
-					}
-					ri[j] = s
+		for i := lo; i < hi; i++ {
+			ai := a[i*lda : i*lda+k]
+			ri := dst[i*n : (i+1)*n]
+			for j := jlo; j < jhi; j++ {
+				bj := b[j*ldb : j*ldb+k]
+				var s float32
+				for l := 0; l < k; l++ {
+					s += ai[l] * bj[l]
 				}
+				ri[j] = s
 			}
-		})
+		}
 	case transA && !transB:
 		// A stored as (k, m): C[i,j] = Σ a[l,i]·b[l,j].
-		p.For(m, grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				ri := dst[i*n : (i+1)*n]
-				for x := range ri {
-					ri[x] = 0
-				}
-				for l := 0; l < k; l++ {
-					av := a[l*lda+i]
-					bl := b[l*ldb : l*ldb+n]
-					for j := 0; j < n; j++ {
-						ri[j] += av * bl[j]
-					}
+		w := jhi - jlo
+		for i := lo; i < hi; i++ {
+			ri := dst[i*n+jlo : i*n+jhi]
+			for x := range ri {
+				ri[x] = 0
+			}
+			for l := 0; l < k; l++ {
+				av := a[l*lda+i]
+				bl := b[l*ldb+jlo : l*ldb+jlo+w]
+				for j, bv := range bl {
+					ri[j] += av * bv
 				}
 			}
-		})
+		}
 	default: // transA && transB
-		p.For(m, grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				ri := dst[i*n : (i+1)*n]
-				for j := 0; j < n; j++ {
-					var s float32
-					for l := 0; l < k; l++ {
-						s += a[l*lda+i] * b[j*ldb+l]
-					}
-					ri[j] = s
+		for i := lo; i < hi; i++ {
+			ri := dst[i*n : (i+1)*n]
+			for j := jlo; j < jhi; j++ {
+				var s float32
+				for l := 0; l < k; l++ {
+					s += a[l*lda+i] * b[j*ldb+l]
 				}
+				ri[j] = s
 			}
-		})
+		}
 	}
 }
 
-// matmulBlocked is the tiled GEMM: it walks the output in blockN-wide
-// column panels and blockK-deep reduction slabs, packing the active A
-// and B panels into contiguous, cache-resident scratch so the
-// register-tiled microkernel reads them independently of the operands'
-// transpose state. The row loop may really run in parallel, so each
-// executing lane packs A into its own per-lane panel (packA contents
-// are a pure function of the chunk's rows, so lane assignment cannot
-// perturb results); the read-only B panel is packed once per slab on
-// the calling goroutine and shared by every lane.
+// matmulBlocked is the tiled GEMM. The output is decomposed into a 2-D
+// grid of blockM×blockN tiles — row blocks × column panels — and the
+// tiles of one reduction slab form a single flat parallel region, so
+// big square and tall/skinny products alike expose mBlocks×gPanels
+// independent work units instead of the row-only split inside one
+// column panel that stopped scaling near the row-chunk cap. Column
+// panels are grouped (gPanels per group, shape-derived) so short
+// matrices still yield a deep tile grid; B panels of a (group, slab)
+// are packed once on the calling goroutine and shared read-only by
+// every lane, while each executing lane packs A into its own per-lane
+// panel, reused across the consecutive column panels of a row block
+// (tiles iterate row-block-major within a chunk).
+//
+// Determinism: the tile grid, the panel groups and the chunk
+// boundaries are pure functions of (m, n, k) — never of width — each
+// tile owns a disjoint dst block, and the per-element accumulation
+// over reduction slabs happens in the ascending pc order of the serial
+// outer loop (ForLane joins between slabs). packA/packB contents are
+// pure functions of the tile coordinates, so lane assignment cannot
+// perturb results; bits match the row-only kernel exactly, because
+// every output element still accumulates the same products in the same
+// order.
 func matmulBlocked(p *Pool, dst, a, b []float32, m, n, k, lda, ldb int, transA, transB bool) {
-	packB := p.scratchBuf(scratchPackB, blockK*blockN)
-	for jc := 0; jc < n; jc += blockN {
-		nc := min(blockN, n-jc)
+	mBlocks := (m + blockM - 1) / blockM
+	nPanels := (n + blockN - 1) / blockN
+	// Panels per group: enough that mBlocks×groupPanels tiles reach the
+	// region chunk cap even when m is short, bounded by maxSlabPanels
+	// of packed-B scratch. Purely shape-derived.
+	groupPanels := (maxRegionChunks + mBlocks - 1) / mBlocks
+	if groupPanels > maxSlabPanels {
+		groupPanels = maxSlabPanels
+	}
+	if groupPanels > nPanels {
+		groupPanels = nPanels
+	}
+	packB := p.scratchBuf(scratchPackB, groupPanels*blockK*blockN)
+	for jg := 0; jg < nPanels; jg += groupPanels {
+		gPanels := min(groupPanels, nPanels-jg)
 		for pc := 0; pc < k; pc += blockK {
 			kc := min(blockK, k-pc)
-			// B is packed once per panel, outside the row-parallel
-			// region: workers share the packed panel rather than each
-			// repacking it.
-			packPanelB(packB, b, pc, kc, jc, nc, ldb, transB)
-			grain := 1 + 65536/(nc*kc+1)
-			p.ForLane(m, grain, func(lane, lo, hi int) {
+			// The group's B panels are packed once per slab, outside
+			// the parallel region: workers share the packed panels
+			// rather than each repacking them.
+			for jp := 0; jp < gPanels; jp++ {
+				jc := (jg + jp) * blockN
+				nc := min(blockN, n-jc)
+				packPanelB(packB[jp*blockK*blockN:], b, pc, kc, jc, nc, ldb, transB)
+			}
+			tiles := mBlocks * gPanels
+			p.ForLane(tiles, 1, func(lane, lo, hi int) {
 				packA := p.laneScratch(lane, scratchPackA, blockM*blockK)
-				for ic := lo; ic < hi; ic += blockM {
-					mc := min(blockM, hi-ic)
-					packPanelA(packA, a, ic, mc, pc, kc, lda, transA)
-					matmulMicro(dst, packA, packB, ic, mc, jc, nc, kc, n, pc == 0)
+				lastIB := -1
+				for t := lo; t < hi; t++ {
+					ib, jp := t/gPanels, t%gPanels
+					ic := ib * blockM
+					mc := min(blockM, m-ic)
+					jc := (jg + jp) * blockN
+					nc := min(blockN, n-jc)
+					if ib != lastIB {
+						packPanelA(packA, a, ic, mc, pc, kc, lda, transA)
+						lastIB = ib
+					}
+					matmulMicro(dst, packA, packB[jp*blockK*blockN:], ic, mc, jc, nc, kc, n, pc == 0)
 				}
 			})
 		}
@@ -301,17 +367,18 @@ func matmulMicro(dst, pa, pb []float32, ic, mc, jc, nc, kc, ldc int, first bool)
 	}
 }
 
-// matmulRows computes rows [lo,hi) of C = A·B with 4-row register
-// blocking: each pass over a B row feeds four accumulator rows,
-// quartering memory traffic on B.
-func matmulRows(dst, a, b []float32, lo, hi, n, k, lda, ldb int) {
+// matmulRows computes the [lo,hi)×[jlo,jhi) block of C = A·B with
+// 4-row register blocking: each pass over a B row feeds four
+// accumulator rows, quartering memory traffic on B.
+func matmulRows(dst, a, b []float32, lo, hi, jlo, jhi, n, k, lda, ldb int) {
+	w := jhi - jlo
 	i := lo
 	for ; i+4 <= hi; i += 4 {
-		r0 := dst[i*n : (i+1)*n]
-		r1 := dst[(i+1)*n : (i+2)*n]
-		r2 := dst[(i+2)*n : (i+3)*n]
-		r3 := dst[(i+3)*n : (i+4)*n]
-		for x := 0; x < n; x++ {
+		r0 := dst[i*n+jlo : i*n+jhi]
+		r1 := dst[(i+1)*n+jlo : (i+1)*n+jhi]
+		r2 := dst[(i+2)*n+jlo : (i+2)*n+jhi]
+		r3 := dst[(i+3)*n+jlo : (i+3)*n+jhi]
+		for x := 0; x < w; x++ {
 			r0[x], r1[x], r2[x], r3[x] = 0, 0, 0, 0
 		}
 		a0 := a[i*lda : i*lda+k]
@@ -319,7 +386,7 @@ func matmulRows(dst, a, b []float32, lo, hi, n, k, lda, ldb int) {
 		a2 := a[(i+2)*lda : (i+2)*lda+k]
 		a3 := a[(i+3)*lda : (i+3)*lda+k]
 		for l := 0; l < k; l++ {
-			bl := b[l*ldb : l*ldb+n]
+			bl := b[l*ldb+jlo : l*ldb+jlo+w]
 			av0, av1, av2, av3 := a0[l], a1[l], a2[l], a3[l]
 			for j, bv := range bl {
 				r0[j] += av0 * bv
@@ -330,14 +397,14 @@ func matmulRows(dst, a, b []float32, lo, hi, n, k, lda, ldb int) {
 		}
 	}
 	for ; i < hi; i++ {
-		ri := dst[i*n : (i+1)*n]
+		ri := dst[i*n+jlo : i*n+jhi]
 		for x := range ri {
 			ri[x] = 0
 		}
 		ai := a[i*lda : i*lda+k]
 		for l := 0; l < k; l++ {
 			av := ai[l]
-			bl := b[l*ldb : l*ldb+n]
+			bl := b[l*ldb+jlo : l*ldb+jlo+w]
 			for j, bv := range bl {
 				ri[j] += av * bv
 			}

@@ -55,6 +55,81 @@ func BenchmarkMatMulInto(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulIntraOpLarge is the tier-2 acceptance shape: a 1024³
+// product on the 2-D tiled kernel at widths 1 and 8. The tile grid
+// exposes mBlocks×gPanels flat work units per reduction slab, so on a
+// multi-core host width 8 should track the row-only kernel's width-1
+// time divided by close to the worker count (BENCH_kernels.json records
+// the same comparison against the retained row-only baseline).
+func BenchmarkMatMulIntraOpLarge(b *testing.B) {
+	const s = 1024
+	rng := rand.New(rand.NewSource(1))
+	a := RandNormal(rng, 0, 1, s, s)
+	bb := RandNormal(rng, 0, 1, s, s)
+	out := New(s, s)
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("intraop%d", w), func(b *testing.B) {
+			var p *Pool
+			if w == 1 {
+				p = NewPool(1)
+			} else {
+				ex := sched.New(w - 1)
+				defer ex.Close()
+				p = NewParallelPool(w, ex)
+			}
+			b.SetBytes(int64(2 * s * s * s))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := MatMulInto(p, out, a, bb, false, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulTallSkinny drives the tall/skinny blocked shape
+// (gradient-accumulation GEMMs): a single column panel, where the 2-D
+// tile grid is what keeps more than one worker busy.
+func BenchmarkMatMulTallSkinny(b *testing.B) {
+	benchMatMulWidths(b, 4096, 256, 64)
+}
+
+// BenchmarkMatMulWideStream drives the short-and-wide streaming shape
+// (single-row inference GEMMs): below streamSplitRows the kernel chunks
+// over columns, the axis the row-only dispatch could not split.
+func BenchmarkMatMulWideStream(b *testing.B) {
+	benchMatMulWidths(b, 2, 64, 4096)
+}
+
+func benchMatMulWidths(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandNormal(rng, 0, 1, m, k)
+	bb := RandNormal(rng, 0, 1, k, n)
+	out := New(m, n)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("intraop%d", w), func(b *testing.B) {
+			var p *Pool
+			if w == 1 {
+				p = NewPool(1)
+			} else {
+				ex := sched.New(w - 1)
+				defer ex.Close()
+				p = NewParallelPool(w, ex)
+			}
+			b.SetBytes(int64(2 * m * k * n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := MatMulInto(p, out, a, bb, false, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkConv2D measures the convolution kernel at a VGG-like layer
 // shape (unit stride, SAME padding) where the im2col path engages, and
 // an AlexNet-conv1-like strided shape kept on the direct path.

@@ -141,7 +141,7 @@ func TestMatMulBlockedMatchesStreaming(t *testing.T) {
 func matmulStreamingForTest(p *Pool, dst, a, b []float32, m, n, k, lda, ldb int, ta, tb bool) {
 	switch {
 	case !ta && !tb:
-		matmulRows(dst, a, b, 0, m, n, k, lda, ldb)
+		matmulRows(dst, a, b, 0, m, 0, n, n, k, lda, ldb)
 	case !ta && tb:
 		for i := 0; i < m; i++ {
 			for j := 0; j < n; j++ {

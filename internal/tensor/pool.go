@@ -337,6 +337,55 @@ func (p *Pool) ForSumVec(n, grain, w int, out []float32, fn func(lo, hi int, acc
 		fn(0, n, out)
 		return
 	}
+	parts := p.vecPartials(chunks, w, 0)
+	p.runVecChunks(n, chunks, parts, fn)
+	copy(out, parts[0])
+	for c := 1; c < chunks; c++ {
+		part := parts[c]
+		for i := range out {
+			out[i] += part[i]
+		}
+	}
+}
+
+// ForMaxVec is ForSumVec's max-kind counterpart, used by max axis
+// reductions whose output is small: fn folds chunk [lo,hi)'s maxima
+// into a chunk-private accumulator initialized to negInf, and the
+// per-chunk partials combine elementwise in ascending chunk order with
+// the same v > cur comparison the serial walk uses (so a NaN never
+// displaces a partial, matching the serial semantics exactly). As with
+// ForSumVec, chunk boundaries and combination order are identical at
+// every width including 1.
+func (p *Pool) ForMaxVec(n, grain, w int, out []float32, fn func(lo, hi int, acc []float32)) {
+	out = out[:w]
+	for i := range out {
+		out[i] = negInf
+	}
+	if n <= 0 || w <= 0 {
+		return
+	}
+	p.frozen = true
+	chunks := regionChunks(n, grain)
+	if chunks == 1 {
+		fn(0, n, out)
+		return
+	}
+	parts := p.vecPartials(chunks, w, negInf)
+	p.runVecChunks(n, chunks, parts, fn)
+	copy(out, parts[0])
+	for c := 1; c < chunks; c++ {
+		part := parts[c]
+		for i := range out {
+			if part[i] > out[i] {
+				out[i] = part[i]
+			}
+		}
+	}
+}
+
+// vecPartials returns chunk-private accumulators of length w, each
+// initialized to init, reused across regions.
+func (p *Pool) vecPartials(chunks, w int, init float32) [][]float32 {
 	for len(p.vecParts) < chunks {
 		p.vecParts = append(p.vecParts, nil)
 	}
@@ -347,9 +396,17 @@ func (p *Pool) ForSumVec(n, grain, w int, out []float32, fn func(lo, hi int, acc
 		}
 		parts[c] = parts[c][:w]
 		for i := range parts[c] {
-			parts[c][i] = 0
+			parts[c][i] = init
 		}
 	}
+	return parts
+}
+
+// runVecChunks drives the chunks of a vector-valued reduction region,
+// handing chunk c its private accumulator parts[c] under whichever
+// execution strategy the pool uses (the chunk set is identical under
+// all three).
+func (p *Pool) runVecChunks(n, chunks int, parts [][]float32, fn func(lo, hi int, acc []float32)) {
 	switch {
 	case p.exec != nil && p.workers > 1:
 		p.regions++
@@ -361,13 +418,6 @@ func (p *Pool) ForSumVec(n, grain, w int, out []float32, fn func(lo, hi int, acc
 		for c := 0; c < chunks; c++ {
 			lo, hi := chunkBounds(n, chunks, c)
 			fn(lo, hi, parts[c])
-		}
-	}
-	copy(out, parts[0])
-	for c := 1; c < chunks; c++ {
-		part := parts[c]
-		for i := range out {
-			out[i] += part[i]
 		}
 	}
 }

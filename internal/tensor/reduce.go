@@ -96,6 +96,7 @@ func ReduceInto(p *Pool, out, in *Tensor, axes []int, keepDims bool, kind string
 	if !SameShape(out.shape, outShape) {
 		return fmt.Errorf("tensor: ReduceInto destination %v, want %v", out.shape, outShape)
 	}
+	checkNoAlias("ReduceInto", out, in)
 	set, _ := normAxes(in.Rank(), axes)
 	reduceAll := len(axes) == 0
 	// Full reductions take the parallel path: per-chunk float32
@@ -153,17 +154,16 @@ func ReduceInto(p *Pool, out, in *Tensor, axes []int, keepDims bool, kind string
 	if kind == "mean" {
 		count = float64(in.Size()) / float64(max(1, out.Size()))
 	}
-	// Sum/mean axis reductions with small outer dims take the parallel
+	// Axis reductions with small outer dims take the chunked-partial
 	// path: the input walk is chunked (same rule as every For region),
 	// each chunk accumulates into a chunk-private output-sized partial
 	// vector, and the partials combine elementwise in ascending chunk
-	// order (Pool.ForSumVec) — the same determinism contract as the
-	// full reductions above, so the result bits are identical at every
-	// pool width, including 1. Large outputs keep the serial walk: the
-	// per-chunk partial vectors would dominate the work.
-	if kind != "max" && out.Size() <= axisVecElems {
+	// order (Pool.ForSumVec / Pool.ForMaxVec) — the same determinism
+	// contract as the full reductions above, so the result bits are
+	// identical at every pool width, including 1.
+	if out.Size() <= axisVecElems {
 		ist := Strides(in.shape)
-		p.ForSumVec(len(id), reduceGrain, len(od), od, func(lo, hi int, acc []float32) {
+		walk := func(lo, hi int, acc []float32, fold func(acc []float32, oo int, v float32)) {
 			idx := make([]int, rank)
 			rem, oo := lo, 0
 			for i := 0; i < rank; i++ {
@@ -172,7 +172,7 @@ func ReduceInto(p *Pool, out, in *Tensor, axes []int, keepDims bool, kind string
 				oo += idx[i] * ost[i]
 			}
 			for pos := lo; pos < hi; pos++ {
-				acc[oo] += id[pos]
+				fold(acc, oo, id[pos])
 				for i := rank - 1; i >= 0; i-- {
 					idx[i]++
 					oo += ost[i]
@@ -183,6 +183,21 @@ func ReduceInto(p *Pool, out, in *Tensor, axes []int, keepDims bool, kind string
 					oo -= ost[i] * in.shape[i]
 				}
 			}
+		}
+		if kind == "max" {
+			p.ForMaxVec(len(id), reduceGrain, len(od), od, func(lo, hi int, acc []float32) {
+				walk(lo, hi, acc, func(acc []float32, oo int, v float32) {
+					if v > acc[oo] {
+						acc[oo] = v
+					}
+				})
+			})
+			return nil
+		}
+		p.ForSumVec(len(id), reduceGrain, len(od), od, func(lo, hi int, acc []float32) {
+			walk(lo, hi, acc, func(acc []float32, oo int, v float32) {
+				acc[oo] += v
+			})
 		})
 		if kind == "mean" && count > 0 {
 			inv := float32(1 / count)
@@ -192,32 +207,72 @@ func ReduceInto(p *Pool, out, in *Tensor, axes []int, keepDims bool, kind string
 		}
 		return nil
 	}
-	if kind == "max" {
-		out.Fill(negInf)
-	} else {
-		out.Zero()
-	}
-	idx := make([]int, rank)
-	oo := 0
-	for pos := 0; pos < len(id); pos++ {
-		switch kind {
-		case "sum", "mean":
-			od[oo] += id[pos]
-		case "max":
-			if id[pos] > od[oo] {
-				od[oo] = id[pos]
-			}
-		}
-		for i := rank - 1; i >= 0; i-- {
-			idx[i]++
-			oo += ost[i]
-			if idx[i] < in.shape[i] {
-				break
-			}
-			idx[i] = 0
-			oo -= ost[i] * in.shape[i]
+	// Large outer dims parallelize over output elements instead: each
+	// output element owns its whole reduced fiber, walked in ascending
+	// input order — the same element order the old serial input-major
+	// walk used for that output — so the result bits match the serial
+	// path exactly, and chunk boundaries (a function of out.Size() and
+	// grain only) can never split a fiber, making the path bit-identical
+	// at every width.
+	ist := Strides(in.shape)
+	var outDims, outIst, redDims, redIst []int
+	for i, d := range in.shape {
+		if set[i] {
+			redDims = append(redDims, d)
+			redIst = append(redIst, ist[i])
+		} else {
+			outDims = append(outDims, d)
+			outIst = append(outIst, ist[i])
 		}
 	}
+	redTotal := 1
+	for _, d := range redDims {
+		redTotal *= d
+	}
+	outStrides := Strides(outDims)
+	isMax := kind == "max"
+	grain := 1 + reduceGrain/max(1, redTotal)
+	p.For(len(od), grain, func(lo, hi int) {
+		ridx := make([]int, len(redDims))
+		for o := lo; o < hi; o++ {
+			// Decompose the output index over the non-reduced dims to
+			// find the fiber's base input offset. keepDims axes have
+			// length 1 in out, so the flat index is the same either way.
+			base, rem := 0, o
+			for i := range outDims {
+				base += (rem / outStrides[i]) * outIst[i]
+				rem %= outStrides[i]
+			}
+			acc := float32(0)
+			if isMax {
+				acc = negInf
+			}
+			off := base
+			for i := range ridx {
+				ridx[i] = 0
+			}
+			for cnt := 0; cnt < redTotal; cnt++ {
+				v := id[off]
+				if isMax {
+					if v > acc {
+						acc = v
+					}
+				} else {
+					acc += v
+				}
+				for i := len(ridx) - 1; i >= 0; i-- {
+					ridx[i]++
+					off += redIst[i]
+					if ridx[i] < redDims[i] {
+						break
+					}
+					ridx[i] = 0
+					off -= redIst[i] * redDims[i]
+				}
+			}
+			od[o] = acc
+		}
+	})
 	if kind == "mean" && count > 0 {
 		inv := float32(1 / count)
 		for i := range od {
@@ -254,6 +309,7 @@ func SoftmaxInto(p *Pool, out, in *Tensor) error {
 	if !SameShape(out.shape, in.shape) {
 		return fmt.Errorf("tensor: SoftmaxInto destination %v, want %v", out.shape, in.shape)
 	}
+	checkNoAlias("SoftmaxInto", out, in)
 	softmaxInto(p, out, in)
 	return nil
 }

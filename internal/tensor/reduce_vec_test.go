@@ -138,10 +138,12 @@ func TestAxisReduceSmallOuterParallel(t *testing.T) {
 	}
 }
 
-// TestAxisReduceMaxAndLargeOuterUnchanged: max reductions and large
-// outputs keep the serial walk, and axis reductions still agree with a
-// naive per-fiber reference within float tolerance.
-func TestAxisReduceMaxAndLargeOuterUnchanged(t *testing.T) {
+// TestAxisReduceMaxAndLargeOuterExact: max reductions and large-outer
+// reductions (both parallel since kernel tier 2) still match an exact
+// per-fiber left-to-right fold — the output-parallel path assigns each
+// fiber whole to one chunk, so the element order within a fiber never
+// changes.
+func TestAxisReduceMaxAndLargeOuterExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	in := RandUniform(rng, -1, 1, 64, 40)
 	mx, err := Reduce(NewPool(4), in, []int{0}, false, "max")
