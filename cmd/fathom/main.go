@@ -65,6 +65,7 @@ func main() {
 	sessions := fs.Int("sessions", 2, "worker sessions per served model (serve)")
 	maxBatch := fs.Int("maxbatch", 8, "micro-batch window: max coalesced requests per run (serve)")
 	maxDelay := fs.Duration("maxdelay", 2*time.Millisecond, "max wait for a micro-batch to fill (serve)")
+	heads := fs.Int("heads", 0, "attention head-count override for multi-head workloads; 0 = preset default, must divide the embedding dim (run, serve)")
 	replicas := fs.Int("replicas", 4, "data-parallel model replicas (train)")
 	chunks := fs.Int("chunks", 4, "micro-batch chunks per global step; replicas must divide it (train)")
 	fuseWidth := fs.Int("fuse", 0, "horizontal fusion width: also train K instances in one fused graph, 0 = off (train)")
@@ -85,6 +86,12 @@ func main() {
 	}
 	if *poolSize > 0 {
 		sched.SetDefaultSize(*poolSize)
+	}
+	// Head-count overrides are validated twice: non-negative here, and
+	// divisibility (embed % heads == 0) by the workload's Setup, which
+	// knows the preset's embedding dim and fails with a clear error.
+	if *heads < 0 {
+		fatal(fmt.Errorf("-heads %d must be >= 0 (0 keeps the preset default)", *heads))
 	}
 	opts := experiments.Options{Preset: preset, Steps: *steps, Warmup: *warmup, Seed: *seed}
 
@@ -124,7 +131,7 @@ func main() {
 		if st == 0 {
 			st = 4
 		}
-		res, err := core.SetupAndRun(*model, core.Config{Preset: preset, Seed: *seed}, core.RunOptions{
+		res, err := core.SetupAndRun(*model, core.Config{Preset: preset, Seed: *seed, Heads: *heads}, core.RunOptions{
 			Mode: md, Steps: st, Warmup: *warmup, Workers: *workers, IntraOp: *intraop, InterOp: *interop, Device: *device, Seed: *seed,
 		})
 		if err != nil {
@@ -195,7 +202,7 @@ func main() {
 			}
 			// Build the graph's batch axis at the micro-batch window so
 			// coalesced requests fill one compiled-plan run.
-			if err := m.Setup(core.Config{Preset: preset, Seed: *seed, Batch: *maxBatch}); err != nil {
+			if err := m.Setup(core.Config{Preset: preset, Seed: *seed, Batch: *maxBatch, Heads: *heads}); err != nil {
 				fatal(fmt.Errorf("setup %s: %w", name, err))
 			}
 			eng, err := serve.New(m, serve.Options{
@@ -410,14 +417,15 @@ func usage() {
 
 commands:
   list       registered workloads
-  run        profile one workload        (-model, -mode, -device, -workers, -intraop, -interop)
+  run        profile one workload        (-model, -mode, -device, -workers, -intraop, -interop, -heads)
   profile    parallelism report          (-interop N -intraop N; critical path, achieved vs
              achievable inter-op speedup, real vs modeled intra-op speedup; CSV with -out)
   train      training scaling            (-replicas N -chunks K -fuse K -model a,b -steps N -intraop N;
              data-parallel achieved vs achievable scaling plus horizontally fused arrays,
              bit-identical across replica counts and fused trainees -> BENCH_train.json)
   serve      HTTP/JSON inference serving (-model a,b -addr -sessions -maxbatch -maxdelay -interop -intraop
-             -queue N -deadline D: bounded admission lanes + per-model deadline budget)
+             -queue N -deadline D: bounded admission lanes + per-model deadline budget;
+             -heads N overrides the attention workload's head count)
   loadtest   open-loop overload test     (-model m -qps X -duration D -arrival poisson|uniform -batchfrac F
              -deadline D -queue N; 0.5x/1x/2x capacity sweep -> goodput, shed rate, p50/p99/p999,
              persisted as BENCH_serve.json via -bench FILE)

@@ -144,6 +144,38 @@
 // corruption (the tensor test binary enables it for every kernel
 // invocation).
 //
+// # Fused attention
+//
+// tensor.FusedAttention executes the scaled-dot-product attention
+// chain Softmax(Q·Kᵀ·scale)·V as one streaming kernel: for each of
+// the G·S output rows (parallelized over the shared pool like any
+// other kernel) it computes the row of scores, its softmax, and the
+// probability-weighted sum of V in a scratch buffer of O(S) floats —
+// the (G,S,S) score and probability matrices are never materialized,
+// which removes the naive chain's dominant memory traffic
+// (BENCH_kernels.json tracks the fused-over-naive ratio and the arena
+// bytes eliminated). The kernel replays the exact float sequence of
+// the unfused chain — same dot order, one scale rounding, the
+// softmax's max/exp/sum/normalize in the same ascending order — so
+// fused and unfused are bit-identical at every intra-op width,
+// including rows containing ±Inf masks.
+//
+// At the graph level, ops.NaiveAttention builds the unfused reference
+// chain and graph.FuseAttention (joining pass 4 of graph.Optimize,
+// ahead of epilogue fusion, which would otherwise absorb the chain's
+// scale) pattern-matches BatchMatMul→scalar-Mul→Softmax→BatchMatMul
+// with a rank-3 (0,2,1) transpose on K and rewrites it in place to one
+// FusedAttention node, under the same gates as epilogue fusion
+// (single-reader intermediates, no Impure/Mutator, no kept/fetched
+// nodes). Training graphs fuse before gradient construction: the fused
+// op's Grad recomputes the probability matrix in its own backward
+// subgraph, so dQ/dK/dV match the naive chain's autodiff bitwise. The
+// attention workload (internal/models/attention: a multi-head
+// self-attention encoder block with residual/layer-norm structure and
+// a position-wise FFN on a synthetic sequence-reversal task) drives
+// the fused path end to end through training, the determinism harness,
+// serve, dist, and fuse; `-heads N` overrides its head count.
+//
 // # Serving architecture
 //
 // The standard model interface is request-driven: every workload

@@ -90,6 +90,11 @@ type Config struct {
 	// size. Serving engines use it to build a graph whose batch axis
 	// matches their micro-batching window (see internal/serve).
 	Batch int
+	// Heads, when positive, overrides the preset's attention head
+	// count for workloads with multi-head attention. The workload's
+	// Setup validates divisibility (embed % heads == 0) and rejects
+	// impossible configurations.
+	Heads int
 }
 
 // BatchOr resolves the batch override: the configured Batch if
@@ -97,6 +102,15 @@ type Config struct {
 func (c Config) BatchOr(def int) int {
 	if c.Batch > 0 {
 		return c.Batch
+	}
+	return def
+}
+
+// HeadsOr resolves the head-count override: the configured Heads if
+// positive, else the preset default def.
+func (c Config) HeadsOr(def int) int {
+	if c.Heads > 0 {
+		return c.Heads
 	}
 	return def
 }

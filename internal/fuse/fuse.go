@@ -47,6 +47,7 @@ package fuse
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/core"
@@ -281,6 +282,40 @@ func (a *Array) TraineeParams(k int) []*tensor.Tensor {
 		out[i] = tensor.FromSlice(p.Value().Data()[k*s:(k+1)*s], a.paramShape[i]...)
 	}
 	return out
+}
+
+// SaveCheckpoint serializes the fused graph's variables — the stacked
+// parameters AND the optimizer slot accumulators (<var>/slot/<name>
+// velocity / RMS / moment / step variables the ApplyArray* update
+// rules hold their state in) — so a fused run can be suspended and
+// resumed mid-trajectory. Pair with RestoreCheckpoint(r, Steps()).
+func (a *Array) SaveCheckpoint(w io.Writer) error {
+	if a.closed {
+		return ErrClosed
+	}
+	return runtime.SaveCheckpoint(w, a.plan.g)
+}
+
+// RestoreCheckpoint restores a SaveCheckpoint image into the fused
+// graph and fast-forwards the step counter to step (the Steps() value
+// at save time), so the per-(step, chunk) data seeds — and with them
+// every subsequent minibatch — continue exactly where the saved run
+// left off. Because the optimizer slots are graph variables, the
+// restored array's next update applies the exact momentum/RMS/moment
+// state of the original run: the continuation is bit-identical to
+// never having stopped.
+func (a *Array) RestoreCheckpoint(r io.Reader, step int) error {
+	if a.closed {
+		return ErrClosed
+	}
+	if step < 0 {
+		return fmt.Errorf("fuse: negative resume step %d", step)
+	}
+	if err := runtime.LoadCheckpoint(r, a.plan.g, false); err != nil {
+		return err
+	}
+	a.step = step
+	return nil
 }
 
 // Close closes the fused and template sessions, releasing their leases

@@ -1,0 +1,102 @@
+package fuse_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fuse"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+
+	_ "repro/internal/models/all"
+)
+
+// TestFusedArrayCheckpointResume pins the fused checkpoint contract:
+// save a fused array mid-run, restore it into a fresh array, and the
+// continuation is bit-identical to never having stopped — per-step
+// losses and final parameters. This only holds because the ApplyArray*
+// optimizer accumulators (velocity, RMS statistic, Adam moments and
+// the shared step counter) are "<var>/slot/<name>" graph variables the
+// checkpoint captures, not hidden op state: a restored momentum or
+// Adam trajectory must continue from the saved accumulators, and the
+// resumed step counter keys both the per-(step, chunk) data seeds and
+// Adam's bias correction. The two workloads cover both slot shapes —
+// attention trains with Momentum (stacked velocity), autoenc with Adam
+// (stacked moments plus the shape-{1} step counter).
+func TestFusedArrayCheckpointResume(t *testing.T) {
+	pool := sched.New(8)
+	defer pool.Close()
+	const pre, post = 3, 3
+	for _, name := range []string{"attention", "autoenc"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			opts := fuse.Options{
+				Width:    2,
+				LRScales: []float32{1, 0.5},
+				Preset:   core.PresetTiny,
+				Seed:     11,
+				Pool:     pool,
+			}
+			newArray := func() *fuse.Array {
+				arr, err := fuse.New(name, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(arr.Close)
+				return arr
+			}
+
+			// Reference: pre+post uninterrupted steps.
+			ref := newArray()
+			if err := ref.Train(pre + post); err != nil {
+				t.Fatal(err)
+			}
+
+			// Interrupted run: pre steps, checkpoint, discard.
+			src := newArray()
+			if err := src.Train(pre); err != nil {
+				t.Fatal(err)
+			}
+			var ckpt bytes.Buffer
+			if err := src.SaveCheckpoint(&ckpt); err != nil {
+				t.Fatal(err)
+			}
+			at := src.Steps()
+			src.Close()
+
+			// Fresh array, restored mid-trajectory, trained to the end.
+			resumed := newArray()
+			if err := resumed.RestoreCheckpoint(bytes.NewReader(ckpt.Bytes()), at); err != nil {
+				t.Fatal(err)
+			}
+			if got := resumed.Steps(); got != pre {
+				t.Fatalf("resumed step counter %d, want %d", got, pre)
+			}
+			if err := resumed.Train(post); err != nil {
+				t.Fatal(err)
+			}
+
+			for k := 0; k < opts.Width; k++ {
+				refTail := ref.Losses(k)[pre:]
+				resTail := resumed.Losses(k)
+				if len(resTail) != post {
+					t.Fatalf("trainee %d: resumed %d losses, want %d", k, len(resTail), post)
+				}
+				for i := range refTail {
+					if refTail[i] != resTail[i] {
+						t.Errorf("trainee %d step %d: resumed loss %v != uninterrupted %v",
+							k, pre+i, resTail[i], refTail[i])
+					}
+				}
+				refP, resP := ref.TraineeParams(k), resumed.TraineeParams(k)
+				for i := range refP {
+					if d := tensor.MaxAbsDiff(refP[i], resP[i]); d != 0 {
+						t.Errorf("trainee %d param %s: resumed differs (max |Δ| %g)",
+							k, ref.ParamNames()[i], d)
+					}
+				}
+			}
+		})
+	}
+}

@@ -58,6 +58,7 @@ type OptimizeResult struct {
 	IdentitiesElided int
 	ConstantsFolded  int
 	CSEMerged        int
+	FusedAttention   int
 	FusedEpilogues   int
 }
 
@@ -170,13 +171,17 @@ func Optimize(ctx *ExecContext, fetches []*Node) (*OptimizeResult, error) {
 			return nil, err
 		}
 	}
-	// Pass 4: epilogue fusion on the rewritten graph. The rewrite above
-	// deduplicated consumers, so the single-reader gate sees accurate
-	// counts. In-place, so the Mapping stays valid.
+	// Pass 4: fusion on the rewritten graph. The rewrite above
+	// deduplicated consumers, so the single-reader gates see accurate
+	// counts. In-place, so the Mapping stays valid. Attention chains
+	// fuse first — the epilogue pass would otherwise absorb the
+	// chain's scalar Mul into an unrelated fused op and break the
+	// pattern.
 	mapped := make([]*Node, 0, len(fetches))
 	for _, f := range fetches {
 		mapped = append(mapped, res.Mapping[f])
 	}
+	res.FusedAttention = FuseAttention(ng, mapped...)
 	res.FusedEpilogues = FuseEpilogues(ng, mapped...)
 	return res, nil
 }

@@ -6,6 +6,7 @@ package all
 
 import (
 	_ "repro/internal/models/alexnet"
+	_ "repro/internal/models/attention"
 	_ "repro/internal/models/autoenc"
 	_ "repro/internal/models/deepq"
 	_ "repro/internal/models/memnet"

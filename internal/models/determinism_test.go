@@ -197,7 +197,7 @@ func distFingerprint(t *testing.T, name string, replicas, intraop, interop, trai
 }
 
 // TestDataParallelDeterminism extends the harness to the data-parallel
-// training subsystem (internal/dist): for all nine workloads, a fixed
+// training subsystem (internal/dist): for all ten workloads, a fixed
 // global batch (the 4-chunk grid), chunk count and seed yield
 // bit-identical loss trajectories and final variables across replica
 // counts {1, 2, 4} and across replica × intra-op width combinations —

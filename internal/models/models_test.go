@@ -17,11 +17,11 @@ import (
 	_ "repro/internal/models/all"
 )
 
-// The paper's eight workloads plus the neuraltalk extension
-// (registered alphabetically).
+// The paper's eight workloads plus the neuraltalk and attention
+// extensions (registered alphabetically).
 var allNames = []string{
-	"alexnet", "autoenc", "deepq", "memnet", "neuraltalk",
-	"residual", "seq2seq", "speech", "vgg",
+	"alexnet", "attention", "autoenc", "deepq", "memnet",
+	"neuraltalk", "residual", "seq2seq", "speech", "vgg",
 }
 
 // paperNames are the original eight (the extension demonstrates the
@@ -33,8 +33,8 @@ var paperNames = []string{
 
 func TestRegistryHasSuiteAndExtension(t *testing.T) {
 	names := core.Names()
-	if len(names) != 9 {
-		t.Fatalf("expected 8 workloads + 1 extension, got %v", names)
+	if len(names) != 10 {
+		t.Fatalf("expected 8 workloads + 2 extensions, got %v", names)
 	}
 	for i, n := range allNames {
 		if names[i] != n {
@@ -230,6 +230,7 @@ func TestWorkloadsLearn(t *testing.T) {
 	// deepq is excluded: a handful of Q-learning steps has no
 	// monotonicity guarantee (tested separately for mechanics).
 	cases := map[string]int{
+		"attention":  60,
 		"autoenc":    40,
 		"memnet":     60,
 		"seq2seq":    50,

@@ -438,7 +438,7 @@ type applyArrayMomentumOp struct {
 	target   *graph.Node
 	lrs      []float32
 	mom      float32
-	velocity *tensor.Tensor
+	velocity *graph.Node
 }
 
 func (*applyArrayMomentumOp) Name() string         { return "ArrayApplyMomentum" }
@@ -450,11 +450,8 @@ func (o *applyArrayMomentumOp) InferShape(in [][]int) ([]int, error) {
 	return []int{}, nil
 }
 func (o *applyArrayMomentumOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	if o.velocity == nil {
-		o.velocity = tensor.New(o.target.Shape()...)
-	}
 	v := o.target.Value().Data()
-	vel := o.velocity.Data()
+	vel := o.velocity.Value().Data()
 	g := in[0].Data()
 	mom := o.mom
 	s := len(v) / len(o.lrs)
@@ -476,22 +473,28 @@ func (o *applyArrayMomentumOp) Cost(in [][]int, out []int) (int64, int64) {
 }
 
 // Mutates implements graph.Mutator.
-func (o *applyArrayMomentumOp) Mutates() []*graph.Node { return []*graph.Node{o.target} }
+func (o *applyArrayMomentumOp) Mutates() []*graph.Node {
+	return []*graph.Node{o.target, o.velocity}
+}
 
 // Impure implements graph.Impure.
 func (*applyArrayMomentumOp) Impure() {}
 
 // ApplyArrayMomentum adds a fused momentum-SGD update of stacked
-// variable v by grad.
+// variable v by grad. The stacked velocity accumulator is a
+// "<v>/slot/velocity" graph variable — checkpointed state, like the
+// scalar apply-ops' slots — so a restored fused array resumes the
+// exact optimizer trajectory.
 func ApplyArrayMomentum(v, grad *graph.Node, lrs []float32, momentum float32) *graph.Node {
-	return v.Graph().MustApply(&applyArrayMomentumOp{target: v, lrs: arrayLRs(lrs), mom: momentum}, grad)
+	op := &applyArrayMomentumOp{target: v, lrs: arrayLRs(lrs), mom: momentum, velocity: slotVar(v, "velocity")}
+	return v.Graph().MustApply(op, grad)
 }
 
 type applyArrayRMSPropOp struct {
 	target     *graph.Node
 	lrs        []float32
 	decay, eps float32
-	ms         *tensor.Tensor
+	ms         *graph.Node
 }
 
 func (*applyArrayRMSPropOp) Name() string         { return "ArrayApplyRMSProp" }
@@ -503,11 +506,8 @@ func (o *applyArrayRMSPropOp) InferShape(in [][]int) ([]int, error) {
 	return []int{}, nil
 }
 func (o *applyArrayRMSPropOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	if o.ms == nil {
-		o.ms = tensor.New(o.target.Shape()...)
-	}
 	v := o.target.Value().Data()
-	ms := o.ms.Data()
+	ms := o.ms.Value().Data()
 	g := in[0].Data()
 	decay, eps := o.decay, o.eps
 	s := len(v) / len(o.lrs)
@@ -529,23 +529,24 @@ func (o *applyArrayRMSPropOp) Cost(in [][]int, out []int) (int64, int64) {
 }
 
 // Mutates implements graph.Mutator.
-func (o *applyArrayRMSPropOp) Mutates() []*graph.Node { return []*graph.Node{o.target} }
+func (o *applyArrayRMSPropOp) Mutates() []*graph.Node { return []*graph.Node{o.target, o.ms} }
 
 // Impure implements graph.Impure.
 func (*applyArrayRMSPropOp) Impure() {}
 
 // ApplyArrayRMSProp adds a fused RMSProp update of stacked variable v
-// by grad.
+// by grad. The stacked RMS statistic is a "<v>/slot/ms" graph
+// variable, so it rides along in checkpoints.
 func ApplyArrayRMSProp(v, grad *graph.Node, lrs []float32, decay, eps float32) *graph.Node {
-	return v.Graph().MustApply(&applyArrayRMSPropOp{target: v, lrs: arrayLRs(lrs), decay: decay, eps: eps}, grad)
+	op := &applyArrayRMSPropOp{target: v, lrs: arrayLRs(lrs), decay: decay, eps: eps, ms: slotVar(v, "ms")}
+	return v.Graph().MustApply(op, grad)
 }
 
 type applyArrayAdamOp struct {
 	target      *graph.Node
 	lrs         []float32
 	b1, b2, eps float32
-	m, v        *tensor.Tensor
-	step        int
+	m, v, step  *graph.Node
 }
 
 func (*applyArrayAdamOp) Name() string         { return "ArrayApplyAdam" }
@@ -557,17 +558,18 @@ func (o *applyArrayAdamOp) InferShape(in [][]int) ([]int, error) {
 	return []int{}, nil
 }
 func (o *applyArrayAdamOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	if o.m == nil {
-		o.m = tensor.New(o.target.Shape()...)
-		o.v = tensor.New(o.target.Shape()...)
-	}
-	o.step++
+	// The shared step counter lives in a shape-{1} variable (all
+	// trainees step together), so checkpoints restore the bias
+	// correction along with the moments — same scheme as ApplyAdam.
+	st := o.step.Value().Data()
+	st[0]++
+	step := float64(st[0])
 	w := o.target.Value().Data()
-	m, v := o.m.Data(), o.v.Data()
+	m, v := o.m.Value().Data(), o.v.Value().Data()
 	g := in[0].Data()
 	b1, b2 := float64(o.b1), float64(o.b2)
-	c1 := 1 - math.Pow(b1, float64(o.step))
-	c2 := 1 - math.Pow(b2, float64(o.step))
+	c1 := 1 - math.Pow(b1, step)
+	c2 := 1 - math.Pow(b2, step)
 	eps := float64(o.eps)
 	s := len(w) / len(o.lrs)
 	for kk, lrk := range o.lrs {
@@ -591,7 +593,9 @@ func (o *applyArrayAdamOp) Cost(in [][]int, out []int) (int64, int64) {
 }
 
 // Mutates implements graph.Mutator.
-func (o *applyArrayAdamOp) Mutates() []*graph.Node { return []*graph.Node{o.target} }
+func (o *applyArrayAdamOp) Mutates() []*graph.Node {
+	return []*graph.Node{o.target, o.m, o.v, o.step}
+}
 
 // Impure implements graph.Impure.
 func (*applyArrayAdamOp) Impure() {}
@@ -599,16 +603,22 @@ func (*applyArrayAdamOp) Impure() {}
 // ApplyArrayAdam adds a fused Adam update of stacked variable v by
 // grad. The bias-correction step counter is shared — all trainees step
 // together — so each trainee's effective rate matches its standalone
-// schedule.
+// schedule. Moments and the step counter are "<v>/slot/{m,v,step}"
+// graph variables, so a restored fused array resumes the exact
+// trajectory, bias correction included.
 func ApplyArrayAdam(v, grad *graph.Node, lrs []float32, beta1, beta2, eps float32) *graph.Node {
-	return v.Graph().MustApply(&applyArrayAdamOp{target: v, lrs: arrayLRs(lrs), b1: beta1, b2: beta2, eps: eps}, grad)
+	op := &applyArrayAdamOp{
+		target: v, lrs: arrayLRs(lrs), b1: beta1, b2: beta2, eps: eps,
+		m: slotVar(v, "m"), v: slotVar(v, "v"), step: slotVar(v, "step", 1),
+	}
+	return v.Graph().MustApply(op, grad)
 }
 
 type applyArrayAdagradOp struct {
 	target *graph.Node
 	lrs    []float32
 	eps    float32
-	accum  *tensor.Tensor
+	accum  *graph.Node
 }
 
 func (*applyArrayAdagradOp) Name() string         { return "ArrayApplyAdagrad" }
@@ -620,11 +630,8 @@ func (o *applyArrayAdagradOp) InferShape(in [][]int) ([]int, error) {
 	return []int{}, nil
 }
 func (o *applyArrayAdagradOp) Forward(ctx *graph.ExecContext, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	if o.accum == nil {
-		o.accum = tensor.New(o.target.Shape()...)
-	}
 	v := o.target.Value().Data()
-	acc := o.accum.Data()
+	acc := o.accum.Value().Data()
 	g := in[0].Data()
 	eps := o.eps
 	s := len(v) / len(o.lrs)
@@ -646,13 +653,15 @@ func (o *applyArrayAdagradOp) Cost(in [][]int, out []int) (int64, int64) {
 }
 
 // Mutates implements graph.Mutator.
-func (o *applyArrayAdagradOp) Mutates() []*graph.Node { return []*graph.Node{o.target} }
+func (o *applyArrayAdagradOp) Mutates() []*graph.Node { return []*graph.Node{o.target, o.accum} }
 
 // Impure implements graph.Impure.
 func (*applyArrayAdagradOp) Impure() {}
 
 // ApplyArrayAdagrad adds a fused AdaGrad update of stacked variable v
-// by grad.
+// by grad. The stacked gradient-square accumulator is a
+// "<v>/slot/accum" graph variable, so it rides along in checkpoints.
 func ApplyArrayAdagrad(v, grad *graph.Node, lrs []float32, eps float32) *graph.Node {
-	return v.Graph().MustApply(&applyArrayAdagradOp{target: v, lrs: arrayLRs(lrs), eps: eps}, grad)
+	op := &applyArrayAdagradOp{target: v, lrs: arrayLRs(lrs), eps: eps, accum: slotVar(v, "accum")}
+	return v.Graph().MustApply(op, grad)
 }

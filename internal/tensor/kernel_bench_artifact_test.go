@@ -131,12 +131,101 @@ func TestKernelBenchArtifact(t *testing.T) {
 			s.name, times["tiled2d/8"]*1e3, res.NewScalingW8, times["row_only/8"]*1e3, res.BaselineScalingW8)
 	}
 
+	// Attention section: the fused streaming-softmax kernel against
+	// the unfused materialized chain (Transpose → BatchMatMul → Mul →
+	// Softmax → BatchMatMul), bit-equality gated like the GEMM entry.
+	// Alongside throughput it records the working-set story the fusion
+	// exists for: the naive chain materializes Kᵀ plus three (G,S,S)
+	// tensors and a per-slice matmul result, while the fused kernel
+	// holds two score rows per lane.
+	type attnShapeResult struct {
+		Shape             string  `json:"shape"`
+		G                 int     `json:"g"`
+		S                 int     `json:"s"`
+		Dh                int     `json:"dh"`
+		Rows              []row   `json:"rows"`
+		FusedOverNaiveW8  float64 `json:"fused_over_naive_w8"` // naive w8 time / fused w8 time
+		NaivePeakBytes    int64   `json:"naive_peak_bytes"`    // materialized intermediates
+		FusedScratchBytes int64   `json:"fused_scratch_bytes"` // per-lane score rows, all lanes
+	}
+	attnShapes := []struct {
+		name     string
+		g, s, dh int
+		iters    int
+	}{
+		{"longseq_4x1024x16", 4, 1024, 16, 3},
+		{"tinyhead_16x256x8", 16, 256, 8, 5},
+		{"base_8x256x64", 8, 256, 64, 3},
+	}
+	var attnResults []attnShapeResult
+	for _, s := range attnShapes {
+		arng := rand.New(rand.NewSource(47))
+		q := RandNormal(arng, 0, 1, s.g, s.s, s.dh)
+		k := RandNormal(arng, 0, 1, s.g, s.s, s.dh)
+		v := RandNormal(arng, 0, 1, s.g, s.s, s.dh)
+		scale := float32(1 / math.Sqrt(float64(s.dh)))
+		out := New(s.g, s.s, s.dh)
+
+		// Bit-equality gate at both widths before timing anything.
+		for w, p := range pools {
+			if err := AttentionInto(p, out, q, k, v, scale); err != nil {
+				t.Fatal(err)
+			}
+			ref := naiveAttentionRef(t, p, q, k, v, scale)
+			if d := MaxAbsDiff(out, ref); d != 0 {
+				t.Fatalf("%s width %d: fused attention differs from naive chain (max |Δ| %g)", s.name, w, d)
+			}
+		}
+
+		res := attnShapeResult{Shape: s.name, G: s.g, S: s.s, Dh: s.dh}
+		times := map[string]float64{}
+		for _, cfg := range []struct {
+			label  string
+			kernel func(p *Pool)
+		}{
+			{"fused_stream", func(p *Pool) { _ = AttentionInto(p, out, q, k, v, scale) }},
+			{"naive_chain", func(p *Pool) { naiveAttentionRef(t, p, q, k, v, scale) }},
+		} {
+			for _, w := range []int{1, 8} {
+				p := pools[w]
+				cfg.kernel(p) // warmup
+				best := math.MaxFloat64
+				for i := 0; i < s.iters; i++ {
+					t0 := time.Now()
+					cfg.kernel(p)
+					if d := time.Since(t0).Seconds(); d < best {
+						best = d
+					}
+				}
+				// QKᵀ and P·V mul-adds; the softmax between them is
+				// O(S) per row and excluded, as is conventional.
+				flops := 4 * float64(s.g) * float64(s.s) * float64(s.s) * float64(s.dh)
+				res.Rows = append(res.Rows, row{
+					Kernel:  cfg.label,
+					Workers: w,
+					MsPerOp: best * 1e3,
+					GFLOPS:  flops / best / 1e9,
+				})
+				times[fmt.Sprintf("%s/%d", cfg.label, w)] = best
+			}
+		}
+		res.FusedOverNaiveW8 = times["naive_chain/8"] / times["fused_stream/8"]
+		gss := int64(s.g) * int64(s.s) * int64(s.s)
+		res.NaivePeakBytes = 4 * (3*gss + int64(s.g)*int64(s.s)*int64(s.dh) + int64(s.s)*int64(s.s))
+		res.FusedScratchBytes = 4 * 2 * int64(s.s) * 8
+		attnResults = append(attnResults, res)
+		t.Logf("%s: fused w8 %.1fms vs naive w8 %.1fms (%.2fx), naive peak %d bytes vs fused scratch %d",
+			s.name, times["fused_stream/8"]*1e3, times["naive_chain/8"]*1e3,
+			res.FusedOverNaiveW8, res.NaivePeakBytes, res.FusedScratchBytes)
+	}
+
 	artifact := struct {
-		Kind     string        `json:"kind"`
-		HostCPUs int           `json:"host_cpus"`
-		Widths   []int         `json:"widths"`
-		Shapes   []shapeResult `json:"shapes"`
-	}{"kernels", goruntime.NumCPU(), []int{1, 8}, results}
+		Kind      string            `json:"kind"`
+		HostCPUs  int               `json:"host_cpus"`
+		Widths    []int             `json:"widths"`
+		Shapes    []shapeResult     `json:"shapes"`
+		Attention []attnShapeResult `json:"attention"`
+	}{"kernels", goruntime.NumCPU(), []int{1, 8}, results, attnResults}
 	data, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {
 		t.Fatal(err)

@@ -45,7 +45,7 @@ type Executor interface {
 // partials in ascending chunk order, at every width including 1, so
 // reductions are bit-identical too. The determinism harness
 // (internal/models/determinism_test.go) pins this across intra-op ×
-// inter-op width combinations for all nine workloads.
+// inter-op width combinations for all ten workloads.
 //
 // A Pool is confined to one goroutine from the caller's perspective:
 // only the internal parallel strategy fans chunks out, and every
@@ -85,6 +85,7 @@ const (
 	scratchPackA  = iota // matmul: packed A panel (per lane)
 	scratchPackB         // matmul: packed B panel (caller-side)
 	scratchIm2col        // conv: im2col patch matrix (caller-side)
+	scratchAttn          // attention: one score row of length S (per lane)
 	scratchSlots
 )
 
