@@ -17,9 +17,12 @@
 // -workers N (modeled intra-op), -intraop N (real intra-op on the
 // shared pool), -interop N, -pool N (shared worker-pool size),
 // -device cpu|gpu, -mode training|inference, -out DIR. Serving flags:
-// -addr, -sessions, -maxbatch, -maxdelay, -queue, -deadline. Load-test
-// flags: -qps (0 = measure capacity), -duration, -arrival
-// poisson|uniform, -batchfrac, -bench FILE.
+// -addr, -sessions, -maxbatch, -maxdelay, -queue, -deadline, plus
+// observability: -tracesample N (trace every Nth request), -tracedir
+// DIR (periodic Chrome-trace dumps), -pprof (mount /debug/pprof);
+// /metrics always serves Prometheus text. Load-test flags: -qps (0 =
+// measure capacity), -duration, -arrival poisson|uniform, -batchfrac,
+// -bench FILE. Training: -trace dumps per-step phase telemetry.
 package main
 
 import (
@@ -40,6 +43,7 @@ import (
 	_ "repro/internal/models/all"
 	"repro/internal/sched"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -76,6 +80,10 @@ func main() {
 	arrival := fs.String("arrival", "poisson", "arrival distribution: poisson or uniform (loadtest)")
 	batchFrac := fs.Float64("batchfrac", 0.5, "fraction of traffic on the batch priority lane (loadtest)")
 	benchOut := fs.String("bench", "BENCH_serve.json", "load-test result file; with -out, written inside it (loadtest)")
+	traceSample := fs.Int("tracesample", 0, "trace every Nth request end to end, 0 = off (serve)")
+	traceDir := fs.String("tracedir", "", "directory for periodic Chrome-trace dumps of sampled requests; implies -tracesample 1000 if unset (serve)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the serve mux (serve)")
+	trainTrace := fs.Bool("trace", false, "dump per-step sample/grad/reduce/apply phase telemetry per workload (train)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -180,6 +188,16 @@ func main() {
 		}
 		emit(res)
 		writeTrainBench(bench, *outDir)
+		if *trainTrace {
+			// Per-step phase breakdown behind the aggregate numbers
+			// above: a fresh run per workload with the trainer's phase
+			// ring dumped before teardown.
+			phases, err := experiments.TrainPhases(opts, *replicas, *chunks, *intraop, *fuseWidth, names)
+			if err != nil {
+				fatal(err)
+			}
+			emit(phases)
+		}
 	case "serve":
 		if *model == "" {
 			fatal(fmt.Errorf("serve requires -model (comma-separated workload names)"))
@@ -189,6 +207,18 @@ func main() {
 			fatal(err)
 		}
 		srv := serve.NewServer()
+		// Telemetry wiring: -tracedir implies sampling; the collector is
+		// shared by the HTTP layer (samples at admission) and every
+		// engine (builds the span tree), so the sampling decision is
+		// made exactly once per request.
+		sample := *traceSample
+		if *traceDir != "" && sample <= 0 {
+			sample = 1000
+		}
+		var collector *telemetry.TraceCollector
+		if sample > 0 {
+			collector = telemetry.NewTraceCollector(sample, 256)
+		}
 		seen := map[string]bool{}
 		for _, name := range strings.Split(*model, ",") {
 			name = strings.TrimSpace(name)
@@ -215,6 +245,7 @@ func main() {
 				IntraOpWorkers:  *intraop,
 				QueueLen:        *queueLen,
 				DefaultDeadline: *deadline,
+				Trace:           collector,
 			})
 			if err != nil {
 				fatal(err)
@@ -225,12 +256,32 @@ func main() {
 			fmt.Printf("serving %-10s  inputs %v  outputs %v  maxbatch %d\n",
 				name, sig.InputNames(), sig.OutputNames(), eng.MaxBatch())
 		}
+		srv.EnableTelemetry(telemetry.Default(), collector)
+		if *pprofOn {
+			srv.EnablePprof()
+		}
 		fmt.Printf("\nlistening on http://%s\n", *addr)
 		fmt.Printf("  POST /v1/models/%s:infer   {\"inputs\": {...}}\n", srv.Names()[0])
-		fmt.Println("  GET  /v1/models  /healthz  /stats")
+		fmt.Println("  GET  /v1/models  /healthz  /stats  /metrics")
+		if collector != nil {
+			fmt.Printf("  GET  /debug/trace (sampling 1/%d requests)\n", sample)
+		}
+		if *pprofOn {
+			fmt.Println("  GET  /debug/pprof/")
+		}
 		httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
+		drainStop := make(chan struct{})
+		drainDone := make(chan struct{})
+		if *traceDir != "" {
+			if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+				fatal(err)
+			}
+			go drainTraces(collector, *traceDir, drainStop, drainDone)
+		} else {
+			close(drainDone)
+		}
 		errc := make(chan error, 1)
 		go func() { errc <- httpSrv.ListenAndServe() }()
 		select {
@@ -241,6 +292,10 @@ func main() {
 			shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
 			_ = httpSrv.Shutdown(shctx)
+			// Stop the drainer only after in-flight requests finished so
+			// the final flush captures the last interval's traces.
+			close(drainStop)
+			<-drainDone
 		}
 	case "loadtest":
 		// Serving robustness: drive one engine open-loop at
@@ -344,6 +399,44 @@ func main() {
 	}
 }
 
+// drainTraces periodically empties the trace collector into numbered
+// Chrome-trace files under dir (open in chrome://tracing or Perfetto),
+// with a final flush when the server shuts down so sampled requests
+// from the last interval aren't lost.
+func drainTraces(tc *telemetry.TraceCollector, dir string, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	tick := time.NewTicker(10 * time.Second)
+	defer tick.Stop()
+	n := 0
+	flush := func() {
+		traces := tc.Drain()
+		if len(traces) == 0 {
+			return
+		}
+		path := filepath.Join(dir, fmt.Sprintf("trace-%03d.json", n))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fathom: trace dump:", err)
+			return
+		}
+		if err := telemetry.WriteChromeTraces(f, traces); err != nil {
+			fmt.Fprintln(os.Stderr, "fathom: trace dump:", err)
+		}
+		_ = f.Close()
+		fmt.Printf("(%d sampled traces written to %s)\n", len(traces), path)
+		n++
+	}
+	for {
+		select {
+		case <-tick.C:
+			flush()
+		case <-stop:
+			flush()
+			return
+		}
+	}
+}
+
 // validateTrainFlags rejects inconsistent train-axis flag combinations
 // up front with a clear error instead of a mid-run failure.
 func validateTrainFlags(replicas, chunks, fuseWidth int) {
@@ -422,10 +515,13 @@ commands:
              achievable inter-op speedup, real vs modeled intra-op speedup; CSV with -out)
   train      training scaling            (-replicas N -chunks K -fuse K -model a,b -steps N -intraop N;
              data-parallel achieved vs achievable scaling plus horizontally fused arrays,
-             bit-identical across replica counts and fused trainees -> BENCH_train.json)
+             bit-identical across replica counts and fused trainees -> BENCH_train.json;
+             -trace dumps per-step sample/grad/reduce/apply phase telemetry)
   serve      HTTP/JSON inference serving (-model a,b -addr -sessions -maxbatch -maxdelay -interop -intraop
              -queue N -deadline D: bounded admission lanes + per-model deadline budget;
-             -heads N overrides the attention workload's head count)
+             -heads N overrides the attention workload's head count;
+             -tracesample N traces every Nth request, -tracedir DIR dumps Chrome traces,
+             -pprof mounts /debug/pprof; /metrics always exposes Prometheus text)
   loadtest   open-loop overload test     (-model m -qps X -duration D -arrival poisson|uniform -batchfrac F
              -deadline D -queue N; 0.5x/1x/2x capacity sweep -> goodput, shed rate, p50/p99/p999,
              persisted as BENCH_serve.json via -bench FILE)

@@ -311,4 +311,42 @@
 // advisory caps on helper acquisition — degrade-to-serial still
 // applies — and /stats reports per-tenant want/granted/active so the
 // renegotiation is observable.
+//
+// # Observability
+//
+// internal/telemetry unifies the process's metrics, traces, and
+// training-phase timings. The metrics registry is scrape-time only:
+// every series is a reader (CounterFunc/GaugeFunc over atomics the
+// subsystems already maintain, Histogram over the log-bucketed
+// LogHistogram generalized out of serve's stats), so registration
+// adds nothing to the request hot path. A serving process exposes the
+// registry in Prometheus 0.0.4 text format at /metrics — serve
+// admission/shed/latency families per model, shared worker-pool
+// gauges, per-engine arena utilization, and dist/fuse training
+// throughput — next to the JSON /stats endpoint (which also carries
+// arena and queue-wait quantile blocks).
+//
+// Request tracing samples at admission: `fathom serve -tracesample N`
+// traces every Nth request end to end, the decision made exactly once
+// per request and carried via context through queue wait, batch
+// packing, and the run, so unsampled requests never touch a trace. A
+// sampled request yields a span tree — request, admission, queue,
+// batch, run, and one child per executed op on its worker lane,
+// reusing the runtime's Event capture — collected in a bounded ring
+// and exported as Chrome trace-event JSON, either periodically to
+// -tracedir or one-shot via /debug/trace (load chrome://tracing or
+// Perfetto). -pprof mounts net/http/pprof under /debug/pprof/.
+// Training gets the same treatment from the loop side: dist and fuse
+// trainers record per-step sample/grad/reduce/apply phase timings in
+// a fixed ring, scraped through the registry and printed as a phase
+// table by `fathom train -trace`.
+//
+// The overhead contract is <2%: the full stack — registry populated
+// plus tracing at the default 1/1000 — must stay within 2% of the
+// bare engine on the BenchmarkServe workload, measured as CPU per
+// request and enforced in CI (TELEMETRY_OVERHEAD_GATE). The measured
+// budget behind the default rate: a traced request costs ~15µs of CPU
+// for its ~50 spans, so 1/1000 amortizes below the noise floor while
+// 1/10 costs a measurable ~18%. Tracing perturbs timings, never
+// results — the determinism contract holds with telemetry on.
 package repro

@@ -70,8 +70,13 @@ import (
 	"repro/internal/models/nn"
 	"repro/internal/runtime"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
+
+// phaseRingSize bounds the per-step phase telemetry ring: enough for a
+// bench run's whole trajectory, constant memory forever after.
+const phaseRingSize = 256
 
 // ErrClosed is returned by Step after Close.
 var ErrClosed = errors.New("dist: trainer closed")
@@ -147,8 +152,9 @@ type replica struct {
 	chunkLoss  []float64
 	chunkGrads [][]*tensor.Tensor // [owned chunk][param]
 
-	gradWall time.Duration // grad phase wall of the current step
-	err      error
+	gradWall   time.Duration // grad phase wall of the current step
+	sampleWall time.Duration // TrainSample share of gradWall
+	err        error
 }
 
 // Timing accumulates the trainer's phase walls, the raw material of
@@ -185,6 +191,7 @@ type Trainer struct {
 	step        int
 	losses      []float64
 	timing      Timing
+	phases      *telemetry.PhaseRing
 	closed      bool
 }
 
@@ -215,7 +222,7 @@ func New(name string, opts Options) (*Trainer, error) {
 		}
 		chunkBatch = opts.GlobalBatch / opts.Chunks
 	}
-	t := &Trainer{name: name, opts: opts, pool: opts.Pool}
+	t := &Trainer{name: name, opts: opts, pool: opts.Pool, phases: telemetry.NewPhaseRing(phaseRingSize)}
 	// Until construction succeeds, any error return must release the
 	// sessions (and their shared-pool leases) built so far.
 	built := false
@@ -341,6 +348,38 @@ func (t *Trainer) Timing() Timing { return t.timing }
 // compilation (losses and the step counter are untouched).
 func (t *Trainer) ResetTiming() { t.timing = Timing{} }
 
+// PhaseLog returns the retained per-step phase breakdowns (sample,
+// grad, reduce, apply, wall), oldest first — the raw material of
+// `fathom train -trace`. Unlike Timing's totals, each entry is one
+// step, so stragglers and warmup spikes are visible individually.
+func (t *Trainer) PhaseLog() []telemetry.PhaseSample { return t.phases.Samples() }
+
+// RegisterMetrics exposes the trainer's step throughput and phase ring
+// on reg, labeled trainer="dist/<name>". The reads are scrape-time and
+// mutex-cheap (once per scrape, not per step). Trainers are ephemeral
+// next to the process registry, so Close unregisters the series.
+func (t *Trainer) RegisterMetrics(reg *telemetry.Registry) {
+	labels := telemetry.Labels{"trainer": "dist/" + t.name}
+	phases := t.phases
+	reg.CounterFunc("fathom_train_steps_total", "Global training steps executed.", labels,
+		func() uint64 { return uint64(phases.Total()) })
+	reg.GaugeFunc("fathom_train_step_seconds", "Wall time of the most recent training step.", labels,
+		func() float64 {
+			s := phases.Samples()
+			if len(s) == 0 {
+				return 0
+			}
+			return s[len(s)-1].Wall.Seconds()
+		})
+}
+
+// UnregisterMetrics removes the series RegisterMetrics added.
+func (t *Trainer) UnregisterMetrics(reg *telemetry.Registry) {
+	labels := telemetry.Labels{"trainer": "dist/" + t.name}
+	reg.Unregister("fathom_train_steps_total", labels)
+	reg.Unregister("fathom_train_step_seconds", labels)
+}
+
 // Replica exposes replica r's model (tests compare variable bits
 // across trainers; examples inspect the trained graph).
 func (t *Trainer) Replica(r int) core.Model { return t.replicas[r].model }
@@ -419,11 +458,14 @@ func (t *Trainer) runReplicas(fn func(*replica)) {
 func (t *Trainer) gradPhase(r *replica) {
 	t0 := time.Now()
 	r.err = nil
+	r.sampleWall = 0
 	r.sess.SetTraining(true)
 	for ci, c := 0, r.lo; c < r.hi; ci, c = ci+1, c+1 {
 		seed := dataset.ChunkSeed(t.opts.Seed, t.step, c)
 		r.sess.Reseed(seed)
+		ts := time.Now()
 		sample, err := r.model.TrainSample(r.sess, seed)
+		r.sampleWall += time.Since(ts)
 		if err != nil {
 			r.err = fmt.Errorf("dist: %s chunk %d sample: %w", t.name, c, err)
 			return
@@ -547,7 +589,7 @@ func (t *Trainer) Step() (float64, error) {
 	}
 	t0 := time.Now()
 	t.runReplicas(t.gradPhase)
-	var gradMax time.Duration
+	var gradMax, sampleMax time.Duration
 	for _, r := range t.replicas {
 		if r.err != nil {
 			return 0, r.err
@@ -556,16 +598,21 @@ func (t *Trainer) Step() (float64, error) {
 		if r.gradWall > gradMax {
 			gradMax = r.gradWall
 		}
+		if r.sampleWall > sampleMax {
+			sampleMax = r.sampleWall
+		}
 	}
 	t.timing.GradMax += gradMax
 
 	tr := time.Now()
 	t.reduce()
-	t.timing.Reduce += time.Since(tr)
+	reduceWall := time.Since(tr)
+	t.timing.Reduce += reduceWall
 
 	ta := time.Now()
 	t.runReplicas(t.applyPhase)
-	t.timing.Apply += time.Since(ta)
+	applyWall := time.Since(ta)
+	t.timing.Apply += applyWall
 	for _, r := range t.replicas {
 		if r.err != nil {
 			return 0, r.err
@@ -581,6 +628,21 @@ func (t *Trainer) Step() (float64, error) {
 		loss += r.chunkLoss[c-r.lo]
 	}
 	loss /= float64(t.part.Chunks)
+
+	// Phase telemetry: the step's wall-time decomposition, keyed by
+	// the slowest replica's sample and grad walls (the parallel
+	// phases' critical path). Grad includes Sample — the per-chunk
+	// loop interleaves them — so Grad−Sample is the graph-execution
+	// share. Forward and backward are one fused Run here (loss and
+	// gradients fetch together), hence one Grad phase.
+	t.phases.Record(telemetry.PhaseSample{
+		Step:   t.step,
+		Sample: sampleMax,
+		Grad:   gradMax,
+		Reduce: reduceWall,
+		Apply:  applyWall,
+		Wall:   time.Since(t0),
+	})
 
 	t.step++
 	t.losses = append(t.losses, loss)

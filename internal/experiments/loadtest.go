@@ -126,23 +126,26 @@ func LoadTest(o Options, lt LoadTestOptions) (Result, *loadgen.Report, error) {
 	var text, csv strings.Builder
 	fmt.Fprintf(&text, "open-loop load test: %s (%s preset), capacity %.0f qps, %s arrivals, %.0f%% batch lane, deadline %v\n\n",
 		lt.Model, o.Preset, capacity, rep.Arrival, 100*lt.BatchFrac, lt.Deadline)
-	fmt.Fprintf(&text, "%-6s %9s %9s %9s %7s %7s %8s %8s %8s | %8s %8s\n",
-		"stage", "offered", "goodput", "achieved", "shed%", "drop", "p50ms", "p99ms", "p999ms", "int-p99", "bat-p99")
-	csv.WriteString("stage,offered_qps,goodput_qps,achieved_qps,shed_rate,dropped,rejected,shed,expired,p50_ms,p99_ms,p999_ms,interactive_p99_ms,batch_p99_ms\n")
+	fmt.Fprintf(&text, "%-6s %9s %9s %9s %7s %7s %8s %8s %8s | %8s %8s | %8s %8s\n",
+		"stage", "offered", "goodput", "achieved", "shed%", "drop", "p50ms", "p99ms", "p999ms", "int-p99", "bat-p99", "wait-p50", "wait-p99")
+	csv.WriteString("stage,offered_qps,goodput_qps,achieved_qps,shed_rate,dropped,rejected,shed,expired,p50_ms,p99_ms,p999_ms,interactive_p99_ms,batch_p99_ms,queue_wait_p50_ms,queue_wait_p99_ms,queue_wait_p999_ms\n")
 	for _, st := range rep.Stages {
 		// The merged quantiles weight each lane by its completions.
 		p50, p99, p999 := mergedQuantiles(st)
-		fmt.Fprintf(&text, "%-6s %9.1f %9.1f %9.1f %6.1f%% %7d %8.2f %8.2f %8.2f | %8.2f %8.2f\n",
+		fmt.Fprintf(&text, "%-6s %9.1f %9.1f %9.1f %6.1f%% %7d %8.2f %8.2f %8.2f | %8.2f %8.2f | %8.2f %8.2f\n",
 			st.Name, st.OfferedQPS, st.GoodputQPS, st.AchievedQPS, 100*st.ShedRate, st.Dropped,
-			p50, p99, p999, st.Interactive.P99MS, st.Batch.P99MS)
-		fmt.Fprintf(&csv, "%s,%.2f,%.2f,%.2f,%.4f,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			p50, p99, p999, st.Interactive.P99MS, st.Batch.P99MS,
+			st.QueueWaitP50MS, st.QueueWaitP99MS)
+		fmt.Fprintf(&csv, "%s,%.2f,%.2f,%.2f,%.4f,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
 			st.Name, st.OfferedQPS, st.GoodputQPS, st.AchievedQPS, st.ShedRate, st.Dropped,
 			st.EngineRejected, st.EngineShed, st.EngineExpired,
-			p50, p99, p999, st.Interactive.P99MS, st.Batch.P99MS)
+			p50, p99, p999, st.Interactive.P99MS, st.Batch.P99MS,
+			st.QueueWaitP50MS, st.QueueWaitP99MS, st.QueueWaitP999MS)
 	}
 	text.WriteString("\ngoodput: completions inside the deadline budget per second — under 2x overload it must hold near the 1x value\n")
 	text.WriteString("shed%: requests refused early (queue full, budget shed) or expired, instead of queueing unboundedly\n")
 	text.WriteString("int/bat-p99: per-lane p99 — the interactive lane must stay bounded while the batch lane absorbs the overload\n")
+	text.WriteString("wait-p50/p99: time admitted requests spent queued before batch pickup — the queueing share of end-to-end latency\n")
 	return Result{
 		ID:    "loadtest",
 		Title: fmt.Sprintf("Serving under overload: %s at 0.5x/1x/2x capacity", lt.Model),

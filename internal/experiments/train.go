@@ -9,6 +9,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/fuse"
 	"repro/internal/profiling"
+	"repro/internal/telemetry"
 )
 
 // trainRun is one data-parallel training measurement.
@@ -274,4 +275,73 @@ func TrainScaling(o Options, replicas, chunks, intraop, fused int, names []strin
 		Title: title,
 		Text:  text.String(), CSV: csv.String(),
 	}, bench, nil
+}
+
+// TrainPhases is the training-loop phase-telemetry report
+// (`fathom train -trace`): per workload it trains the same warmup +
+// timed schedule as TrainScaling, then dumps the per-step
+// sample/grad/reduce/apply wall times from the trainer's phase ring —
+// the step-level breakdown behind the aggregate Timing sums, which is
+// where stragglers, warmup cliffs, and allocator stalls show up.
+// With fused > 0 the fused array's phase log follows the data-parallel
+// one, so the two execution strategies' step anatomies sit side by
+// side.
+func TrainPhases(o Options, replicas, chunks, intraop, fused int, names []string) (Result, error) {
+	o = o.withDefaults()
+	if replicas < 1 {
+		replicas = 1
+	}
+	if chunks < 1 {
+		chunks = 4
+	}
+	if intraop < 1 {
+		intraop = 1
+	}
+	if len(names) == 0 {
+		names = core.Names()
+	}
+	var text strings.Builder
+	fmt.Fprintf(&text, "training phase telemetry: %d warmup + %d timed steps, %d chunks/step, %d replicas, intra-op %d\n",
+		o.Warmup, o.Steps, chunks, replicas, intraop)
+	text.WriteString("phases: sample (input synthesis, included in grad), grad (forward+backward run), reduce (gradient averaging), apply (optimizer)\n")
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		tr, err := dist.New(name, dist.Options{
+			Replicas: replicas, Chunks: chunks,
+			Preset: o.Preset, Seed: o.Seed, IntraOpWorkers: intraop,
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("train -trace %s: %w", name, err)
+		}
+		if _, err := tr.Train(o.Warmup + o.Steps); err != nil {
+			tr.Close()
+			return Result{}, fmt.Errorf("train -trace %s: %w", name, err)
+		}
+		phases := tr.PhaseLog()
+		tr.Close()
+		fmt.Fprintf(&text, "\n%s (dist, %d replicas):\n", name, replicas)
+		telemetry.WritePhaseTable(&text, phases)
+		if fused > 0 {
+			arr, err := fuse.New(name, fuse.Options{
+				Width: fused, Chunks: chunks,
+				Preset: o.Preset, Seed: o.Seed, IntraOpWorkers: intraop,
+			})
+			if err != nil {
+				return Result{}, fmt.Errorf("train -trace %s fused=%d: %w", name, fused, err)
+			}
+			if err := arr.Train(o.Warmup + o.Steps); err != nil {
+				arr.Close()
+				return Result{}, fmt.Errorf("train -trace %s fused=%d: %w", name, fused, err)
+			}
+			fphases := arr.PhaseLog()
+			arr.Close()
+			fmt.Fprintf(&text, "\n%s (fused, width %d):\n", name, fused)
+			telemetry.WritePhaseTable(&text, fphases)
+		}
+	}
+	return Result{
+		ID:    "train-phases",
+		Title: fmt.Sprintf("Training-loop phase telemetry at %d replicas", replicas),
+		Text:  text.String(),
+	}, nil
 }

@@ -56,8 +56,13 @@ import (
 	"repro/internal/models/nn"
 	"repro/internal/runtime"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
+
+// phaseRingSize bounds the per-step phase telemetry ring, matching
+// internal/dist.
+const phaseRingSize = 256
 
 // ErrClosed is returned by Step after Close.
 var ErrClosed = errors.New("fuse: array closed")
@@ -143,6 +148,7 @@ type Array struct {
 	step     int
 	losses   [][]float64 // [trainee][step]
 	timing   Timing
+	phases   *telemetry.PhaseRing
 	closed   bool
 }
 
@@ -219,6 +225,7 @@ func New(name string, opts Options) (*Array, error) {
 		applyFeeds: make(runtime.Feeds, len(fp.gradIn)),
 		chunkAcc:   make([]float64, opts.Width),
 		losses:     make([][]float64, opts.Width),
+		phases:     telemetry.NewPhaseRing(phaseRingSize),
 	}
 	for i, p := range plan.Params() {
 		a.paramShape = append(a.paramShape, p.Shape())
@@ -349,11 +356,13 @@ func (a *Array) Step() ([]float64, error) {
 	for i := range a.chunkAcc {
 		a.chunkAcc[i] = 0
 	}
+	var sampleStep, gradStep, reduceStep time.Duration
 	for c := 0; c < a.part.Chunks; c++ {
 		tg := time.Now()
 		seed := dataset.ChunkSeed(a.opts.Seed, a.step, c)
 		a.sess.Reseed(seed)
 		sample, err := a.template.TrainSample(a.tmplSess, seed)
+		sampleStep += time.Since(tg)
 		if err != nil {
 			return nil, fmt.Errorf("fuse: %s chunk %d sample: %w", a.name, c, err)
 		}
@@ -369,6 +378,7 @@ func (a *Array) Step() ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fuse: %s chunk %d: %w", a.name, c, err)
 		}
+		gradStep += time.Since(tg)
 		a.timing.Grad += time.Since(tg)
 
 		tr := time.Now()
@@ -386,6 +396,7 @@ func (a *Array) Step() ([]float64, error) {
 				dst[i] += g[i]
 			}
 		}
+		reduceStep += time.Since(tr)
 		a.timing.Reduce += time.Since(tr)
 	}
 	tr := time.Now()
@@ -396,23 +407,70 @@ func (a *Array) Step() ([]float64, error) {
 			dst[i] *= inv
 		}
 	}
+	reduceStep += time.Since(tr)
 	a.timing.Reduce += time.Since(tr)
 
 	ta := time.Now()
 	if _, err := a.sess.Run([]*graph.Node{a.plan.apply}, a.applyFeeds); err != nil {
 		return nil, fmt.Errorf("fuse: %s apply: %w", a.name, err)
 	}
-	a.timing.Apply += time.Since(ta)
+	applyStep := time.Since(ta)
+	a.timing.Apply += applyStep
 
 	means := make([]float64, len(a.chunkAcc))
 	for k, acc := range a.chunkAcc {
 		means[k] = acc / float64(a.part.Chunks)
 		a.losses[k] = append(a.losses[k], means[k])
 	}
+	// Phase telemetry: one entry per fused step. Grad includes Sample
+	// (the chunk loop interleaves them); the fused graph computes loss
+	// and gradients in one Run, so forward/backward stay one phase.
+	a.phases.Record(telemetry.PhaseSample{
+		Step:   a.step,
+		Sample: sampleStep,
+		Grad:   gradStep,
+		Reduce: reduceStep,
+		Apply:  applyStep,
+		Wall:   time.Since(t0),
+	})
+
 	a.step++
 	a.timing.Steps++
 	a.timing.Wall += time.Since(t0)
 	return means, nil
+}
+
+// PhaseLog returns the retained per-step phase breakdowns, oldest
+// first — the fused half of `fathom train -trace`.
+func (a *Array) PhaseLog() []telemetry.PhaseSample { return a.phases.Samples() }
+
+// RegisterMetrics exposes the array's trainee-step throughput on reg,
+// labeled trainer="fuse/<name>". One fused step advances Width
+// trainees, so the counter moves Width per Step — the HFTA-style
+// throughput next to dist's per-model rate.
+func (a *Array) RegisterMetrics(reg *telemetry.Registry) {
+	labels := telemetry.Labels{"trainer": "fuse/" + a.name}
+	phases, width := a.phases, a.opts.Width
+	reg.CounterFunc("fathom_train_steps_total", "Global training steps executed.", labels,
+		func() uint64 { return uint64(phases.Total()) })
+	reg.CounterFunc("fathom_trainee_steps_total", "Trainee-steps executed (steps x fusion width).", labels,
+		func() uint64 { return uint64(phases.Total() * width) })
+	reg.GaugeFunc("fathom_train_step_seconds", "Wall time of the most recent fused step.", labels,
+		func() float64 {
+			s := phases.Samples()
+			if len(s) == 0 {
+				return 0
+			}
+			return s[len(s)-1].Wall.Seconds()
+		})
+}
+
+// UnregisterMetrics removes the series RegisterMetrics added.
+func (a *Array) UnregisterMetrics(reg *telemetry.Registry) {
+	labels := telemetry.Labels{"trainer": "fuse/" + a.name}
+	reg.Unregister("fathom_train_steps_total", labels)
+	reg.Unregister("fathom_trainee_steps_total", labels)
+	reg.Unregister("fathom_train_step_seconds", labels)
 }
 
 // Train runs n fused global steps.

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -146,6 +147,14 @@ type StageReport struct {
 	EngineShed     uint64 `json:"engine_shed"`
 	EngineExpired  uint64 `json:"engine_expired"`
 	QueueDepthEnd  int    `json:"queue_depth_end"`
+
+	// Queue-wait quantiles of this stage's dispatched requests,
+	// computed from the engine wait-histogram delta across the stage —
+	// the queueing share of the end-to-end latencies above, so sweeps
+	// separate time-in-queue from execution time.
+	QueueWaitP50MS  float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99MS  float64 `json:"queue_wait_p99_ms"`
+	QueueWaitP999MS float64 `json:"queue_wait_p999_ms"`
 
 	Interactive LaneReport `json:"interactive"`
 	Batch       LaneReport `json:"batch"`
@@ -327,6 +336,16 @@ func runStage(e Engine, examples []map[string]*tensor.Tensor, cfg Config, st Sta
 		EngineExpired:  after.Expired - before.Expired,
 		QueueDepthEnd:  after.QueueDepth,
 	}
+	// Stage-local queue-wait quantiles: the wait histogram is
+	// cumulative, so the bucket delta across the stage is exactly the
+	// requests this stage dispatched.
+	var waitDelta [telemetry.LogBuckets]uint64
+	for i := range waitDelta {
+		waitDelta[i] = after.WaitHist[i] - before.WaitHist[i]
+	}
+	sr.QueueWaitP50MS = durMS(telemetry.QuantileOf(&waitDelta, 0.50))
+	sr.QueueWaitP99MS = durMS(telemetry.QuantileOf(&waitDelta, 0.99))
+	sr.QueueWaitP999MS = durMS(telemetry.QuantileOf(&waitDelta, 0.999))
 	var good uint64
 	sr.Interactive, good = lanes[serve.PriorityInteractive].report()
 	bGood := uint64(0)

@@ -45,6 +45,47 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 }
 
+func TestWriteChromeTraceWall(t *testing.T) {
+	g, x, y, _ := buildAffine(t)
+	s := NewSession(g, WithTrace(), WithInterOpWorkers(2))
+	s.MustRun([]*graph.Node{y}, Feeds{x: tensor.Ones(2, 3)})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTraceWall(&buf, s.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("wall trace is not valid JSON: %v", err)
+	}
+	workers := map[float64]bool{}
+	var complete int
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			complete++
+			if ts := e["ts"].(float64); ts < 0 {
+				t.Fatalf("negative wall-relative timestamp: %v", e)
+			}
+			workers[e["tid"].(float64)] = true
+		case "M":
+			if !strings.HasPrefix(e["args"].(map[string]interface{})["name"].(string), "worker ") {
+				t.Fatalf("wall lanes must be named after workers: %v", e)
+			}
+		}
+	}
+	if complete != 2 {
+		t.Fatalf("expected 2 op events on the wall timeline, got %d", complete)
+	}
+	// Both ops carry a wall start even when one lane served them; the
+	// lane ids must be inter-op worker indices, not the simulated lanes.
+	for tid := range workers {
+		if tid < 0 || tid >= 2 {
+			t.Fatalf("wall lane %v outside inter-op worker range", tid)
+		}
+	}
+}
+
 func TestWriteChromeTraceEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteChromeTrace(&buf, nil); err != nil {

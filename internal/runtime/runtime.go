@@ -72,6 +72,11 @@ type Event struct {
 	// Wall is the measured host wall time of the operation, next to
 	// the device-modeled Dur.
 	Wall time.Duration
+	// WallStart is the absolute host time the operation started —
+	// with Wall and Worker it reconstructs the measured execution
+	// timeline (one lane per inter-op worker) next to the simulated
+	// one, and lets serving traces nest op spans under request spans.
+	WallStart time.Time
 	// CP is the operation's critical-path finish within its run: Dur
 	// plus the longest Dur-weighted chain of semantic scheduling
 	// constraints (data, variable hazard and serial-lane edges)
@@ -272,6 +277,7 @@ type Plan struct {
 	cp       []time.Duration // critical-path finish per step
 	durs     []time.Duration // measured device time per step (parallel)
 	walls    []time.Duration // measured wall time per step (parallel)
+	wallT0   []time.Time     // measured wall start per step (parallel)
 }
 
 // Slots reports how many operation outputs were assigned arena slots.
@@ -921,6 +927,7 @@ func (s *Session) compile(fetches []*graph.Node) *Plan {
 	plan.cp = make([]time.Duration, n)
 	plan.durs = make([]time.Duration, n)
 	plan.walls = make([]time.Duration, n)
+	plan.wallT0 = make([]time.Time, n)
 	return plan
 }
 
@@ -957,6 +964,24 @@ func (s *Session) Run(fetches []*graph.Node, feeds Feeds) ([]*tensor.Tensor, err
 		out[j] = v
 	}
 	return out, nil
+}
+
+// RunTraced evaluates fetches like Run but additionally returns the
+// per-op Events of exactly this run, regardless of whether persistent
+// tracing is enabled. Serving uses it to attach op spans to sampled
+// requests without leaving tracing on for the unsampled ones: when the
+// session was not already tracing, the events are handed to the caller
+// and the session's persistent trace buffer is left untouched.
+func (s *Session) RunTraced(fetches []*graph.Node, feeds Feeds) ([]*tensor.Tensor, []Event, error) {
+	prevOn, mark := s.traceOn, len(s.trace)
+	s.traceOn = true
+	out, err := s.Run(fetches, feeds)
+	events := append([]Event(nil), s.trace[mark:]...)
+	if !prevOn {
+		s.trace = s.trace[:mark]
+	}
+	s.traceOn = prevOn
+	return out, events, err
 }
 
 // resolveNonOps materializes the workless steps — constants,
@@ -1032,7 +1057,7 @@ func (s *Session) runSequential(plan *Plan, feeds Feeds) error {
 			s.trace = append(s.trace, Event{
 				Node: nd, Op: nd.OpName(), Class: nd.Op().Class(),
 				Start: s.clock, Dur: dur, Step: s.step,
-				Worker: 0, Wall: time.Since(t0), CP: cp[i],
+				Worker: 0, Wall: time.Since(t0), WallStart: t0, CP: cp[i],
 			})
 		}
 		s.clock += dur

@@ -225,6 +225,7 @@ func (s *Session) runParallel(plan *Plan, feeds Feeds) error {
 	for i := range durs {
 		durs[i] = 0
 		walls[i] = 0
+		plan.wallT0[i] = time.Time{}
 	}
 
 	pr := &parRun{
@@ -337,6 +338,7 @@ func (s *Session) execReady(pr *parRun, i int32, ctx *graph.ExecContext) bool {
 	}
 	var out *tensor.Tensor
 	var dur, wall time.Duration
+	var t0 time.Time
 	var err error
 	func() {
 		// An op panic must not kill a pool worker's process; it is
@@ -352,7 +354,7 @@ func (s *Session) execReady(pr *parRun, i int32, ctx *graph.ExecContext) bool {
 				err = fmt.Errorf("panic: %v", p)
 			}
 		}()
-		t0 := time.Now()
+		t0 = time.Now()
 		out, dur, err = s.execStep(ctx, st, in, pr.guard)
 		wall = time.Since(t0)
 	}()
@@ -368,6 +370,7 @@ func (s *Session) execReady(pr *parRun, i int32, ctx *graph.ExecContext) bool {
 	values[i] = out
 	plan.durs[i] = dur
 	plan.walls[i] = wall
+	plan.wallT0[i] = t0
 
 	released := false
 	for _, sc := range plan.succs[i] {
@@ -471,7 +474,7 @@ func (s *Session) simulateSchedule(plan *Plan, workers int) {
 			s.trace = append(s.trace, Event{
 				Node: st.node, Op: st.node.OpName(), Class: st.node.Op().Class(),
 				Start: base + start, Dur: dur, Step: s.step,
-				Worker: lane, Wall: plan.walls[i], CP: cp[i],
+				Worker: lane, Wall: plan.walls[i], WallStart: plan.wallT0[i], CP: cp[i],
 			})
 		}
 	}

@@ -2,7 +2,9 @@ package runtime
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"time"
 )
 
 // Chrome-trace export: the paper's Related Work describes EEG,
@@ -54,6 +56,52 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			Ph:   "X",
 			TS:   float64(e.Start.Nanoseconds()) / 1e3,
 			Dur:  float64(e.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  tid,
+			Args: map[string]string{"node": e.Node.String()},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteChromeTraceWall serializes events on the measured wall-clock
+// timeline with one thread lane per inter-op worker (Event.Worker),
+// using Event.WallStart/Event.Wall instead of the simulated clock —
+// the inspection view for real parallel runs, where lane occupancy
+// shows the achieved (not modeled) inter-op overlap. Events without a
+// wall start (traced before this field existed, or synthetic) are
+// skipped.
+func WriteChromeTraceWall(w io.Writer, events []Event) error {
+	var t0 time.Time
+	for _, e := range events {
+		if e.WallStart.IsZero() {
+			continue
+		}
+		if t0.IsZero() || e.WallStart.Before(t0) {
+			t0 = e.WallStart
+		}
+	}
+	out := make([]interface{}, 0, len(events)+8)
+	seen := map[int]bool{}
+	for _, e := range events {
+		if e.WallStart.IsZero() {
+			continue
+		}
+		tid := e.Worker
+		if !seen[tid] {
+			seen[tid] = true
+			out = append(out, chromeMeta{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Args: map[string]string{"name": fmt.Sprintf("worker %d", tid)},
+			})
+		}
+		out = append(out, chromeEvent{
+			Name: e.Op,
+			Cat:  e.Class.String(),
+			Ph:   "X",
+			TS:   float64(e.WallStart.Sub(t0).Nanoseconds()) / 1e3,
+			Dur:  float64(e.Wall.Nanoseconds()) / 1e3,
 			PID:  1,
 			TID:  tid,
 			Args: map[string]string{"node": e.Node.String()},

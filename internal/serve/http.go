@@ -6,12 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -50,6 +52,14 @@ import (
 //	internal            500  execution fault
 type Server struct {
 	engines map[string]*Engine
+
+	// Telemetry, all optional (see EnableTelemetry / EnablePprof):
+	// reg backs GET /metrics, trace backs GET /debug/trace and the
+	// per-request sampling at handleInfer admission, and pprofOn
+	// mounts net/http/pprof under /debug/pprof/.
+	reg     *telemetry.Registry
+	trace   *telemetry.TraceCollector
+	pprofOn bool
 }
 
 // Error codes of the JSON error contract above.
@@ -77,6 +87,28 @@ func (srv *Server) Register(e *Engine) {
 	}
 	srv.engines[name] = e
 }
+
+// EnableTelemetry wires the server's observability endpoints: reg
+// (when non-nil) is exposed at GET /metrics in Prometheus text format,
+// with every registered engine's metric families added to it; tc (when
+// non-nil) samples requests at handleInfer admission and backs GET
+// /debug/trace, which drains the collector's ring as one Chrome-trace
+// JSON document (one-shot: a drained trace is gone). Call after
+// registering engines and before Handler.
+func (srv *Server) EnableTelemetry(reg *telemetry.Registry, tc *telemetry.TraceCollector) {
+	srv.reg = reg
+	srv.trace = tc
+	if reg != nil {
+		for _, e := range srv.engines {
+			e.RegisterMetrics(reg)
+		}
+	}
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ on the next
+// Handler call — CPU and heap profiles over the same mux, for chasing
+// a live engine's overheads without redeploying.
+func (srv *Server) EnablePprof() { srv.pprofOn = true }
 
 // Names returns the served workload names, sorted.
 func (srv *Server) Names() []string {
@@ -182,6 +214,23 @@ func (srv *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"models": out})
 	})
 	mux.HandleFunc("/v1/models/", srv.handleModel)
+	if srv.reg != nil {
+		mux.Handle("/metrics", srv.reg)
+	}
+	if srv.trace != nil {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			traces := srv.trace.Drain()
+			w.Header().Set("Content-Type", "application/json")
+			_ = telemetry.WriteChromeTraces(w, traces)
+		})
+	}
+	if srv.pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -249,6 +298,17 @@ func (srv *Server) handleInfer(w http.ResponseWriter, r *http.Request, name stri
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
 		defer cancel()
+	}
+	// Trace sampling is decided here, at HTTP admission: the minted
+	// trace (or the nil "not sampled" decision) rides the context into
+	// the engine, which builds the span tree under it. The engine sees
+	// the decision and never re-samples.
+	if srv.trace != nil {
+		var tr *telemetry.Trace
+		if srv.trace.Sample() {
+			tr = srv.trace.New(name)
+		}
+		ctx = telemetry.ContextWithTrace(ctx, tr)
 	}
 	outs, err := e.InferPriority(ctx, inputs, pri)
 	var ie *InputError

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"repro/internal/telemetry"
+)
+
+// RegisterMetrics exposes the engine's counter block, its latency and
+// queue-wait histograms, its sessions' arena utilization, and the
+// shared worker pool's gauges on reg as Prometheus families. Every
+// series is a scrape-time reader over the atomics the engine already
+// maintains, so registration adds nothing to the request hot path.
+// Series carry a model label; pool gauges are unlabeled (the pool is
+// shared), and re-registration by co-tenant engines is idempotent.
+//
+// Engines with bounded lifetimes should call UnregisterMetrics from
+// their teardown so the registry never scrapes a closed engine.
+func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
+	model := telemetry.Labels{"model": e.model.Name()}
+	lane := func(p Priority) telemetry.Labels {
+		return telemetry.Labels{"model": e.model.Name(), "lane": p.String()}
+	}
+
+	reg.CounterFunc("fathom_serve_requests_total", "Requests answered successfully.", model,
+		func() uint64 { return e.stats.requests.Load() })
+	reg.CounterFunc("fathom_serve_errors_total", "Requests failed by execution faults.", model,
+		func() uint64 { return e.stats.errors.Load() })
+	reg.CounterFunc("fathom_serve_cancelled_total", "Requests abandoned by their callers.", model,
+		func() uint64 { return e.stats.cancels.Load() })
+	reg.CounterFunc("fathom_serve_rejected_total", "Requests refused at the door (admission queue full).", model,
+		func() uint64 { return e.stats.rejected.Load() })
+	reg.CounterFunc("fathom_serve_shed_total", "Requests shed (deadline budget below the wait estimate).", model,
+		func() uint64 { return e.stats.shed.Load() })
+	reg.CounterFunc("fathom_serve_expired_total", "Requests whose deadline passed before execution.", model,
+		func() uint64 { return e.stats.expired.Load() })
+	reg.CounterFunc("fathom_serve_batches_total", "Micro-batches executed.", model,
+		func() uint64 { return e.stats.batches.Load() })
+	reg.GaugeFunc("fathom_serve_queue_depth", "Queued requests across both admission lanes.", model,
+		func() float64 {
+			return float64(e.stats.qdepth[PriorityInteractive].Load() + e.stats.qdepth[PriorityBatch].Load())
+		})
+	reg.GaugeFunc("fathom_serve_batch_latency_ewma_seconds", "Smoothed batch execution latency (the shedding estimate).", model,
+		func() float64 { return e.stats.batchEWMA().Seconds() })
+	for p := Priority(0); p < numLanes; p++ {
+		reg.Histogram("fathom_serve_latency_seconds", "End-to-end request latency by lane.", lane(p),
+			&e.stats.latHist[p])
+	}
+	reg.Histogram("fathom_serve_queue_wait_seconds", "Queue wait of dispatched requests.", model,
+		&e.stats.waitHist)
+
+	// Arena utilization, summed over the worker sessions.
+	reg.GaugeFunc("fathom_arena_live_buffers", "Plan-arena buffers currently checked out.", model,
+		func() float64 { return float64(arenaSum(e).LiveBuffers) })
+	reg.GaugeFunc("fathom_arena_bytes", "Plan-arena heap footprint in bytes.", model,
+		func() float64 { return float64(arenaSum(e).TotalBytes) })
+	reg.CounterFunc("fathom_arena_reuses_total", "Arena buffer requests served by recycling.", model,
+		func() uint64 { return uint64(arenaSum(e).Reuses) })
+	reg.CounterFunc("fathom_arena_allocs_total", "Arena buffers allocated from the heap.", model,
+		func() uint64 { return uint64(arenaSum(e).TotalBuffers) })
+
+	// Shared worker-pool gauges. Unlabeled: the pool is process-wide,
+	// and the registry's replace-on-duplicate semantics make co-tenant
+	// engines' registrations collapse into one series.
+	reg.GaugeFunc("fathom_pool_size", "Shared worker pool size.", nil,
+		func() float64 { return float64(e.pool.Size()) })
+	reg.GaugeFunc("fathom_pool_busy", "Shared worker pool slots executing now.", nil,
+		func() float64 { return float64(e.pool.Busy()) })
+	reg.GaugeFunc("fathom_pool_spawned", "Shared worker pool goroutines in existence.", nil,
+		func() float64 { return float64(e.pool.Spawned()) })
+	reg.GaugeFunc("fathom_lease_granted", "Helpers the adaptive lease negotiation grants this engine.", model,
+		func() float64 {
+			granted := 0
+			for _, ls := range e.pool.LeaseStats() {
+				if ls.Name == e.leaseName {
+					granted += ls.Granted
+				}
+			}
+			return float64(granted)
+		})
+}
+
+// arenaSum aggregates the worker sessions' arena stats.
+func arenaSum(e *Engine) (out struct {
+	LiveBuffers  int
+	TotalBuffers int
+	TotalBytes   int64
+	Reuses       int
+}) {
+	for _, sess := range e.sessions {
+		as := sess.Arena().Stats()
+		out.LiveBuffers += as.LiveBuffers
+		out.TotalBuffers += as.TotalBuffers
+		out.TotalBytes += as.TotalBytes
+		out.Reuses += as.Reuses
+	}
+	return out
+}
+
+// UnregisterMetrics removes every series RegisterMetrics added for
+// this engine (the shared pool gauges stay: another tenant may still
+// be exporting them).
+func (e *Engine) UnregisterMetrics(reg *telemetry.Registry) {
+	model := telemetry.Labels{"model": e.model.Name()}
+	for _, name := range []string{
+		"fathom_serve_requests_total", "fathom_serve_errors_total",
+		"fathom_serve_cancelled_total", "fathom_serve_rejected_total",
+		"fathom_serve_shed_total", "fathom_serve_expired_total",
+		"fathom_serve_batches_total", "fathom_serve_queue_depth",
+		"fathom_serve_batch_latency_ewma_seconds",
+		"fathom_serve_queue_wait_seconds",
+		"fathom_arena_live_buffers", "fathom_arena_bytes",
+		"fathom_arena_reuses_total", "fathom_arena_allocs_total",
+		"fathom_lease_granted",
+	} {
+		reg.Unregister(name, model)
+	}
+	for p := Priority(0); p < numLanes; p++ {
+		reg.Unregister("fathom_serve_latency_seconds",
+			telemetry.Labels{"model": e.model.Name(), "lane": p.String()})
+	}
+}

@@ -84,6 +84,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/runtime"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -192,6 +193,13 @@ type Options struct {
 	// means requests without a context deadline never expire or shed
 	// on budget.
 	DefaultDeadline time.Duration
+	// Trace, when non-nil, enables request-scoped tracing: the
+	// collector decides at admission whether a request is sampled (one
+	// atomic increment; unsampled requests pay two nil checks), and
+	// each sampled request yields a span tree — admission → queue →
+	// batch → run → per-op children — retained in the collector's ring
+	// for /debug/trace or -trace-dir export.
+	Trace *telemetry.TraceCollector
 }
 
 // request is one queued inference call.
@@ -203,6 +211,37 @@ type request struct {
 	deadline time.Time // zero = no budget
 	lane     Priority
 	probe    bool // admitted past the budget gate to refresh the EWMA
+
+	// trace is non-nil for the sampled 1-in-N: the request's span
+	// tree, with rootSpan the whole-request span and queueSpan the
+	// open queue-wait span the executing worker closes at batch start.
+	trace     *telemetry.Trace
+	rootSpan  telemetry.SpanID
+	queueSpan telemetry.SpanID
+}
+
+// endAdmission terminates a trace whose request failed admission:
+// closes the admission span, marks the disposition as a zero-width
+// span, and finishes the trace.
+func (r *request) endAdmission(adm telemetry.SpanID, disposition string) {
+	if r.trace == nil {
+		return
+	}
+	r.trace.EndSpan(adm)
+	r.trace.AddSpan(disposition, r.rootSpan, 0, time.Now(), 0)
+	r.finishTrace()
+}
+
+// finishTrace closes the request's remaining open spans and hands the
+// trace to the collector; safe (and a no-op) for untraced requests and
+// on duplicate calls from racing exit paths.
+func (r *request) finishTrace() {
+	if r.trace == nil {
+		return
+	}
+	r.trace.EndSpan(r.queueSpan)
+	r.trace.EndSpan(r.rootSpan)
+	r.trace.Finish()
 }
 
 type response struct {
@@ -255,6 +294,9 @@ type Engine struct {
 	// would shed, one per probeInterval is admitted anyway so the batch
 	// EWMA keeps seeing fresh samples (see the package doc).
 	lastProbeNano atomic.Int64
+
+	// trace is the sampling trace collector (nil = tracing off).
+	trace *telemetry.TraceCollector
 
 	stats stats
 }
@@ -348,6 +390,7 @@ func New(m core.Model, opts Options) (*Engine, error) {
 	}
 	e.claim = opts.Sessions * (interOp*intraOp - 1)
 	e.leaseName = "engine/" + m.Name()
+	e.trace = opts.Trace
 	e.stats.reset()
 	var workers sync.WaitGroup
 	for i := 0; i < opts.Sessions; i++ {
@@ -494,6 +537,20 @@ func (e *Engine) InferPriority(ctx context.Context, inputs map[string]*tensor.Te
 		deadline: e.requestDeadline(ctx, now),
 		lane:     lane,
 	}
+	// Trace sampling is decided here, once per request: either an
+	// outer layer (HTTP admission) already minted a trace into the
+	// context, or — for direct engine callers — the collector draws a
+	// fresh 1-in-N sample. Unsampled requests pay only nil checks.
+	if tr := telemetry.TraceFrom(ctx); tr != nil {
+		r.trace = tr
+	} else if e.trace != nil && !telemetry.TraceDecided(ctx) && e.trace.Sample() {
+		r.trace = e.trace.New(e.model.Name())
+	}
+	var admSpan telemetry.SpanID
+	if r.trace != nil {
+		r.rootSpan = r.trace.StartSpanAt("request", 0, now)
+		admSpan = r.trace.StartSpanAt("admission", r.rootSpan, now)
+	}
 	// Admission control, cheapest checks first: an already-dead
 	// deadline, then the budget-vs-estimate shed, then the bounded
 	// queue. All three fail fast — the caller never blocks to learn
@@ -501,27 +558,45 @@ func (e *Engine) InferPriority(ctx context.Context, inputs map[string]*tensor.Te
 	if !r.deadline.IsZero() {
 		if !now.Before(r.deadline) {
 			e.stats.expired.Add(1)
+			r.endAdmission(admSpan, "expired")
 			return nil, ErrExpired
 		}
 		if est := e.estimatedWait(lane); est > 0 && now.Add(est).After(r.deadline) {
 			if !e.tryProbe(now) {
 				e.stats.shed.Add(1)
+				r.endAdmission(admSpan, "shed")
 				return nil, ErrOverloaded
 			}
 			r.probe = true
 		}
 	}
+	if r.trace != nil {
+		// The queue span must exist before the request is published to
+		// the lane channel: the batch worker closes it the moment it
+		// picks the request up, and the send below is the only
+		// happens-before edge between this goroutine and that worker.
+		// On a failed send the disposition span records the outcome and
+		// the never-waited queue span closes at ~zero duration.
+		r.trace.EndSpan(admSpan)
+		r.queueSpan = r.trace.StartSpan("queue", r.rootSpan)
+	}
 	select {
 	case e.lanes[lane] <- r:
 		e.stats.qdepth[lane].Add(1)
 	case <-e.done:
+		r.endAdmission(admSpan, "closed")
 		return nil, ErrClosed
 	case <-ctx.Done():
+		r.endAdmission(admSpan, "cancelled")
 		return nil, ctx.Err()
 	default:
 		// Lane queue full: reject early rather than queue unboundedly.
 		e.stats.rejected.Add(1)
+		r.endAdmission(admSpan, "rejected")
 		return nil, ErrOverloaded
+	}
+	if r.trace != nil {
+		defer r.finishTrace()
 	}
 	var resp response
 	select {
@@ -582,6 +657,20 @@ func (e *Engine) Stats() Stats {
 	s.PoolBusy = e.pool.Busy()
 	s.PoolSpawned = e.pool.Spawned()
 	s.LeaseClaim = e.claim
+	// Arena utilization summed over the worker sessions' plan arenas
+	// (Arena.Stats is the one concurrency-safe arena read).
+	var gets int
+	for _, sess := range e.sessions {
+		as := sess.Arena().Stats()
+		s.ArenaLiveBuffers += as.LiveBuffers
+		s.ArenaTotalBuffers += as.TotalBuffers
+		s.ArenaBytes += as.TotalBytes
+		s.ArenaReuses += as.Reuses
+		gets += as.Reuses + as.TotalBuffers
+	}
+	if gets > 0 {
+		s.ArenaReuseRatio = float64(s.ArenaReuses) / float64(gets)
+	}
 	// Per-tenant adaptive grants: every lease on the shared pool,
 	// aggregated by tenant name — the engine's own sessions appear as
 	// "engine/<model>" next to any co-resident dist trainer
@@ -828,6 +917,24 @@ func newWorkerState(e *Engine, sess *runtime.Session) *workerState {
 	return ws
 }
 
+// attachRunSpans replicates one executed batch's span subtree — batch
+// → run → per-op events — into every traced request it served. A
+// batch rarely carries more than one sampled request, so the
+// duplication is cheap; each trace stays self-contained. Op spans land
+// on lane 1+Event.Worker, so a traced request renders its inter-op
+// parallelism; request-level spans stay on lane 0.
+func attachRunSpans(traced []*request, batchStart, runStart time.Time, runDur time.Duration, events []runtime.Event) {
+	batchDur := time.Since(batchStart)
+	for _, r := range traced {
+		bs := r.trace.AddSpan("batch", r.rootSpan, 0, batchStart, batchDur)
+		rs := r.trace.AddSpan("run", bs, 0, runStart, runDur)
+		for i := range events {
+			ev := &events[i]
+			r.trace.AddSpan(ev.Op, rs, 1+ev.Worker, ev.WallStart, ev.Wall)
+		}
+	}
+}
+
 // runBatch executes one micro-batch on a worker, packing requests into
 // the worker's input buffers and running the signature's fetch set
 // directly (the same execution the workload's Inferencer performs). A
@@ -844,6 +951,7 @@ func (e *Engine) runBatch(ws *workerState, batch []*request) {
 	}()
 	start := time.Now()
 	live = batch[:0]
+	var traced []*request
 	for _, r := range batch {
 		// Last gate before a slot is spent: requests that died between
 		// dispatch and execution are skipped so they never skew fill.
@@ -863,6 +971,10 @@ func (e *Engine) runBatch(ws *workerState, batch []*request) {
 		}
 		live = append(live, r)
 		e.stats.recordWait(start.Sub(r.enq))
+		if r.trace != nil {
+			r.trace.EndSpanAt(r.queueSpan, start)
+			traced = append(traced, r)
+		}
 	}
 	if len(live) == 0 {
 		return
@@ -876,7 +988,19 @@ func (e *Engine) runBatch(ws *workerState, batch []*request) {
 		// zero just that tail (a full batch clears nothing).
 		clearTail(buf, in.BatchDim, len(live))
 	}
-	vals, err := ws.sess.Run(e.fetches, ws.feeds)
+	// The traced path — only when this batch carries a sampled request
+	// — runs with one-shot event capture so each traced request's span
+	// tree gets the run's per-op events as children.
+	var vals []*tensor.Tensor
+	var err error
+	if len(traced) > 0 {
+		runStart := time.Now()
+		var events []runtime.Event
+		vals, events, err = ws.sess.RunTraced(e.fetches, ws.feeds)
+		attachRunSpans(traced, start, runStart, time.Since(runStart), events)
+	} else {
+		vals, err = ws.sess.Run(e.fetches, ws.feeds)
+	}
 	e.stats.recordBatchExec(time.Since(start))
 	if err != nil {
 		for _, r := range live {

@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
-// latBuckets is the latency histogram resolution: bucket k holds
+// latBuckets is the latency histogram resolution, now provided by the
+// telemetry package the histogram was generalized into: bucket k holds
 // durations in [2^k, 2^(k+1)) microseconds, so 40 buckets cover
 // sub-microsecond to ~12 days.
-const latBuckets = 40
+const latBuckets = telemetry.LogBuckets
 
 // ewmaShift is the EWMA smoothing factor for the batch-latency and
 // queue-wait gauges: new = old + (sample − old)/2^ewmaShift. 1/8 reacts
@@ -38,7 +41,12 @@ type stats struct {
 	// the whole point of priority lanes is that these diverge under
 	// overload.
 	laneReqs [numLanes]atomic.Uint64
-	latHist  [numLanes][latBuckets]atomic.Uint64
+	latHist  [numLanes]telemetry.LogHistogram
+
+	// waitHist records every dispatched request's queue wait next to
+	// the EWMA gauge, so loadtest stages can separate queueing from
+	// execution with real quantiles instead of one smoothed number.
+	waitHist telemetry.LogHistogram
 
 	// Gauges. qdepth tracks each lane's admission-queue occupancy;
 	// ewmaBatchUS is the smoothed batch execution latency feeding the
@@ -67,20 +75,10 @@ func (s *stats) zero() {
 	s.latSumUS.Store(0)
 	for lane := range s.latHist {
 		s.laneReqs[lane].Store(0)
-		for i := range s.latHist[lane] {
-			s.latHist[lane][i].Store(0)
-		}
+		s.latHist[lane].Reset()
 	}
+	s.waitHist.Reset()
 	s.reset()
-}
-
-// bucketOf maps a microsecond latency to its histogram bucket.
-func bucketOf(us uint64) int {
-	k := 0
-	for v := us; v > 1 && k < latBuckets-1; v >>= 1 {
-		k++
-	}
-	return k
 }
 
 // record logs one successfully answered request's end-to-end latency
@@ -88,9 +86,8 @@ func bucketOf(us uint64) int {
 func (s *stats) record(lane Priority, d time.Duration) {
 	s.requests.Add(1)
 	s.laneReqs[lane].Add(1)
-	us := uint64(d.Microseconds())
-	s.latSumUS.Add(us)
-	s.latHist[lane][bucketOf(us)].Add(1)
+	s.latSumUS.Add(uint64(d.Microseconds()))
+	s.latHist[lane].Observe(d)
 }
 
 // recordBatch logs one executed micro-batch and its fill.
@@ -133,43 +130,21 @@ func (s *stats) recordBatchExec(d time.Duration) {
 	ewmaUpdate(&s.ewmaBatchUS, us)
 }
 
-// recordWait feeds one dispatched request's queue wait into the gauge.
+// recordWait feeds one dispatched request's queue wait into the EWMA
+// gauge and the wait histogram.
 func (s *stats) recordWait(d time.Duration) {
 	us := uint64(d.Microseconds())
 	if us == 0 {
 		us = 1
 	}
 	ewmaUpdate(&s.ewmaWaitUS, us)
+	s.waitHist.Observe(d)
 }
 
 // batchEWMA is the smoothed batch execution latency; zero means no
 // batch has completed yet (a cold engine never sheds on estimates).
 func (s *stats) batchEWMA() time.Duration {
 	return time.Duration(s.ewmaBatchUS.Load()) * time.Microsecond
-}
-
-// histQuantile returns the upper bound of the histogram bucket
-// containing the q-quantile entry of hist.
-func histQuantile(hist *[latBuckets]uint64, q float64) time.Duration {
-	var total uint64
-	for _, c := range hist {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	want := uint64(q * float64(total))
-	if want >= total {
-		want = total - 1
-	}
-	var seen uint64
-	for i, c := range hist {
-		seen += c
-		if seen > want {
-			return time.Duration(uint64(1)<<uint(i+1)) * time.Microsecond
-		}
-	}
-	return time.Duration(uint64(1)<<latBuckets) * time.Microsecond
 }
 
 // LaneStats is one priority lane's share of the snapshot.
@@ -205,6 +180,26 @@ type Stats struct {
 	QueueDepth       int           `json:"queue_depth"`
 	QueueWaitEWMA    time.Duration `json:"queue_wait_ewma_ns"`
 	BatchLatencyEWMA time.Duration `json:"batch_latency_ewma_ns"`
+
+	// Queue-wait quantiles over every dispatched request since the
+	// last reset, separating time-in-queue from execution time.
+	// WaitHist is the raw histogram snapshot the quantiles derive
+	// from; loadgen diffs two snapshots for per-stage quantiles.
+	QueueWaitP50  time.Duration                `json:"queue_wait_p50_ns"`
+	QueueWaitP99  time.Duration                `json:"queue_wait_p99_ns"`
+	QueueWaitP999 time.Duration                `json:"queue_wait_p999_ns"`
+	WaitHist      [telemetry.LogBuckets]uint64 `json:"-"`
+
+	// Arena utilization aggregated over the engine's session arenas
+	// (filled by Engine.Stats): checked-out and ever-allocated buffer
+	// counts, total heap footprint, and the fraction of buffer
+	// requests served by recycling — steady-state serving should sit
+	// near 1.0, and a drift down means plans are allocating.
+	ArenaLiveBuffers  int     `json:"arena_live_buffers"`
+	ArenaTotalBuffers int     `json:"arena_total_buffers"`
+	ArenaBytes        int64   `json:"arena_bytes"`
+	ArenaReuses       int     `json:"arena_reuses"`
+	ArenaReuseRatio   float64 `json:"arena_reuse_ratio"`
 
 	// Per-lane views: interactive is dispatched first; batch queues,
 	// sheds, and expires first under overload.
@@ -252,19 +247,18 @@ func (s *stats) snapshot() Stats {
 	var lanes [numLanes][latBuckets]uint64
 	var merged [latBuckets]uint64
 	for lane := range lanes {
+		s.latHist[lane].Buckets(&lanes[lane])
 		for i := range lanes[lane] {
-			c := s.latHist[lane][i].Load()
-			lanes[lane][i] = c
-			merged[i] += c
+			merged[i] += lanes[lane][i]
 		}
 	}
 	laneStats := func(lane Priority) LaneStats {
 		return LaneStats{
 			Requests:   s.laneReqs[lane].Load(),
 			QueueDepth: int(s.qdepth[lane].Load()),
-			P50Latency: histQuantile(&lanes[lane], 0.50),
-			P99Latency: histQuantile(&lanes[lane], 0.99),
-			P999:       histQuantile(&lanes[lane], 0.999),
+			P50Latency: telemetry.QuantileOf(&lanes[lane], 0.50),
+			P99Latency: telemetry.QuantileOf(&lanes[lane], 0.99),
+			P999:       telemetry.QuantileOf(&lanes[lane], 0.999),
 		}
 	}
 	out := Stats{
@@ -277,14 +271,18 @@ func (s *stats) snapshot() Stats {
 		Expired:          s.expired.Load(),
 		Batches:          s.batches.Load(),
 		MaxBatchFill:     int(s.maxFill.Load()),
-		P50Latency:       histQuantile(&merged, 0.50),
-		P99Latency:       histQuantile(&merged, 0.99),
-		P999Latency:      histQuantile(&merged, 0.999),
+		P50Latency:       telemetry.QuantileOf(&merged, 0.50),
+		P99Latency:       telemetry.QuantileOf(&merged, 0.99),
+		P999Latency:      telemetry.QuantileOf(&merged, 0.999),
 		QueueWaitEWMA:    time.Duration(s.ewmaWaitUS.Load()) * time.Microsecond,
 		BatchLatencyEWMA: s.batchEWMA(),
 		Interactive:      laneStats(PriorityInteractive),
 		BatchLane:        laneStats(PriorityBatch),
 	}
+	s.waitHist.Buckets(&out.WaitHist)
+	out.QueueWaitP50 = telemetry.QuantileOf(&out.WaitHist, 0.50)
+	out.QueueWaitP99 = telemetry.QuantileOf(&out.WaitHist, 0.99)
+	out.QueueWaitP999 = telemetry.QuantileOf(&out.WaitHist, 0.999)
 	out.QueueDepth = out.Interactive.QueueDepth + out.BatchLane.QueueDepth
 	if out.Batches > 0 {
 		out.MeanBatchFill = float64(s.slots.Load()) / float64(out.Batches)
@@ -301,13 +299,14 @@ func (s *stats) snapshot() Stats {
 // String renders the snapshot for the CLI and logs.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"requests=%d errors=%d cancelled=%d admit(rejected=%d shed=%d expired=%d) batches=%d fill(mean=%.2f max=%d) rps=%.1f latency(mean=%v p50=%v p99=%v p999=%v) queue(depth=%d wait=%v batch-ewma=%v) lanes(interactive p99=%v, batch p99=%v) pool(busy=%d/%d spawned=%d claim=%d granted=%d)%s",
+		"requests=%d errors=%d cancelled=%d admit(rejected=%d shed=%d expired=%d) batches=%d fill(mean=%.2f max=%d) rps=%.1f latency(mean=%v p50=%v p99=%v p999=%v) queue(depth=%d wait=%v p50=%v p99=%v batch-ewma=%v) lanes(interactive p99=%v, batch p99=%v) pool(busy=%d/%d spawned=%d claim=%d granted=%d) arena(live=%d total=%d bytes=%d reuse=%.3f)%s",
 		s.Requests, s.Errors, s.Cancelled, s.Rejected, s.Shed, s.Expired,
 		s.Batches, s.MeanBatchFill, s.MaxBatchFill,
 		s.ThroughputRPS, s.MeanLatency, s.P50Latency, s.P99Latency, s.P999Latency,
-		s.QueueDepth, s.QueueWaitEWMA, s.BatchLatencyEWMA,
+		s.QueueDepth, s.QueueWaitEWMA, s.QueueWaitP50, s.QueueWaitP99, s.BatchLatencyEWMA,
 		s.Interactive.P99Latency, s.BatchLane.P99Latency,
 		s.PoolBusy, s.PoolSize, s.PoolSpawned, s.LeaseClaim, s.LeaseGranted,
+		s.ArenaLiveBuffers, s.ArenaTotalBuffers, s.ArenaBytes, s.ArenaReuseRatio,
 		s.tenantString())
 }
 

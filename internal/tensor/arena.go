@@ -3,6 +3,7 @@ package tensor
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Arena is a size-bucketed recycler of float32 buffers, the storage
@@ -29,11 +30,13 @@ type Arena struct {
 	// while readers of its previous value are outstanding.
 	guard *BufferGuard
 
-	// Stats.
-	liveBuffers  int   // buffers created and not currently in a bucket
-	totalBuffers int   // buffers ever created
-	totalFloats  int64 // elements ever allocated from the heap
-	reuses       int   // Gets served from a bucket instead of the heap
+	// Stats. Atomic so concurrent observers (the serving engine's
+	// /stats and /metrics scrapes) can read them while the owning
+	// session executes; the buckets themselves stay single-owner.
+	liveBuffers  atomic.Int64 // buffers created and not currently in a bucket
+	totalBuffers atomic.Int64 // buffers ever created
+	totalFloats  atomic.Int64 // elements ever allocated from the heap
+	reuses       atomic.Int64 // Gets served from a bucket instead of the heap
 }
 
 // NewArena returns an empty arena.
@@ -66,15 +69,15 @@ func BucketFor(n int) int { return bucketFor(n) }
 // unspecified.
 func (a *Arena) Get(n int) []float32 {
 	b := bucketFor(n)
-	a.liveBuffers++
+	a.liveBuffers.Add(1)
 	if free := a.buckets[b]; len(free) > 0 {
 		buf := free[len(free)-1]
 		a.buckets[b] = free[:len(free)-1]
-		a.reuses++
+		a.reuses.Add(1)
 		return buf[:n]
 	}
-	a.totalBuffers++
-	a.totalFloats += int64(b)
+	a.totalBuffers.Add(1)
+	a.totalFloats.Add(int64(b))
 	return make([]float32, b)[:n]
 }
 
@@ -86,7 +89,7 @@ func (a *Arena) Put(buf []float32) {
 		return
 	}
 	b := cap(buf)
-	a.liveBuffers--
+	a.liveBuffers.Add(-1)
 	a.buckets[b] = append(a.buckets[b], buf[:b])
 }
 
@@ -200,14 +203,25 @@ type ArenaStats struct {
 	Reuses int
 }
 
-// Stats reports usage counters.
+// Stats reports usage counters. Unlike the rest of the arena, Stats is
+// safe to call concurrently with the owning session's Get/Put.
 func (a *Arena) Stats() ArenaStats {
 	return ArenaStats{
-		LiveBuffers:  a.liveBuffers,
-		TotalBuffers: a.totalBuffers,
-		TotalBytes:   a.totalFloats * elemSize,
-		Reuses:       a.reuses,
+		LiveBuffers:  int(a.liveBuffers.Load()),
+		TotalBuffers: int(a.totalBuffers.Load()),
+		TotalBytes:   a.totalFloats.Load() * elemSize,
+		Reuses:       int(a.reuses.Load()),
 	}
+}
+
+// ReuseRatio is the fraction of Gets served by recycling: Reuses over
+// all Gets (Reuses + TotalBuffers). Zero before any Get.
+func (s ArenaStats) ReuseRatio() float64 {
+	gets := s.Reuses + s.TotalBuffers
+	if gets == 0 {
+		return 0
+	}
+	return float64(s.Reuses) / float64(gets)
 }
 
 // elemSize is the storage size of one element in bytes.

@@ -1,0 +1,178 @@
+package repro
+
+import (
+	"context"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// cpuTime returns the process's cumulative user+system CPU time. The
+// overhead gate compares CPU per request rather than wall time: on a
+// shared runner, wall-clock throughput swings ±15% with co-tenant load
+// (an A/A null experiment confirms it), while the CPU a request costs
+// is far more a property of the code under test.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// serveRig is one BenchmarkServe-shaped serving setup (memnet, pooled
+// sessions, concurrent closed-loop clients) that can be driven in
+// measured windows. With telemetry, the engine carries the full
+// production stack: every metric family registered plus request
+// tracing at 1/1000, the default -tracedir implies. A traced request
+// itself costs roughly 15µs of CPU (~50 spans captured, the events
+// copy, and their GC share), which is why the default rate is what it
+// is: at 1/1000 that amortizes to noise, while 1/10 is measurably
+// ~18% slower.
+type serveRig struct {
+	engine  *serve.Engine
+	reg     *telemetry.Registry
+	example map[string]*tensor.Tensor
+}
+
+func newServeRig(t testing.TB, withTelemetry bool) *serveRig {
+	m, err := core.New("memnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Setup(core.Config{Preset: core.PresetTiny, Seed: 1, Batch: 8}); err != nil {
+		t.Fatal(err)
+	}
+	opts := serve.Options{Sessions: 2, MaxBatch: 8, MaxDelay: 500 * time.Microsecond}
+	rig := &serveRig{}
+	if withTelemetry {
+		rig.reg = telemetry.NewRegistry()
+		opts.Trace = telemetry.NewTraceCollector(1000, 64)
+	}
+	rig.engine, err = serve.New(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withTelemetry {
+		rig.engine.RegisterMetrics(rig.reg)
+	}
+	sig := m.Signature(core.ModeInference)
+	rig.example = map[string]*tensor.Tensor{}
+	for _, in := range sig.Inputs {
+		rig.example[in.Name] = tensor.New(in.ExampleShape()...)
+	}
+	return rig
+}
+
+func (r *serveRig) close() {
+	if r.reg != nil {
+		r.engine.UnregisterMetrics(r.reg)
+	}
+	r.engine.Close()
+}
+
+// drive issues n requests from 8 closed-loop clients and returns the
+// CPU consumed per request. When the rig carries a registry it is
+// scraped once per window, keeping the exposition path inside the
+// measurement at a realistic cadence (real scrapes arrive on the
+// order of seconds).
+func (r *serveRig) drive(t testing.TB, n int) float64 {
+	const clients = 8
+	ctx := context.Background()
+	cpu0 := cpuTime()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		share := n / clients
+		if c < n%clients {
+			share++
+		}
+		wg.Add(1)
+		go func(share int) {
+			defer wg.Done()
+			for i := 0; i < share; i++ {
+				if _, err := r.engine.Infer(ctx, r.example); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(share)
+	}
+	wg.Wait()
+	if r.reg != nil {
+		if err := r.reg.WritePrometheus(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return float64(cpuTime()-cpu0) / float64(n)
+}
+
+// BenchmarkServeTelemetryOff and ...On are the two halves of the
+// overhead contract, runnable standalone for profiling either side.
+func BenchmarkServeTelemetryOff(b *testing.B) { benchServeTelemetry(b, false) }
+func BenchmarkServeTelemetryOn(b *testing.B)  { benchServeTelemetry(b, true) }
+
+func benchServeTelemetry(b *testing.B, withTelemetry bool) {
+	rig := newServeRig(b, withTelemetry)
+	defer rig.close()
+	rig.drive(b, 64) // warm sessions, plans, arenas
+	b.ResetTimer()
+	b.ReportMetric(rig.drive(b, b.N), "cpu-ns/op")
+}
+
+// TestTelemetryOverheadGate is the <2% overhead contract, enforced in
+// the CI bench job (TELEMETRY_OVERHEAD_GATE=1): serving with the
+// registry populated and default-rate tracing must stay within 2% of
+// the bare engine, measured as CPU per request.
+//
+// Methodology: both engines are built once and kept alive, then
+// driven in short alternating windows. Fine-grained interleaving on
+// live engines is what makes 2% resolvable at all — rebuilding an
+// engine per trial adds heap and scheduler drift an order of
+// magnitude larger than the effect under test. The window order flips
+// each trial so any fixed first-mover advantage cancels, and the
+// median of the per-trial ratios discards interference spikes from
+// co-tenant load.
+func TestTelemetryOverheadGate(t *testing.T) {
+	if os.Getenv("TELEMETRY_OVERHEAD_GATE") == "" {
+		t.Skip("set TELEMETRY_OVERHEAD_GATE=1 to run the telemetry overhead gate")
+	}
+	const (
+		trials = 15
+		window = 20000
+	)
+	off := newServeRig(t, false)
+	defer off.close()
+	on := newServeRig(t, true)
+	defer on.close()
+	off.drive(t, 2*window) // warm both rigs outside the measurement
+	on.drive(t, 2*window)
+
+	ratios := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		var offCPU, onCPU float64
+		if i%2 == 0 {
+			offCPU = off.drive(t, window)
+			onCPU = on.drive(t, window)
+		} else {
+			onCPU = on.drive(t, window)
+			offCPU = off.drive(t, window)
+		}
+		ratios = append(ratios, onCPU/offCPU)
+		t.Logf("trial %d: off %.0f cpu-ns/op, on %.0f cpu-ns/op, ratio %.4f", i, offCPU, onCPU, onCPU/offCPU)
+	}
+	sort.Float64s(ratios)
+	overhead := ratios[len(ratios)/2] - 1
+	t.Logf("median telemetry overhead: %.2f%%", 100*overhead)
+	if overhead > 0.02 {
+		t.Fatalf("telemetry overhead %.2f%% exceeds the 2%% contract (ratios %v)", 100*overhead, ratios)
+	}
+}
